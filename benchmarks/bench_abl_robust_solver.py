@@ -1,0 +1,105 @@
+"""Ablation: solver-level vs network-level defence.
+
+Three ways to survive lying beacons, measured on the same reference sets:
+
+- plain MMSE (no defence),
+- robust MMSE (peel inconsistent references locally),
+- oracle revocation (the paper's end state: lying references removed).
+
+Sweeps the number of lying references among 8 honest ones; reports mean
+localization error. Shape: plain degrades linearly with liars; robust
+matches revocation until liars approach half the references, then breaks —
+the solver-level defence's fundamental limit, which is exactly why the
+paper's *network-level* revocation matters.
+"""
+
+import math
+import random
+
+from repro.errors import InsufficientReferencesError
+from repro.experiments.series import FigureData
+from repro.localization.multilateration import mmse_multilaterate
+from repro.localization.references import LocationReference
+from repro.localization.robust import robust_multilaterate
+from repro.utils.geometry import Point, distance
+
+
+def sweep_liars(max_liars=6, trials=120, seed=71, lie_ft=200.0):
+    rng = random.Random(seed)
+    fig = FigureData(
+        figure_id="ablation_robust_solver",
+        title="Localization error vs number of lying references",
+        x_label="lying references (among 8 honest)",
+        y_label="mean localization error (ft)",
+        notes=f"lie displacement {lie_ft} ft, ranging error 10 ft",
+    )
+    series = {
+        name: fig.new_series(name)
+        for name in ("plain mmse", "robust mmse", "oracle revocation")
+    }
+    anchors = [
+        Point(250 + 180 * math.cos(t), 250 + 180 * math.sin(t))
+        for t in [i * 2 * math.pi / 8 for i in range(8)]
+    ]
+
+    for n_liars in range(max_liars + 1):
+        errors = {name: [] for name in series}
+        for _ in range(trials):
+            truth = Point(rng.uniform(150, 350), rng.uniform(150, 350))
+            honest = [
+                LocationReference(
+                    i + 1,
+                    a,
+                    max(0.0, distance(truth, a) + rng.uniform(-10, 10)),
+                )
+                for i, a in enumerate(anchors)
+            ]
+            liars = []
+            for k in range(n_liars):
+                physical = Point(rng.uniform(100, 400), rng.uniform(100, 400))
+                angle = rng.uniform(0, 2 * math.pi)
+                lie = Point(
+                    physical.x + lie_ft * math.cos(angle),
+                    physical.y + lie_ft * math.sin(angle),
+                )
+                liars.append(
+                    LocationReference(
+                        100 + k, lie, distance(truth, physical)
+                    )
+                )
+            refs = honest + liars
+            errors["plain mmse"].append(
+                distance(mmse_multilaterate(refs).position, truth)
+            )
+            try:
+                robust = robust_multilaterate(refs, max_error_ft=10.0)
+                errors["robust mmse"].append(
+                    distance(robust.position, truth)
+                )
+            except InsufficientReferencesError:
+                errors["robust mmse"].append(
+                    distance(mmse_multilaterate(refs).position, truth)
+                )
+            errors["oracle revocation"].append(
+                distance(mmse_multilaterate(honest).position, truth)
+            )
+        for name in series:
+            series[name].append(
+                n_liars, sum(errors[name]) / len(errors[name])
+            )
+    return fig
+
+
+def test_ablation_robust_solver(run_once, save_figure):
+    fig = run_once(sweep_liars)
+    save_figure(fig)
+    plain = fig.series["plain mmse"]
+    robust = fig.series["robust mmse"]
+    oracle = fig.series["oracle revocation"]
+    # No liars: all three agree.
+    assert abs(plain.y_at(0) - oracle.y_at(0)) < 2.0
+    # A few liars: robust tracks the oracle, plain degrades badly.
+    assert robust.y_at(2) < plain.y_at(2) / 2
+    assert robust.y_at(2) < oracle.y_at(2) + 10.0
+    # Oracle (revocation) is flat in the liar count.
+    assert max(oracle.y) - min(oracle.y) < 3.0

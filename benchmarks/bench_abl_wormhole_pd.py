@@ -1,0 +1,40 @@
+"""Ablation: sensitivity of false positives to the wormhole detection rate.
+
+Sections 2.3 and 3.2 bound benign-vs-benign false alerts by (1 - p_d) per
+wormhole endpoint pair. This bench runs the pipeline with no malicious
+beacons (isolating the wormhole path) across p_d values.
+"""
+
+from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.experiments.series import FigureData
+
+
+def sweep_pd(pds=(0.5, 0.7, 0.9, 1.0), seed=29):
+    fig = FigureData(
+        figure_id="ablation_wormhole_pd",
+        title="Benign false positives vs wormhole detection rate",
+        x_label="p_d",
+        y_label="false positive rate",
+        notes="N_a=0, collusion off: only the wormhole path produces alerts",
+    )
+    series = fig.new_series("false positive rate")
+    for p_d in pds:
+        cfg = PipelineConfig(
+            n_malicious=0,
+            collusion=False,
+            wormhole_p_d=p_d,
+            seed=seed,
+        )
+        result = SecureLocalizationPipeline(cfg).run()
+        series.append(p_d, result.false_positive_rate)
+    return fig
+
+
+def test_ablation_wormhole_pd(run_once, save_figure):
+    fig = run_once(sweep_pd)
+    save_figure(fig)
+    s = fig.series["false positive rate"]
+    # A perfect wormhole detector eliminates benign false positives.
+    assert s.y_at(1.0) == 0.0
+    # Degrading p_d can only increase (or hold) false positives.
+    assert s.y_at(0.5) >= s.y_at(0.9)

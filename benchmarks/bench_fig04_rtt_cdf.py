@@ -1,0 +1,19 @@
+"""Figure 4: cumulative distribution of round-trip time (no attacks).
+
+Paper series: one CDF over 10,000 RTT measurements; reports x_min, x_max,
+and a detectability margin of ~4.5 bit transmission times (1 bit = 384 CPU
+cycles).
+"""
+
+from repro.experiments import figures
+from repro.sim.timing import BIT_TIME_CYCLES
+
+
+def test_figure04_rtt_cdf(run_once, save_figure):
+    fig = run_once(figures.figure04_rtt_cdf, samples=10_000, seed=0)
+    save_figure(fig)
+    cdf = fig.series["cdf"]
+    # Paper-shape checks: tight support, proper CDF.
+    width_bits = (cdf.x[-1] - cdf.x[0]) / BIT_TIME_CYCLES
+    assert width_bits <= 4.5
+    assert cdf.y[-1] == 1.0

@@ -1,0 +1,14 @@
+"""Figure 5: detection probability P_r vs the attacker's P'.
+
+Paper series: P_r = 1 - (1 - P')^m for m = 1, 2, 4, 8. Shape: P_r rises
+with P'; more detecting IDs dominate pointwise.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure05_pr_vs_pprime(run_once, save_figure):
+    fig = run_once(figures.figure05_detection_vs_pprime)
+    save_figure(fig)
+    assert fig.series["m=8"].y_at(0.2) > fig.series["m=1"].y_at(0.2)
+    assert fig.series["m=8"].y_at(0.5) > 0.99

@@ -1,0 +1,18 @@
+"""Figure 6: revocation detection rate P_d vs P'.
+
+Panel (a) sweeps the alert threshold tau at m = 8; panel (b) sweeps m at
+tau = 4. Shape: P_d rises quickly with P'; smaller tau and larger m win.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure06_detection_rate(run_once, save_figure):
+    fig = run_once(figures.figure06_detection_rate)
+    save_figure(fig)
+    assert fig.series["(a) tau=1, m=8"].y_at(0.1) > fig.series[
+        "(a) tau=4, m=8"
+    ].y_at(0.1)
+    assert fig.series["(b) m=8, tau=4"].y_at(0.1) > fig.series[
+        "(b) m=1, tau=4"
+    ].y_at(0.1)

@@ -1,0 +1,15 @@
+"""Figure 7: detection rate vs the number of requesting nodes N_c.
+
+Paper series: P' in {0.1, 0.2, 0.3, 0.4} with m = 8, tau = 1. Shape: more
+requesters mean more alerts, so P_d grows monotonically in N_c.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure07_pd_vs_nc(run_once, save_figure):
+    fig = run_once(figures.figure07_detection_vs_nc)
+    save_figure(fig)
+    for s in fig.series.values():
+        assert s.y == sorted(s.y)
+    assert fig.series["P'=0.4"].y_at(100) > 0.9

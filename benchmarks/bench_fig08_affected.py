@@ -1,0 +1,17 @@
+"""Figure 8: average number of affected non-beacon nodes N' vs P'.
+
+Paper series: (tau, m) combinations after revocation. Shape: N' peaks at a
+small P' and stays in single digits; larger tau raises the peak, larger m
+lowers it.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure08_affected(run_once, save_figure):
+    fig = run_once(figures.figure08_affected_vs_pprime)
+    save_figure(fig)
+    peak = lambda label: max(fig.series[label].y)  # noqa: E731
+    assert peak("tau=4, m=8") > peak("tau=2, m=8")
+    assert peak("tau=2, m=8") < peak("tau=2, m=4")
+    assert max(peak(label) for label in fig.series) < 15

@@ -1,0 +1,22 @@
+"""Figure 9: worst-case N' vs N_c (attacker optimizes P').
+
+Paper series: (m, tau) combinations. Shape: N' rises sharply, peaks
+(around N_c ~ tens), then drops and levels off — once enough requesters
+contact a malicious beacon, it gets revoked before doing more damage.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure09_worstcase(run_once, save_figure):
+    fig = run_once(
+        figures.figure09_worstcase_affected,
+        nc_grid=tuple(range(0, 255, 10)),
+        grid=120,
+    )
+    save_figure(fig)
+    s = fig.series["m=8, tau=1"]
+    peak_idx = s.y.index(max(s.y))
+    assert 0 < peak_idx < len(s.y) - 1  # rises then falls
+    assert s.y[-1] < max(s.y)
+    assert max(fig.series["m=8, tau=1"].y) < max(fig.series["m=8, tau=2"].y)

@@ -1,0 +1,16 @@
+"""Figure 10: probability a benign beacon's report counter exceeds tau'.
+
+Paper series: N_c in {1, 5, 10, 15, 20} with N = 10,000, N_b = 1,010,
+N_a = 10, N_w = 10, p_d = 0.9, tau = 1, m = 8, P' = 0.1. Shape: P_o decays
+fast in tau'; already near zero at tau' = 2 (the paper's chosen quota).
+"""
+
+from repro.experiments import figures
+
+
+def test_figure10_report_counter(run_once, save_figure):
+    fig = run_once(figures.figure10_report_counter)
+    save_figure(fig)
+    for s in fig.series.values():
+        assert s.y_at(2) < 0.05
+        assert s.y_at(0) >= s.y_at(5)

@@ -1,0 +1,17 @@
+"""Figure 11: random deployment of beacon nodes in the sensing field.
+
+Paper: 1,000 sensor nodes in a 1000x1000 ft field; 110 beacons of which 10
+are compromised (solid circles). This bench regenerates the scatter data.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure11_deployment(run_once, save_figure):
+    fig = run_once(figures.figure11_deployment, seed=0)
+    save_figure(fig)
+    assert len(fig.series["benign beacons"].x) == 100
+    assert len(fig.series["malicious beacons"].x) == 10
+    for s in fig.series.values():
+        assert all(0 <= x <= 1000 for x in s.x)
+        assert all(0 <= y <= 1000 for y in s.y)

@@ -1,0 +1,22 @@
+"""Figure 13: simulated vs theoretical N' (affected requesters) vs P'.
+
+Paper: "the simulation result has observable but small difference from the
+theoretical analysis"; only a few non-beacon nodes end up accepting
+malicious signals once revocation is active.
+"""
+
+from repro.experiments import figures
+
+
+def test_figure13_sim_affected(run_once, save_figure):
+    fig = run_once(
+        figures.figure13_sim_affected,
+        p_grid=(0.05, 0.1, 0.2, 0.4, 0.6, 0.8),
+        trials=2,
+    )
+    save_figure(fig)
+    sim = fig.series["simulation"]
+    # Shape: single digits throughout; large P' gets the beacon revoked,
+    # so N' collapses rather than growing with P'.
+    assert max(sim.y) < 15
+    assert sim.y_at(0.8) <= max(sim.y)

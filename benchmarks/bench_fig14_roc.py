@@ -1,0 +1,26 @@
+"""Figure 14: ROC curves — detection rate vs false positive rate.
+
+Paper: sweeping tau trades detection for false positives; with N_a = 5 the
+scheme detects most malicious beacons at ~5% false positives, with
+N_a = 10 the cost rises (colluders get N_a (tau'+1) alerts accepted).
+"""
+
+from repro.experiments import figures
+
+
+def test_figure14_roc(run_once, save_figure):
+    fig = run_once(
+        figures.figure14_roc,
+        n_as=(5, 10),
+        tau_reports=(2, 3),
+        tau_alerts=(1, 2, 4, 8),
+        trials=1,
+    )
+    save_figure(fig)
+    # Shape: more colluders => more false positives at comparable detection.
+    fp5 = max(fig.series["N_a=5, tau'=2"].x)
+    fp10 = max(fig.series["N_a=10, tau'=2"].x)
+    assert fp10 >= fp5
+    # Every operating point is a valid (fp, detection) pair.
+    for s in fig.series.values():
+        assert all(0.0 <= v <= 1.0 for v in s.x + s.y)

@@ -1,0 +1,56 @@
+"""Performance: pipeline wall-clock and event count vs network size.
+
+Not a paper figure — capacity planning for users scaling the simulation
+beyond the paper's 1,000 nodes. Event count grows with the probe and
+localization traffic (~N * density); this bench records both so
+regressions in the engine or delivery path show up as timing outliers.
+"""
+
+import time
+
+from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.experiments.series import FigureData
+
+
+def scaling_sweep(sizes=(250, 500, 1_000, 2_000), seed=103):
+    fig = FigureData(
+        figure_id="perf_scaling",
+        title="Pipeline runtime and event count vs network size",
+        x_label="total nodes N",
+        y_label="seconds / events (x100k)",
+        notes="constant density: field area scales with N; 11% beacons",
+    )
+    runtime = fig.new_series("runtime (s)")
+    events = fig.new_series("events (x100k)")
+    for n in sizes:
+        side = (n * 1_000.0) ** 0.5  # keep node density constant
+        n_beacons = max(12, int(0.11 * n))
+        cfg = PipelineConfig(
+            n_total=n,
+            n_beacons=n_beacons,
+            n_malicious=max(1, n_beacons // 11),
+            field_width_ft=side,
+            field_height_ft=side,
+            p_prime=0.2,
+            rtt_calibration_samples=500,
+            wormhole_endpoints=None,
+            seed=seed,
+        )
+        pipeline = SecureLocalizationPipeline(cfg)
+        start = time.perf_counter()
+        pipeline.run()
+        elapsed = time.perf_counter() - start
+        runtime.append(n, elapsed)
+        events.append(n, pipeline.engine.events_processed / 100_000.0)
+    return fig
+
+
+def test_perf_scaling(run_once, save_figure):
+    fig = run_once(scaling_sweep)
+    save_figure(fig)
+    runtime = fig.series["runtime (s)"]
+    events = fig.series["events (x100k)"]
+    # Event count grows with N (constant density => ~linear).
+    assert events.y_at(2_000) > events.y_at(250)
+    # 2,000 nodes stay comfortably laptop-scale.
+    assert runtime.y_at(2_000) < 60.0

@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's figures and (a) times the
+generation with pytest-benchmark, (b) prints the series, and (c) writes the
+table to ``benchmarks/output/<figure_id>.txt`` so EXPERIMENTS.md can cite
+the exact numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def save_figure():
+    """Persist a FigureData table and echo it to stdout."""
+
+    def _save(fig):
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        table = fig.format_table()
+        (OUTPUT_DIR / f"{fig.figure_id}.txt").write_text(table + "\n")
+        print()
+        print(table)
+        return fig
+
+    return _save
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure generator exactly once under the benchmark timer.
+
+    Simulation figures take seconds; pytest-benchmark's default
+    calibration would multiply that by dozens of rounds.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

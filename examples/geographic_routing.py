@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""What location attacks cost geographic routing — and what the defence buys.
+
+The paper's introduction motivates secure localization through GPSR-style
+geographic routing. This example runs the localization pipeline twice
+(defended / undefended), builds GPSR position tables from the resulting
+estimates, and routes the same random workload over each.
+
+Run:
+    python examples/geographic_routing.py
+"""
+
+import random
+
+from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.routing.gpsr import GpsrRouter
+from repro.routing.metrics import delivery_ratio, mean_path_stretch
+from repro.routing.table import PositionTable
+
+
+def run_pipeline(defended: bool):
+    base = dict(
+        n_total=500,
+        n_beacons=60,
+        n_malicious=6,
+        field_width_ft=700.0,
+        field_height_ft=700.0,
+        p_prime=0.4,
+        location_lie_ft=250.0,
+        wormhole_endpoints=((80.0, 80.0), (600.0, 500.0)),
+        rtt_calibration_samples=500,
+        seed=4099,
+    )
+    if not defended:
+        base.update(
+            m_detecting_ids=0,
+            collusion=False,
+            tau_alert=10_000,
+            wormhole_p_d=0.0,
+        )
+    pipeline = SecureLocalizationPipeline(PipelineConfig(**base))
+    pipeline.run()
+    estimates = {
+        agent.node_id: agent.estimated_position
+        for agent in pipeline.agents
+        if agent.estimated_position is not None
+    }
+    return pipeline, estimates
+
+
+def main() -> None:
+    print("Building the defended and undefended networks (same field)...")
+    defended_pipeline, defended_est = run_pipeline(defended=True)
+    undefended_pipeline, undefended_est = run_pipeline(defended=False)
+
+    rng = random.Random(5)
+    ids = [n.node_id for n in defended_pipeline.network.nodes()]
+    workload = [(rng.choice(ids), rng.choice(ids)) for _ in range(200)]
+
+    scenarios = {
+        "ground-truth positions": (
+            defended_pipeline.network,
+            PositionTable.ground_truth(defended_pipeline.network),
+        ),
+        "defended estimates": (
+            defended_pipeline.network,
+            PositionTable.from_estimates(
+                defended_pipeline.network, defended_est
+            ),
+        ),
+        "undefended estimates": (
+            undefended_pipeline.network,
+            PositionTable.from_estimates(
+                undefended_pipeline.network, undefended_est
+            ),
+        ),
+    }
+
+    print()
+    print(f"{'scenario':<26} {'delivery':>9} {'stretch':>8}")
+    for label, (network, table) in scenarios.items():
+        router = GpsrRouter(network, table)
+        ratio = delivery_ratio(router, workload)
+        stretch = mean_path_stretch(router, workload)
+        print(f"{label:<26} {ratio:>9.1%} {stretch:>8.2f}")
+
+    print()
+    print("Reading: GPSR needs positions it can trust. Lying beacons poison")
+    print("the tables and packets greedy-forward into the wrong region; the")
+    print("detection + revocation suite keeps delivery near the clean level.")
+
+
+if __name__ == "__main__":
+    main()

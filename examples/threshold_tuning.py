@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Tune the revocation thresholds (tau', tau) — the Section 3.2 method.
+
+Given deployment expectations (network size, expected wormholes, wormhole
+detector quality) and security requirements (bound on misled sensors N',
+bound on falsely revoked beacons N_f), this example walks the paper's
+threshold-selection procedure:
+
+1. For each candidate tau, compute the attacker's best case N' (Figure 9's
+   constraint) and keep taus meeting the N' bound.
+2. For each surviving tau, find the smallest tau' whose report-counter
+   overflow probability P_o is negligible (Figure 10's constraint).
+3. Among the (tau', tau) candidates, report worst-case false positives N_f
+   and pick the pair minimizing it.
+
+Run:
+    python examples/threshold_tuning.py
+"""
+
+from repro.core import analysis
+from repro.core.analysis import Population
+
+# Deployment expectations.
+POPULATION = Population(n_total=10_000, n_beacons=1_010, n_malicious=10)
+N_WORMHOLES = 10
+P_D = 0.9
+M_DETECTING_IDS = 8
+N_C = 100  # expected requesters per beacon
+P_PRIME_EXPECTED = 0.1
+
+# Security requirements.
+MAX_AFFECTED = 10.0  # misled sensors per malicious beacon, worst case
+MAX_OVERFLOW = 0.01  # acceptable P_o
+MAX_FALSE_POSITIVES = 15.0  # benign beacons revoked, worst case
+
+
+def main() -> None:
+    print("Step 1: bound the attacker's best case N' (Figure 9 constraint)")
+    print(f"{'tau':>5} {'worst-case N_prime':>20} {'acceptable':>12}")
+    surviving = []
+    for tau_alert in range(1, 7):
+        worst = max(
+            analysis.worst_case_affected(
+                M_DETECTING_IDS, tau_alert, n_c, POPULATION, grid=200
+            )[1]
+            for n_c in range(10, 260, 10)
+        )
+        ok = worst <= MAX_AFFECTED
+        if ok:
+            surviving.append(tau_alert)
+        print(f"{tau_alert:>5} {worst:>20.2f} {'yes' if ok else 'no':>12}")
+
+    print()
+    print("Step 2: pick tau' so benign report counters rarely overflow "
+          "(Figure 10 constraint)")
+    candidates = []
+    print(f"{'tau':>5} {'tau_report':>11} {'P_o':>12}")
+    for tau_alert in surviving:
+        for tau_report in range(0, 11):
+            p_o = analysis.report_counter_overflow(
+                tau_report,
+                n_c=N_C,
+                m=M_DETECTING_IDS,
+                p_prime=P_PRIME_EXPECTED,
+                tau_alert=tau_alert,
+                n_wormholes=N_WORMHOLES,
+                p_d=P_D,
+                population=POPULATION,
+            )
+            if p_o <= MAX_OVERFLOW:
+                candidates.append((tau_report, tau_alert))
+                print(f"{tau_alert:>5} {tau_report:>11} {p_o:>12.2e}")
+                break
+
+    print()
+    print("Step 3: among candidates, minimize worst-case false positives N_f")
+    print(f"{'tau_report':>11} {'tau':>5} {'N_f':>10} {'acceptable':>12}")
+    best = None
+    for tau_report, tau_alert in candidates:
+        n_f = analysis.false_positives_nf(
+            N_WORMHOLES, P_D, tau_report, tau_alert, POPULATION
+        )
+        ok = n_f <= MAX_FALSE_POSITIVES
+        print(f"{tau_report:>11} {tau_alert:>5} {n_f:>10.2f} "
+              f"{'yes' if ok else 'no':>12}")
+        if ok and (best is None or n_f < best[2]):
+            best = (tau_report, tau_alert, n_f)
+
+    print()
+    if best is None:
+        print("No threshold pair meets all requirements; relax a bound.")
+    else:
+        tau_report, tau_alert, n_f = best
+        detection = analysis.revocation_detection_rate(
+            P_PRIME_EXPECTED, M_DETECTING_IDS, tau_alert, N_C, POPULATION
+        )
+        print(f"Chosen thresholds: tau' = {tau_report}, tau = {tau_alert}")
+        print(f"  worst-case false positives N_f : {n_f:.1f} benign beacons")
+        print(f"  detection rate at P' = {P_PRIME_EXPECTED}     : "
+              f"{detection:.0%}")
+
+
+if __name__ == "__main__":
+    main()

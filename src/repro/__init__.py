@@ -1,0 +1,53 @@
+"""repro — secure location discovery for wireless sensor networks.
+
+A from-scratch Python reproduction of Liu, Ning & Du, *"Detecting
+Malicious Beacon Nodes for Secure Location Discovery in Wireless Sensor
+Networks"* (ICDCS 2005): the malicious-beacon-signal detector, the replay
+filters (wormhole + round-trip-time), the base-station revocation scheme,
+the closed-form analysis, and the full simulation evaluation — plus every
+substrate they run on (discrete-event WSN simulator, key predistribution,
+beacon-based localization, adversary models).
+
+Typical entry points:
+
+- :class:`repro.core.SecureLocalizationPipeline` — the end-to-end system;
+- :mod:`repro.core.analysis` — the paper's closed forms (Figures 5-10);
+- :mod:`repro.experiments.figures` — regenerate any evaluation figure;
+- :class:`repro.core.MaliciousSignalDetector`,
+  :class:`repro.core.BaseStation`, ... — the individual building blocks.
+"""
+
+from repro.core import (
+    BaseStation,
+    DetectingBeacon,
+    LocalReplayDetector,
+    MaliciousSignalDetector,
+    PipelineConfig,
+    PipelineResult,
+    ReplayFilterCascade,
+    RevocationConfig,
+    RttCalibration,
+    SecureLocalizationPipeline,
+    analysis,
+    calibrate_rtt,
+)
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaseStation",
+    "DetectingBeacon",
+    "LocalReplayDetector",
+    "MaliciousSignalDetector",
+    "PipelineConfig",
+    "PipelineResult",
+    "ReplayFilterCascade",
+    "RevocationConfig",
+    "RttCalibration",
+    "SecureLocalizationPipeline",
+    "analysis",
+    "calibrate_rtt",
+    "ReproError",
+    "__version__",
+]

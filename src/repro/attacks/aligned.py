@@ -1,0 +1,86 @@
+"""The signal-aligning liar: a consistent-distance location lie.
+
+The paper's §2.1 equivalence argument says a lie *consistent with the
+measured distance* passes the distance check (and is harmless to a single
+requester). This attacker weaponizes that: knowing (or inferring) the
+requester's position, it declares a location **off the true bearing** but
+at the right distance, and games its transmit power so the RSSI-measured
+distance matches the lie. The distance check passes; localization from
+multiple such lies is corrupted (the lies are requester-specific, so the
+"it's equivalent to an honest beacon at the declared spot" argument breaks
+down across requesters).
+
+What it cannot fake is physics: the signal still *arrives from* the
+attacker's true direction, so the AoA consistency check
+(:class:`repro.core.detecting_aoa.AngleDetectingBeacon`) catches it —
+the end-to-end demonstration of the §2.3 AoA extension's value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.attacks.compromised import MaliciousBeacon
+from repro.attacks.strategy import AdversaryStrategy, ResponseKind
+from repro.crypto.manager import KeyManager
+from repro.sim.messages import BeaconRequest
+from repro.sim.rng import derive_seed
+from repro.utils.geometry import Point, distance
+
+
+class SignalAligningLiar(MaliciousBeacon):
+    """Lies off-ray while matching the measured distance to the lie.
+
+    Args:
+        known_requester_positions: requester id -> position. In the field
+            the attacker learns these from its own AoA/ranging of the
+            request signal; the simulation grants them directly (a strong
+            attacker — exactly the one the distance-only detector loses
+            to).
+        lie_angle_rad: angular displacement of the lie, seen from the
+            requester (default 60 degrees off the true direction).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        key_manager: KeyManager,
+        strategy: AdversaryStrategy,
+        *,
+        known_requester_positions: Dict[int, Point],
+        lie_angle_rad: float = math.radians(60.0),
+    ) -> None:
+        super().__init__(node_id, position, key_manager, strategy)
+        self.known_requester_positions = dict(known_requester_positions)
+        self.lie_angle_rad = lie_angle_rad
+
+    def respond_to(self, request: BeaconRequest) -> None:
+        decision = self.strategy.decide(request.src_id)
+        requester_pos = self.known_requester_positions.get(request.src_id)
+        if decision is not ResponseKind.MALICIOUS or requester_pos is None:
+            super().respond_to(request)
+            return
+
+        self.requests_served += 1
+        self._sequence += 1
+        self.responses_by_kind[ResponseKind.MALICIOUS] += 1
+
+        true_dist = distance(self.position, requester_pos)
+        # Rotate the true direction (requester -> me) by the lie angle and
+        # declare a location at the same distance along the rotated ray.
+        true_angle = math.atan2(
+            self.position.y - requester_pos.y, self.position.x - requester_pos.x
+        )
+        sign = 1.0 if derive_seed(self.strategy.seed, f"s:{request.src_id}") % 2 else -1.0
+        lie_angle = true_angle + sign * self.lie_angle_rad
+        lie = Point(
+            requester_pos.x + true_dist * math.cos(lie_angle),
+            requester_pos.y + true_dist * math.sin(lie_angle),
+        )
+        # Transmit-power game: the measured distance already equals the
+        # distance to the lie (same radius), so no bias is needed beyond
+        # cancelling nothing — include the exact correction for generality.
+        bias = distance(requester_pos, lie) - true_dist  # = 0 by construction
+        self._reply(request, lie, ranging_bias_ft=bias)

@@ -1,0 +1,110 @@
+"""Colluding false-alert reporters (paper Sections 3.1 and 4).
+
+Malicious beacon nodes can report alerts against *benign* beacons. The
+revocation scheme caps each reporter at ``tau_report`` accepted alerts, so
+``N_a`` colluders can inject at most ``N_a * (tau_report + 1)`` alerts
+(counting the one that trips the cap), revoking about
+``N_a * (tau_report + 1) / (tau_alert + 1)`` benign beacons when they
+concentrate fire. This module generates those alert schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ColludingReporters:
+    """A coalition of malicious beacons flooding false alerts.
+
+    Attributes:
+        reporter_ids: the compromised beacon identities doing the reporting.
+        tau_report: the base station's per-reporter quota (the coalition
+            knows the system parameters and spends exactly the quota).
+        tau_alert: alerts needed to revoke one target.
+    """
+
+    reporter_ids: Sequence[int]
+    tau_report: int
+    tau_alert: int
+
+    def __post_init__(self) -> None:
+        if self.tau_report < 0:
+            raise ConfigurationError(
+                f"tau_report must be >= 0, got {self.tau_report}"
+            )
+        if self.tau_alert < 0:
+            raise ConfigurationError(f"tau_alert must be >= 0, got {self.tau_alert}")
+
+    @property
+    def total_alert_budget(self) -> int:
+        """Accepted alerts the coalition can land: N_a * (tau_report + 1).
+
+        Each reporter's alerts are accepted while its counter has *not
+        exceeded* the threshold, so tau_report + 1 alerts get through.
+        """
+        return len(self.reporter_ids) * (self.tau_report + 1)
+
+    def expected_benign_revocations(self) -> int:
+        """How many benign beacons concentrated fire can revoke."""
+        return self.total_alert_budget // (self.tau_alert + 1)
+
+    # ------------------------------------------------------------------
+    # Alert schedules
+    # ------------------------------------------------------------------
+    def concentrated_schedule(
+        self, benign_targets: Sequence[int]
+    ) -> List[Tuple[int, int]]:
+        """(reporter, target) pairs focusing tau_alert+1 alerts per target.
+
+        The optimal strategy: pour alerts into one benign target until it
+        is revoked, then move to the next. Reporters are rotated so each
+        target's alerts come from as many *distinct* colluders as possible
+        — equally effective against a counter that takes repeated alerts
+        (the paper's base station) and one that counts each (reporter,
+        target) pair once (our distributed ledgers).
+        """
+        quotas = {r: self.tau_report + 1 for r in self.reporter_ids}
+        order = list(self.reporter_ids)
+        schedule: List[Tuple[int, int]] = []
+        per_target = self.tau_alert + 1
+        cursor = 0
+        for target in benign_targets:
+            assigned = 0
+            while assigned < per_target:
+                # Find the next reporter (round-robin) with quota left.
+                for _ in range(len(order)):
+                    reporter = order[cursor % len(order)]
+                    cursor += 1
+                    if quotas[reporter] > 0:
+                        break
+                else:
+                    return schedule  # every quota exhausted
+                quotas[reporter] -= 1
+                schedule.append((reporter, target))
+                assigned += 1
+        return schedule
+
+    def spread_schedule(self, benign_targets: Sequence[int]) -> List[Tuple[int, int]]:
+        """(reporter, target) pairs spread evenly — the naive strategy.
+
+        Spreading rarely revokes anyone (each target collects few alerts);
+        included as the contrast case for the collusion bench.
+        """
+        if not benign_targets:
+            return []
+        schedule: List[Tuple[int, int]] = []
+        targets = list(benign_targets)
+        index = 0
+        for reporter in self._budget_iter():
+            schedule.append((reporter, targets[index % len(targets)]))
+            index += 1
+        return schedule
+
+    def _budget_iter(self) -> Iterator[int]:
+        for reporter in self.reporter_ids:
+            for _ in range(self.tau_report + 1):
+                yield reporter

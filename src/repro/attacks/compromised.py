@@ -1,0 +1,137 @@
+"""Compromised beacon nodes (paper Figure 1b).
+
+A :class:`MaliciousBeacon` is a beacon node with valid keys that follows an
+:class:`AdversaryStrategy`: it answers some requesters honestly and attacks
+others, masking part of its malicious signals as wormhole or local replays
+to dodge detecting nodes. It cannot tell a detecting ID from a genuine
+non-beacon requester — the paper's central assumption — so the mask/attack
+decision is blind to who is asking.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.attacks.strategy import AdversaryStrategy, ResponseKind
+from repro.crypto.manager import KeyManager
+from repro.localization.beacon import BeaconService
+from repro.sim.messages import BeaconPacket, BeaconRequest
+from repro.sim.rng import derive_seed
+from repro.sim.timing import packet_transmission_cycles
+from repro.utils.geometry import Point
+
+
+class MaliciousBeacon(BeaconService):
+    """A compromised beacon following the paper's mixed strategy.
+
+    Args:
+        node_id: the compromised beacon's (valid) identity.
+        position: its physical location.
+        key_manager: it holds real keys, so its packets authenticate.
+        strategy: the ``(p_n, p_w, p_l)`` behaviour mix.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        key_manager: KeyManager,
+        strategy: AdversaryStrategy,
+    ) -> None:
+        super().__init__(node_id, position, key_manager)
+        self.strategy = strategy
+        self.responses_by_kind = {kind: 0 for kind in ResponseKind}
+
+    # ------------------------------------------------------------------
+    # Attack mechanics
+    # ------------------------------------------------------------------
+    def lie_location_for(self, requester_id: int) -> Point:
+        """The false location declared to ``requester_id`` when attacking.
+
+        Deterministic per requester (consistent behaviour), displaced by
+        ``strategy.location_lie_ft`` in a pseudo-random direction.
+        """
+        angle_seed = derive_seed(self.strategy.seed, f"lie:{self.node_id}:{requester_id}")
+        angle = (angle_seed % 360) * math.pi / 180.0
+        r = self.strategy.location_lie_ft
+        return Point(
+            self.position.x + r * math.cos(angle),
+            self.position.y + r * math.sin(angle),
+        )
+
+    def _far_location_for(self, requester_id: int) -> Point:
+        """A declared location beyond radio range (wormhole-mask support)."""
+        if self.network is None:
+            offset = 400.0
+        else:
+            offset = 2.5 * self.network.radio.comm_range_ft
+        angle_seed = derive_seed(self.strategy.seed, f"far:{self.node_id}:{requester_id}")
+        angle = (angle_seed % 360) * math.pi / 180.0
+        return Point(
+            self.position.x + offset * math.cos(angle),
+            self.position.y + offset * math.sin(angle),
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol override
+    # ------------------------------------------------------------------
+    def respond_to(self, request: BeaconRequest) -> None:
+        """Answer per the sticky strategy decision for this requester."""
+        self.requests_served += 1
+        self._sequence += 1
+        decision = self.strategy.decide(request.src_id)
+        self.responses_by_kind[decision] += 1
+
+        if decision is ResponseKind.NORMAL:
+            # Indistinguishable from a benign beacon: truth, no games.
+            self._reply(request, self.position)
+        elif decision is ResponseKind.MALICIOUS:
+            # The actual attack: lie about the location (and optionally bias
+            # the ranging feature); the measured-vs-calculated distances
+            # disagree by ~location_lie_ft, misleading localization.
+            self._reply(
+                request,
+                self.lie_location_for(request.src_id),
+                ranging_bias_ft=self.strategy.ranging_bias_ft,
+            )
+        elif decision is ResponseKind.MASK_WORMHOLE:
+            # Convince the requester the signal came through a wormhole:
+            # declare an out-of-range location and fake tunnel symptoms.
+            self._reply(
+                request,
+                self._far_location_for(request.src_id),
+                fake_wormhole_symptoms=True,
+            )
+        else:  # ResponseKind.MASK_LOCAL_REPLAY
+            # Convince the requester the signal was locally replayed: add
+            # (at least) one packet transmission time of delay, which the
+            # RTT detector flags and discards.
+            reply_bits = BeaconPacket(src_id=self.node_id, dst_id=0).size_bits
+            self._reply(
+                request,
+                self.lie_location_for(request.src_id),
+                extra_delay_cycles=packet_transmission_cycles(reply_bits),
+            )
+
+    def _reply(
+        self,
+        request: BeaconRequest,
+        declared: Point,
+        *,
+        ranging_bias_ft: float = 0.0,
+        extra_delay_cycles: float = 0.0,
+        fake_wormhole_symptoms: bool = False,
+    ) -> None:
+        reply = BeaconPacket(
+            src_id=self.node_id,
+            dst_id=request.src_id,
+            claimed_location=(declared.x, declared.y),
+            nonce=request.nonce,
+            sequence=self._sequence,
+        )
+        self.send(
+            self.key_manager.sign(reply),
+            ranging_bias_ft=ranging_bias_ft,
+            extra_delay_cycles=extra_delay_cycles,
+            fake_wormhole_symptoms=fake_wormhole_symptoms,
+        )

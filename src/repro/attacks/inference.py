@@ -1,0 +1,123 @@
+"""Detecting-ID inference: the attacker's counter-move from §2.1.
+
+The detection scheme's stealth rests on the attacker being unable to tell
+a detecting beacon's probe from a genuine non-beacon request. Section 2.1
+discusses the arms race explicitly: beacon locations are public (they
+broadcast them), so a compromised beacon can try to **infer** that a
+requester is really a beacon-in-disguise by checking whether the request
+signal's measured distance matches its distance to a known beacon — and
+answer *those* requesters honestly while attacking everyone else.
+
+The paper's prescribed countermeasures, also implemented here:
+
+- "adjust the transmission power in RSSI technique": the detecting node
+  randomizes its probe's ranging signature so the measured distance no
+  longer pins it to a beacon position
+  (:attr:`repro.core.detecting.DetectingBeacon.probe` takes a ranging
+  bias; the pipeline draws it uniformly);
+- "if sensor nodes have certain mobility": model a probe transmitted from
+  a displaced origin.
+
+:class:`InferringMaliciousBeacon` implements the distance-ring inference;
+the ablation bench shows it gutting naive detection and the power
+randomization restoring it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.attacks.compromised import MaliciousBeacon
+from repro.attacks.strategy import AdversaryStrategy, ResponseKind
+from repro.crypto.manager import KeyManager
+from repro.sim.radio import Reception
+from repro.utils.geometry import Point, distance
+from repro.utils.validation import check_non_negative
+
+
+@dataclass
+class InferenceStats:
+    """Bookkeeping of the attacker's classification decisions."""
+
+    suspected_detector: int = 0
+    treated_as_sensor: int = 0
+
+    @property
+    def total(self) -> int:
+        """Requests classified."""
+        return self.suspected_detector + self.treated_as_sensor
+
+
+class InferringMaliciousBeacon(MaliciousBeacon):
+    """A compromised beacon that tries to unmask detecting IDs.
+
+    Inference rule (distance ring): the request signal yields a measured
+    distance ``d``; if ``d`` matches this node's distance to any known
+    beacon position within ``ring_tolerance_ft``, the requester probably
+    *is* that beacon under a detecting ID — answer honestly. Otherwise
+    attack per the underlying strategy.
+
+    Args:
+        node_id / position / key_manager / strategy: as the base class.
+        known_beacon_positions: the (public) beacon locations the attacker
+            checks against, excluding itself.
+        ring_tolerance_ft: match tolerance; should exceed the ranging
+            error bound or the attacker misses (defaults to 2x a 10 ft
+            bound).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        key_manager: KeyManager,
+        strategy: AdversaryStrategy,
+        *,
+        known_beacon_positions: Optional[Dict[int, Point]] = None,
+        ring_tolerance_ft: float = 20.0,
+    ) -> None:
+        super().__init__(node_id, position, key_manager, strategy)
+        check_non_negative(ring_tolerance_ft, "ring_tolerance_ft")
+        self.known_beacon_positions = dict(known_beacon_positions or {})
+        self.ring_tolerance_ft = ring_tolerance_ft
+        self.inference = InferenceStats()
+        self._suspected: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def classify_request(self, reception: Reception) -> bool:
+        """True when the requester is suspected to be a detecting beacon."""
+        measured = reception.measured_distance_ft
+        for beacon_id, beacon_pos in self.known_beacon_positions.items():
+            if beacon_id == self.node_id:
+                continue
+            ring = distance(self.position, beacon_pos)
+            if abs(measured - ring) <= self.ring_tolerance_ft:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Protocol override
+    # ------------------------------------------------------------------
+    def _serve_request(self, reception: Reception) -> None:
+        request = reception.packet
+        if not self.key_manager.verify(request):
+            return
+        if self.classify_request(reception):
+            self.inference.suspected_detector += 1
+            self._suspected.add(request.src_id)
+        else:
+            self.inference.treated_as_sensor += 1
+        self.respond_to(request)
+
+    def respond_to(self, request) -> None:
+        if request.src_id in self._suspected:
+            # Play innocent toward suspected probes, always.
+            self.requests_served += 1
+            self._sequence += 1
+            self.responses_by_kind[ResponseKind.NORMAL] += 1
+            self._reply(request, self.position)
+            return
+        super().respond_to(request)

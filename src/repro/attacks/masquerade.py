@@ -1,0 +1,59 @@
+"""External attackers masquerading as beacon nodes (paper Figure 1a).
+
+A masquerading attacker has **no valid keys**; its forged beacon packets
+fail the pairwise-key authentication check at every compliant receiver,
+which is the paper's baseline defence ("beacon packets forged by external
+attackers that do not have the right keys can be easily filtered out").
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.messages import BeaconPacket, BeaconRequest
+from repro.sim.node import Node
+from repro.sim.radio import Reception
+from repro.utils.geometry import Point
+
+
+class MasqueradeAttacker(Node):
+    """A key-less node impersonating beacon identities.
+
+    Args:
+        node_id: the attacker's own (physical) id — used only for the
+            simulator's bookkeeping, never claimed in packets.
+        position: where it transmits from.
+        impersonated_id: the beacon identity it pretends to be.
+        fake_location: the location it declares.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        *,
+        impersonated_id: int,
+        fake_location: Point,
+    ) -> None:
+        super().__init__(node_id, position, is_beacon=False)
+        self.impersonated_id = impersonated_id
+        self.fake_location = fake_location
+        self.forged_sent = 0
+        self.on(BeaconRequest, type(self)._answer_with_forgery)
+
+    def _answer_with_forgery(self, reception: Reception) -> None:
+        """Answer any overheard request with a forged beacon packet."""
+        self.forge_beacon_to(reception.packet.src_id)
+
+    def forge_beacon_to(self, victim_id: int) -> None:
+        """Send a forged (unauthenticatable) beacon packet to ``victim_id``."""
+        packet = BeaconPacket(
+            src_id=self.impersonated_id,
+            dst_id=victim_id,
+            claimed_location=(self.fake_location.x, self.fake_location.y),
+        )
+        # A random tag: without the pairwise key the attacker can do no
+        # better, and verification fails with overwhelming probability.
+        packet.auth_tag = os.urandom(8)
+        self.forged_sent += 1
+        self.send(packet)

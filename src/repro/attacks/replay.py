@@ -1,0 +1,95 @@
+"""Replay attacks: local replay and wormhole construction.
+
+Local replay (paper Section 2.2.2): an attacker captures a beacon signal
+from a *benign* beacon and re-emits it. The packet's authentication is
+intact (the attacker did not modify it), but the signal now physically
+leaves from the attacker's position — corrupting the ranging measurement —
+and arrives at least one packet transmission time late, which is what the
+RTT detector exploits.
+
+Wormholes (Figure 1c) are a property of the field, not of a node; the
+:func:`build_wormhole` helper installs the tunnel used in the paper's
+simulation (between (100,100) and (800,700)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.messages import BeaconPacket
+from repro.sim.network import Network, WormholeLink
+from repro.sim.node import Node
+from repro.sim.radio import Reception
+from repro.sim.timing import packet_transmission_cycles
+from repro.utils.geometry import Point
+
+
+class LocalReplayAttacker(Node):
+    """Captures beacon packets off the air and replays them.
+
+    The attacker is a plain radio node — no keys needed, because it replays
+    packets verbatim (valid tags included).
+    """
+
+    def __init__(self, node_id: int, position: Point) -> None:
+        super().__init__(node_id, position, is_beacon=False)
+        self.captured: List[BeaconPacket] = []
+        self.replays_sent = 0
+        self.on(BeaconPacket, type(self)._capture)
+
+    def _capture(self, reception: Reception) -> None:
+        """Stash every overheard beacon packet for later replay."""
+        self.captured.append(reception.packet)
+
+    def replay(
+        self,
+        packet: BeaconPacket,
+        *,
+        extra_delay_cycles: Optional[float] = None,
+    ) -> None:
+        """Re-emit ``packet`` toward its original destination.
+
+        Args:
+            packet: a captured (still-authenticated) beacon packet.
+            extra_delay_cycles: replay delay. Defaults to the physical
+                minimum — one full packet transmission time (Section 2.3's
+                "the delay of replaying a signal between two neighbor nodes
+                is at least the transmission time of one entire packet").
+        """
+        if self.network is None:
+            raise SimulationError("replay attacker is not attached to a network")
+        if extra_delay_cycles is None:
+            extra_delay_cycles = packet_transmission_cycles(packet.size_bits)
+        self.replays_sent += 1
+        self.network.unicast(
+            self,
+            packet,
+            tx_origin=self.position,
+            replayed_by=self.node_id,
+            extra_delay_cycles=extra_delay_cycles,
+        )
+
+    def replay_all(self) -> int:
+        """Replay every captured packet once; returns the count."""
+        for packet in list(self.captured):
+            self.replay(packet)
+        return len(self.captured)
+
+
+def build_wormhole(
+    network: Network,
+    end_a: Point,
+    end_b: Point,
+    *,
+    latency_cycles: float = 0.0,
+) -> WormholeLink:
+    """Install a wormhole tunnel between two field locations.
+
+    Returns the link so tests can assert against it. The paper's simulated
+    tunnel "forwards every message received at one side immediately to the
+    other side" — i.e. ``latency_cycles = 0``.
+    """
+    link = WormholeLink(end_a=end_a, end_b=end_b, latency_cycles=latency_cycles)
+    network.add_wormhole(link)
+    return link

@@ -1,0 +1,113 @@
+"""The compromised beacon's mixed strategy.
+
+Section 2.3 models a malicious beacon node that, per requesting node:
+
+- with probability ``p_n`` answers **normally** (no impact, undetectable);
+- otherwise sends a malicious signal, but masks it:
+
+  - with probability ``p_w`` it makes the signal look **wormhole-replayed**
+    (so honest replay filters discard it — no alert, but also no victim);
+  - else with probability ``p_l`` it makes the signal look **locally
+    replayed** (RTT too large — again discarded);
+  - else the malicious signal goes through: a non-beacon victim is misled,
+    and a detecting node would raise an alert.
+
+The probability that a requester both receives and *accepts* a malicious
+signal is ``P' = (1 - p_n)(1 - p_w)(1 - p_l)``.
+
+The paper notes the attacker's best strategy is to behave **consistently
+per requester** ("the malicious beacon node u behaves in the same way for
+the same requesting node"), so decisions are cached per requester id.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.sim.rng import derive_seed
+from repro.utils.validation import check_probability
+
+
+class ResponseKind(enum.Enum):
+    """What a malicious beacon does with one requester, forever."""
+
+    NORMAL = "normal"
+    MASK_WORMHOLE = "mask_wormhole"
+    MASK_LOCAL_REPLAY = "mask_local_replay"
+    MALICIOUS = "malicious"
+
+
+@dataclass
+class AdversaryStrategy:
+    """Frozen per-beacon strategy ``(p_n, p_w, p_l)`` with cached decisions.
+
+    Attributes:
+        p_n: fraction of requesters answered normally.
+        p_w: fraction (of the rest) deflected as wormhole replays.
+        p_l: fraction (of the remainder) deflected as local replays.
+        location_lie_ft: how far the declared location is shifted when the
+            beacon actually attacks (must exceed the honest error bound to
+            mislead localization).
+        ranging_bias_ft: signal-manipulation bias added when attacking.
+        seed: determinism anchor for the per-requester coin flips.
+    """
+
+    p_n: float = 0.0
+    p_w: float = 0.0
+    p_l: float = 0.0
+    location_lie_ft: float = 100.0
+    ranging_bias_ft: float = 0.0
+    seed: int = 0
+    _decisions: Dict[int, ResponseKind] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.p_n, "p_n")
+        check_probability(self.p_w, "p_w")
+        check_probability(self.p_l, "p_l")
+
+    # ------------------------------------------------------------------
+    # Closed forms (match repro.core.analysis)
+    # ------------------------------------------------------------------
+    @property
+    def p_effective(self) -> float:
+        """``P'``: probability a requester accepts a malicious signal."""
+        return (1.0 - self.p_n) * (1.0 - self.p_w) * (1.0 - self.p_l)
+
+    @classmethod
+    def with_effective(cls, p_prime: float, **kwargs) -> "AdversaryStrategy":
+        """Build a strategy achieving a target ``P'``.
+
+        Splits the complementary mass evenly between the three masks: a
+        convenient canonical parameterization used by the experiments, which
+        only depend on ``P'`` (the analysis shows the three probabilities
+        enter only through their product).
+        """
+        check_probability(p_prime, "p_prime")
+        share = 1.0 - p_prime ** (1.0 / 3.0)
+        return cls(p_n=share, p_w=share, p_l=share, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Per-requester decision
+    # ------------------------------------------------------------------
+    def decide(self, requester_id: int) -> ResponseKind:
+        """The (sticky) behaviour toward ``requester_id``."""
+        decision = self._decisions.get(requester_id)
+        if decision is None:
+            rng = random.Random(derive_seed(self.seed, f"req:{requester_id}"))
+            if rng.random() < self.p_n:
+                decision = ResponseKind.NORMAL
+            elif rng.random() < self.p_w:
+                decision = ResponseKind.MASK_WORMHOLE
+            elif rng.random() < self.p_l:
+                decision = ResponseKind.MASK_LOCAL_REPLAY
+            else:
+                decision = ResponseKind.MALICIOUS
+            self._decisions[requester_id] = decision
+        return decision
+
+    def decisions_made(self) -> Dict[int, ResponseKind]:
+        """Copy of the sticky decisions so far (for metrics/tests)."""
+        return dict(self._decisions)

@@ -1,0 +1,80 @@
+"""The paper's primary contribution: detecting and revoking malicious beacons.
+
+- :mod:`repro.core.signal_detector` — the measured-vs-calculated distance
+  consistency check (Section 2.1);
+- :mod:`repro.core.rtt` — RTT calibration and the local-replay detector
+  (Section 2.2.2, Figure 4);
+- :mod:`repro.core.replay_filter` — the full filtering cascade a detecting
+  node runs before raising an alert (Section 2.2), also used by non-beacon
+  nodes to decide whether to accept a beacon signal;
+- :mod:`repro.core.detecting` — the detecting-beacon role that probes its
+  neighbours under detecting IDs;
+- :mod:`repro.core.revocation` — the base station's alert/report counters
+  and revocation decision (Section 3.1);
+- :mod:`repro.core.analysis` — every closed form behind Figures 5-10;
+- :mod:`repro.core.pipeline` — the end-to-end secure-localization run that
+  reproduces the paper's Section 4 simulation.
+"""
+
+from repro.core.signal_detector import MaliciousSignalDetector, SignalVerdict
+from repro.core.angle_detector import (
+    AngleConsistencyDetector,
+    CombinedConsistencyDetector,
+    aoa_triangulate,
+)
+from repro.core.rtt import (
+    LocalReplayDetector,
+    RttCalibration,
+    RttCalibrationTable,
+    calibrate_rtt,
+)
+from repro.core.promoted import (
+    GenerationAwareDetector,
+    PromotedAnchor,
+    uncertainty_for_generation,
+)
+from repro.core.notices import (
+    NoticeAwareAgent,
+    NoticeDistributor,
+    NoticeRelay,
+)
+from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
+from repro.core.detecting import DetectingBeacon
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.core.distributed import (
+    DistributedConfig,
+    DistributedRevocationProtocol,
+    RevocationLedger,
+)
+from repro.core import analysis
+from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
+
+__all__ = [
+    "MaliciousSignalDetector",
+    "SignalVerdict",
+    "AngleConsistencyDetector",
+    "CombinedConsistencyDetector",
+    "aoa_triangulate",
+    "RttCalibration",
+    "RttCalibrationTable",
+    "LocalReplayDetector",
+    "calibrate_rtt",
+    "GenerationAwareDetector",
+    "PromotedAnchor",
+    "uncertainty_for_generation",
+    "NoticeAwareAgent",
+    "NoticeDistributor",
+    "NoticeRelay",
+    "FilterDecision",
+    "ReplayFilterCascade",
+    "DetectingBeacon",
+    "BaseStation",
+    "RevocationConfig",
+    "DistributedConfig",
+    "DistributedRevocationProtocol",
+    "RevocationLedger",
+    "analysis",
+    "PipelineConfig",
+    "PipelineResult",
+    "SecureLocalizationPipeline",
+]

@@ -1,0 +1,195 @@
+"""Angle-of-arrival consistency detection (paper §2.3 extension).
+
+Section 2.3 notes the distance-based detector "can be easily revised to
+deal with location estimation based on other measurements" such as AoA.
+This module is that revision:
+
+- :class:`AngleConsistencyDetector` compares the bearing *measured* from a
+  beacon signal (AoA hardware) with the bearing *calculated* from the
+  receiver's own location to the location declared in the beacon packet.
+  A benign beacon's discrepancy is bounded by the AoA error; beyond that,
+  the signal is malicious.
+- :func:`aoa_triangulate` is the matching localization solver: a node with
+  two or more bearings to (declared) beacon locations solves the linear
+  least-squares intersection of the bearing rays.
+
+The two detectors are complementary: a location lie *along* the true
+bearing ray preserves the angle but not the distance; a lie at the true
+range but off-ray preserves the distance but not the angle. The combined
+check (:class:`CombinedConsistencyDetector`) closes both gaps, leaving
+only lies consistent with *both* measurements — which, by the paper's §2.1
+equivalence argument, are exactly the harmless ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.signal_detector import MaliciousSignalDetector, SignalCheck
+from repro.errors import InsufficientReferencesError, SolverError
+from repro.localization.references import LocationReference
+from repro.utils.geometry import Point
+from repro.utils.validation import check_non_negative
+
+
+def wrap_angle(angle_rad: float) -> float:
+    """Normalize an angle into (-pi, pi]."""
+    wrapped = math.fmod(angle_rad, 2.0 * math.pi)
+    if wrapped <= -math.pi:
+        wrapped += 2.0 * math.pi
+    elif wrapped > math.pi:
+        wrapped -= 2.0 * math.pi
+    return wrapped
+
+
+def angular_difference(a_rad: float, b_rad: float) -> float:
+    """The magnitude of the smallest rotation between two bearings."""
+    return abs(wrap_angle(a_rad - b_rad))
+
+
+@dataclass(frozen=True)
+class AngleCheck:
+    """Diagnostics of one bearing-consistency check."""
+
+    is_malicious: bool
+    calculated_bearing_rad: float
+    measured_bearing_rad: float
+    discrepancy_rad: float
+    threshold_rad: float
+
+
+@dataclass(frozen=True)
+class AngleConsistencyDetector:
+    """The AoA analogue of the §2.1 distance-consistency detector.
+
+    Args:
+        max_error_rad: maximum bearing measurement error of the AoA
+            hardware (the decision threshold).
+    """
+
+    max_error_rad: float = math.radians(5.0)
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.max_error_rad, "max_error_rad")
+
+    def check(
+        self,
+        own_location: Point,
+        declared_location: Point,
+        measured_bearing_rad: float,
+    ) -> AngleCheck:
+        """Compare the measured bearing with the declared-location bearing."""
+        calculated = math.atan2(
+            declared_location.y - own_location.y,
+            declared_location.x - own_location.x,
+        )
+        discrepancy = angular_difference(calculated, measured_bearing_rad)
+        return AngleCheck(
+            is_malicious=discrepancy > self.max_error_rad,
+            calculated_bearing_rad=calculated,
+            measured_bearing_rad=wrap_angle(measured_bearing_rad),
+            discrepancy_rad=discrepancy,
+            threshold_rad=self.max_error_rad,
+        )
+
+    def is_malicious(
+        self,
+        own_location: Point,
+        declared_location: Point,
+        measured_bearing_rad: float,
+    ) -> bool:
+        """Boolean shortcut for :meth:`check`."""
+        return self.check(
+            own_location, declared_location, measured_bearing_rad
+        ).is_malicious
+
+
+@dataclass(frozen=True)
+class CombinedCheck:
+    """Outcome of running both the distance and the angle checks."""
+
+    distance: SignalCheck
+    angle: AngleCheck
+
+    @property
+    def is_malicious(self) -> bool:
+        """Flagged when either modality is inconsistent."""
+        return self.distance.is_malicious or self.angle.is_malicious
+
+
+@dataclass(frozen=True)
+class CombinedConsistencyDetector:
+    """Distance + bearing consistency, flagged when either check fails."""
+
+    distance_detector: MaliciousSignalDetector
+    angle_detector: AngleConsistencyDetector
+
+    def check(
+        self,
+        own_location: Point,
+        declared_location: Point,
+        measured_distance_ft: float,
+        measured_bearing_rad: float,
+    ) -> CombinedCheck:
+        """Run both checks and combine."""
+        return CombinedCheck(
+            distance=self.distance_detector.check(
+                own_location, declared_location, measured_distance_ft
+            ),
+            angle=self.angle_detector.check(
+                own_location, declared_location, measured_bearing_rad
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# AoA localization (the substrate the extension protects)
+# ----------------------------------------------------------------------
+#: Minimum bearings for a 2-D fix.
+MIN_BEARINGS = 2
+
+
+def aoa_triangulate(references: Sequence[LocationReference]) -> Point:
+    """Solve a node's position from bearings to declared beacon locations.
+
+    Each reference must carry ``measured_angle_rad`` — the bearing from the
+    (unknown) node position toward the beacon. The node lies on the line
+    through the beacon with that direction; two or more non-parallel
+    bearings intersect in the least-squares sense:
+
+        sin(theta_i) * (b_ix - x) - cos(theta_i) * (b_iy - y) = 0
+
+    Raises:
+        InsufficientReferencesError: fewer than two references with
+            bearings, or (numerically) parallel bearing lines.
+        SolverError: degenerate solve.
+    """
+    usable = [r for r in references if r.measured_angle_rad is not None]
+    if len(usable) < MIN_BEARINGS:
+        raise InsufficientReferencesError(
+            f"AoA triangulation needs >= {MIN_BEARINGS} bearings, "
+            f"got {len(usable)}"
+        )
+    rows = []
+    rhs = []
+    for ref in usable:
+        theta = ref.measured_angle_rad
+        s, c = math.sin(theta), math.cos(theta)
+        # s*(bx - x) - c*(by - y) = 0  =>  -s*x + c*y = c*by - s*bx... keep
+        # signs straight by moving knowns to the right-hand side:
+        rows.append([s, -c])
+        rhs.append(s * ref.beacon_location.x - c * ref.beacon_location.y)
+    a = np.array(rows, dtype=float)
+    b = np.array(rhs, dtype=float)
+    if np.linalg.matrix_rank(a) < 2:
+        raise InsufficientReferencesError(
+            "bearing lines are parallel; intersection is ambiguous"
+        )
+    solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+    if not np.all(np.isfinite(solution)):
+        raise SolverError("AoA triangulation produced a non-finite position")
+    return Point(float(solution[0]), float(solution[1]))

@@ -1,0 +1,186 @@
+"""The detecting-beacon role (paper Sections 2.1-2.2).
+
+A :class:`DetectingBeacon` is a benign beacon node that, besides serving
+beacon requests, probes neighbouring beacons under its **detecting IDs** —
+extra non-beacon identities whose requests a malicious beacon cannot tell
+apart from genuine localization traffic. For each probe reply it:
+
+1. verifies the packet's authentication;
+2. runs the Section 2.1 distance-consistency check (it knows its own
+   location exactly);
+3. on inconsistency, runs the Section 2.2 replay-filter cascade;
+4. if the malicious signal survives the filters, reports an alert
+   ``(own primary id, target id)`` to the base station, authenticated with
+   its base-station key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
+from repro.core.revocation import BaseStation
+from repro.core.signal_detector import MaliciousSignalDetector
+from repro.crypto.manager import KeyManager
+from repro.localization.beacon import BeaconService
+from repro.sim.messages import BeaconPacket, BeaconRequest
+from repro.sim.radio import Reception
+from repro.sim.reliable import ReliableChannel
+from repro.utils.geometry import Point
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """Result of one detecting probe (kept for metrics/tests)."""
+
+    detecting_id: int
+    target_id: int
+    decision: str  # "consistent" | "replayed_wormhole" | "replayed_local" | "alert"
+
+
+class DetectingBeacon(BeaconService):
+    """A benign beacon node with the full detection suite installed.
+
+    Args:
+        node_id: primary beacon identity.
+        position: physical (= declared) location.
+        key_manager: for packet auth and the base-station alert MAC.
+        signal_detector: the distance-consistency check.
+        filter_cascade: the replay filters (wormhole + RTT).
+        base_station: where surviving alerts are reported.
+        detecting_ids: this beacon's extra identities (allocate them via
+            :meth:`KeyManager.allocate_detecting_ids` and register network
+            aliases before probing).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        position: Point,
+        key_manager: KeyManager,
+        *,
+        signal_detector: MaliciousSignalDetector,
+        filter_cascade: ReplayFilterCascade,
+        base_station: Optional[BaseStation] = None,
+        detecting_ids: Optional[List[int]] = None,
+        alert_channel: Optional[ReliableChannel] = None,
+        probe_power_randomization_ft: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, position, key_manager)
+        self.signal_detector = signal_detector
+        self.filter_cascade = filter_cascade
+        self.base_station = base_station
+        self.alert_channel = alert_channel
+        self.detecting_ids = list(detecting_ids or [])
+        #: §2.1 countermeasure: "adjust the transmission power in RSSI
+        #: technique" — each probe's ranging signature is biased by a
+        #: uniform draw in ±this many feet, so an inferring attacker
+        #: cannot match the probe's measured distance to a beacon ring.
+        self.probe_power_randomization_ft = probe_power_randomization_ft
+        self.probe_outcomes: List[ProbeOutcome] = []
+        self.alerted_targets: set[int] = set()
+        self._next_nonce = 1
+        self.on(BeaconPacket, type(self)._handle_probe_reply)
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def probe(self, target_id: int, detecting_id: int) -> None:
+        """Request a beacon signal from ``target_id`` under a detecting ID."""
+        if detecting_id not in self.detecting_ids:
+            raise ValueError(
+                f"{detecting_id} is not one of beacon {self.node_id}'s detecting IDs"
+            )
+        request = BeaconRequest(
+            src_id=detecting_id, dst_id=target_id, nonce=self._next_nonce
+        )
+        self._next_nonce += 1
+        bias = 0.0
+        if self.probe_power_randomization_ft > 0.0 and self.network is not None:
+            bias = self.network.rngs.stream("probe-power").uniform(
+                -self.probe_power_randomization_ft,
+                self.probe_power_randomization_ft,
+            )
+        self.send(self.key_manager.sign(request), ranging_bias_ft=bias)
+
+    def probe_all_ids(self, target_id: int) -> None:
+        """Probe ``target_id`` once per detecting ID (the paper's m probes)."""
+        for detecting_id in self.detecting_ids:
+            self.probe(target_id, detecting_id)
+
+    # ------------------------------------------------------------------
+    # Reply handling
+    # ------------------------------------------------------------------
+    def _handle_probe_reply(self, reception: Reception) -> None:
+        packet = reception.packet
+        if packet.dst_id not in self.detecting_ids:
+            return  # a beacon packet for someone else (or our primary id)
+        if not self.key_manager.verify(packet):
+            return
+
+        check = self.signal_detector.check(
+            self.position, packet.claimed_point, reception.measured_distance_ft
+        )
+        if not check.is_malicious:
+            self._record(packet.dst_id, packet.src_id, "consistent")
+            return
+
+        # Malicious signal: make sure it is not a replay before indicting.
+        rtt = self._observe_rtt(reception)
+        decision = self.filter_cascade.evaluate(
+            reception, self.position, rtt, receiver_knows_location=True
+        )
+        if decision is FilterDecision.REPLAYED_WORMHOLE:
+            self._record(packet.dst_id, packet.src_id, "replayed_wormhole")
+            return
+        if decision is FilterDecision.REPLAYED_LOCAL:
+            self._record(packet.dst_id, packet.src_id, "replayed_local")
+            return
+
+        self._record(packet.dst_id, packet.src_id, "alert")
+        self.report_alert(packet.src_id, time=reception.arrival_time)
+
+    def _observe_rtt(self, reception: Reception) -> float:
+        """Measure the register-level RTT of this exchange."""
+        if self.network is None:
+            return 0.0
+        tx = reception.transmission
+        return self.network.measure_rtt(self, tx.tx_origin, tx.extra_delay_cycles)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report_alert(self, target_id: int, *, time: float = 0.0) -> bool:
+        """Send an authenticated alert about ``target_id`` to the base station.
+
+        A detecting node only reports a given target once (additional
+        alerts from the same detector carry no extra information and would
+        just burn its report quota). When an ``alert_channel`` is
+        configured, the alert rides the lossy link with retransmission —
+        the paper's §3.2 fault-tolerance assumption made concrete.
+        """
+        if self.base_station is None:
+            return False
+        if target_id in self.alerted_targets:
+            return False
+        self.alerted_targets.add(target_id)
+        payload = BaseStation.alert_payload(self.node_id, target_id)
+        tag = self.key_manager.sign_alert_payload(self.node_id, payload)
+        if self.alert_channel is None:
+            return self.base_station.submit_alert(
+                self.node_id, target_id, tag=tag, time=time
+            )
+        report = self.alert_channel.send(
+            lambda: self.base_station.submit_alert(
+                self.node_id, target_id, tag=tag, time=time
+            )
+        )
+        return report.delivered
+
+    def _record(self, detecting_id: int, target_id: int, decision: str) -> None:
+        self.probe_outcomes.append(
+            ProbeOutcome(
+                detecting_id=detecting_id, target_id=target_id, decision=decision
+            )
+        )

@@ -1,0 +1,125 @@
+"""Detection with promoted beacons (paper §2.3 open problem).
+
+Section 2.3: "a non-beacon node may become a beacon node to supply
+location references once it discovers its own location. Localization error
+may accumulate ... However, there are still constraints between estimated
+measurements and calculated measurements ... we can still apply the
+proposed detector to catch possible malicious beacon nodes, though the
+specific solutions need further investigation."
+
+This module is one such solution. A *promoted* anchor's declared location
+carries estimation error, so the plain §2.1 test (threshold = ranging
+error bound) would flag honest promoted anchors. The fix is a
+**generation-aware threshold**: each promotion round adds at most one
+ranging-error bound of location uncertainty (triangle inequality on the
+multilateration residual), so the consistency bound between a detector of
+generation ``g_d`` and a target of generation ``g_t`` is
+
+    threshold = e * (1 + g_d + g_t)
+
+where ``e`` is the per-measurement error bound and GPS beacons have
+generation 0. A lie must now exceed the *combined* uncertainty to be
+detectable — the quantitative version of the paper's "error accumulates"
+warning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.signal_detector import SignalCheck, SignalVerdict
+from repro.utils.geometry import Point, distance
+from repro.utils.validation import check_int_in_range, check_non_negative
+
+
+def uncertainty_for_generation(generation: int, base_error_ft: float) -> float:
+    """Worst-case location uncertainty after ``generation`` promotions.
+
+    Generation 0 anchors (GPS / configured beacons) are exact; each
+    promotion round multilaterates from the previous round's anchors, so
+    the declared-location error grows by at most one ranging-error bound
+    per round (good-geometry assumption; the residual gate in
+    :func:`repro.localization.atomic.iterative_multilateration` enforces
+    it in practice).
+    """
+    check_int_in_range(generation, "generation", 0)
+    check_non_negative(base_error_ft, "base_error_ft")
+    return generation * base_error_ft
+
+
+@dataclass(frozen=True)
+class PromotedAnchor:
+    """An anchor identity with its promotion pedigree.
+
+    Attributes:
+        anchor_id: node identity.
+        declared_location: the location it advertises.
+        generation: 0 for real beacons; g for nodes promoted in round g.
+    """
+
+    anchor_id: int
+    declared_location: Point
+    generation: int = 0
+
+    def uncertainty_ft(self, base_error_ft: float) -> float:
+        """This anchor's worst-case declared-location error."""
+        return uncertainty_for_generation(self.generation, base_error_ft)
+
+
+@dataclass(frozen=True)
+class GenerationAwareDetector:
+    """The §2.1 consistency check with promotion-aware thresholds.
+
+    Args:
+        max_error_ft: the per-measurement ranging error bound ``e``.
+    """
+
+    max_error_ft: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.max_error_ft, "max_error_ft")
+
+    def threshold_ft(self, detector: PromotedAnchor, target: PromotedAnchor) -> float:
+        """The widened consistency bound for this detector/target pair."""
+        return (
+            self.max_error_ft
+            + detector.uncertainty_ft(self.max_error_ft)
+            + target.uncertainty_ft(self.max_error_ft)
+        )
+
+    def check(
+        self,
+        detector: PromotedAnchor,
+        target: PromotedAnchor,
+        measured_distance_ft: float,
+    ) -> SignalCheck:
+        """Consistency check between two (possibly promoted) anchors."""
+        calculated = distance(detector.declared_location, target.declared_location)
+        threshold = self.threshold_ft(detector, target)
+        discrepancy = abs(calculated - measured_distance_ft)
+        verdict = (
+            SignalVerdict.MALICIOUS
+            if discrepancy > threshold
+            else SignalVerdict.CONSISTENT
+        )
+        return SignalCheck(
+            verdict=verdict,
+            calculated_distance_ft=calculated,
+            measured_distance_ft=measured_distance_ft,
+            discrepancy_ft=discrepancy,
+            threshold_ft=threshold,
+        )
+
+    def minimum_detectable_lie_ft(
+        self, detector: PromotedAnchor, target: PromotedAnchor
+    ) -> float:
+        """Smallest location lie guaranteed to be flagged by this pair.
+
+        A lie of L feet shifts the calculated distance by at most L; noise
+        can mask up to one ``max_error_ft``; honest promotion uncertainty
+        widens the threshold. Lies beyond
+        ``threshold + max_error`` always trip the check — the security
+        floor that *degrades with generation*, quantifying the paper's
+        error-accumulation warning.
+        """
+        return self.threshold_ft(detector, target) + self.max_error_ft

@@ -1,0 +1,202 @@
+"""Base-station revocation of malicious beacon nodes (paper Section 3.1).
+
+The base station keeps, per beacon node:
+
+- an **alert counter** — how many accepted alerts name it as target
+  (its suspiciousness);
+- a **report counter** — how many of its own alerts were accepted.
+
+On each alert ``(detector, target)``:
+
+1. If the detector's report counter already *exceeds* ``tau_report``, or
+   the target is already revoked, the alert is ignored.
+2. Otherwise both counters increment.
+3. If the target's alert counter now *exceeds* ``tau_alert``, the target is
+   revoked.
+
+Note the two asymmetries the paper spells out: a **revoked detector's**
+alerts still count (so colluders cannot silence a benign detector by
+getting it revoked first), and the per-detector quota caps how much damage
+colluding reporters can do (``N_a * (tau_report + 1)`` accepted alerts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.crypto.manager import KeyManager
+from repro.errors import RevocationError
+from repro.sim.trace import TraceRecorder
+from repro.utils.validation import check_int_in_range
+
+
+@dataclass(frozen=True)
+class RevocationConfig:
+    """The two thresholds (paper defaults reconstructed as 2/2).
+
+    Attributes:
+        tau_report: per-detector accepted-alert quota (the paper's first
+            threshold); a detector gets ``tau_report + 1`` alerts through.
+        tau_alert: suspiciousness level that triggers revocation; a target
+            is revoked at its ``tau_alert + 1``-th accepted alert.
+    """
+
+    tau_report: int = 2
+    tau_alert: int = 2
+
+    def __post_init__(self) -> None:
+        check_int_in_range(self.tau_report, "tau_report", 0)
+        check_int_in_range(self.tau_alert, "tau_alert", 0)
+
+
+@dataclass
+class AlertRecord:
+    """One submitted alert and its fate (for audit/tests)."""
+
+    detector_id: int
+    target_id: int
+    accepted: bool
+    reason: str
+    time: float = 0.0
+
+
+class BaseStation:
+    """Collects alerts, scores suspiciousness, revokes beacons.
+
+    Args:
+        key_manager: verifies the per-beacon base-station MAC on alerts.
+        config: the two thresholds.
+        on_revoke: callback invoked with the revoked beacon id (the
+            pipeline uses it to propagate revocation notices).
+        trace: optional structured trace.
+    """
+
+    def __init__(
+        self,
+        key_manager: KeyManager,
+        config: Optional[RevocationConfig] = None,
+        *,
+        on_revoke: Optional[Callable[[int], None]] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.key_manager = key_manager
+        self.config = config if config is not None else RevocationConfig()
+        self.alert_counters: Dict[int, int] = {}
+        self.report_counters: Dict[int, int] = {}
+        self.revoked: Set[int] = set()
+        self.log: List[AlertRecord] = []
+        self._on_revoke = on_revoke
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+    # ------------------------------------------------------------------
+    # Alert intake
+    # ------------------------------------------------------------------
+    def submit_alert(
+        self,
+        detector_id: int,
+        target_id: int,
+        *,
+        tag: Optional[bytes] = None,
+        verify: bool = True,
+        time: float = 0.0,
+    ) -> bool:
+        """Process one alert; returns True when it was accepted.
+
+        Args:
+            detector_id: the reporting beacon's primary identity.
+            target_id: the accused beacon.
+            tag: MAC over the alert payload under the detector's
+                base-station key.
+            verify: set False only in closed-world experiments where the
+                transport is already authenticated.
+            time: simulation time for the audit log.
+        """
+        if verify:
+            payload = self.alert_payload(detector_id, target_id)
+            if tag is None or not self.key_manager.verify_alert_payload(
+                detector_id, payload, tag
+            ):
+                self._log(detector_id, target_id, False, "bad-auth", time)
+                return False
+
+        if self.report_counters.get(detector_id, 0) > self.config.tau_report:
+            self._log(detector_id, target_id, False, "quota-exceeded", time)
+            return False
+        if target_id in self.revoked:
+            self._log(detector_id, target_id, False, "target-already-revoked", time)
+            return False
+
+        self.alert_counters[target_id] = self.alert_counters.get(target_id, 0) + 1
+        self.report_counters[detector_id] = (
+            self.report_counters.get(detector_id, 0) + 1
+        )
+        self._log(detector_id, target_id, True, "accepted", time)
+
+        if self.alert_counters[target_id] > self.config.tau_alert:
+            self._revoke(target_id, time)
+        return True
+
+    @staticmethod
+    def alert_payload(detector_id: int, target_id: int) -> bytes:
+        """Canonical bytes a detecting node MACs when reporting."""
+        return b"alert:%d:%d" % (detector_id, target_id)
+
+    # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+    def _revoke(self, target_id: int, time: float) -> None:
+        if target_id in self.revoked:
+            raise RevocationError(f"beacon {target_id} already revoked")
+        self.revoked.add(target_id)
+        self.trace.record(time, "revoke", target=target_id)
+        if self._on_revoke is not None:
+            self._on_revoke(target_id)
+
+    def is_revoked(self, beacon_id: int) -> bool:
+        """True when ``beacon_id`` has been revoked."""
+        return beacon_id in self.revoked
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def suspiciousness(self, beacon_id: int) -> int:
+        """The beacon's alert-counter value."""
+        return self.alert_counters.get(beacon_id, 0)
+
+    def accepted_alert_count(self) -> int:
+        """Total alerts accepted so far."""
+        return sum(1 for r in self.log if r.accepted)
+
+    def detection_rate(self, malicious_ids: Set[int]) -> float:
+        """Fraction of known-malicious beacons revoked (evaluation metric)."""
+        if not malicious_ids:
+            return 0.0
+        return len(self.revoked & malicious_ids) / len(malicious_ids)
+
+    def false_positive_rate(self, benign_ids: Set[int]) -> float:
+        """Fraction of benign beacons incorrectly revoked."""
+        if not benign_ids:
+            return 0.0
+        return len(self.revoked & benign_ids) / len(benign_ids)
+
+    def _log(
+        self, detector_id: int, target_id: int, accepted: bool, reason: str, time: float
+    ) -> None:
+        self.log.append(
+            AlertRecord(
+                detector_id=detector_id,
+                target_id=target_id,
+                accepted=accepted,
+                reason=reason,
+                time=time,
+            )
+        )
+        self.trace.record(
+            time,
+            "alert",
+            detector=detector_id,
+            target=target_id,
+            accepted=accepted,
+            reason=reason,
+        )

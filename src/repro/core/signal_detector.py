@@ -1,0 +1,102 @@
+"""Detecting malicious beacon signals (paper Section 2.1).
+
+The check: a detecting node knows its own location, so it can *calculate*
+its distance to the location declared in a beacon packet and compare it
+with the distance *measured* from the beacon signal. Benign signals agree
+to within the maximum measurement error; anything beyond that bound is a
+malicious beacon signal:
+
+    sqrt((x - x')^2 + (y - y')^2) - measured  >  maximum measurement error
+    (in absolute value)
+
+The paper's key observation (end of Section 2.1): a signal that *passes*
+this test is harmless even if it came from a compromised node, because it
+is indistinguishable from a benign beacon at the declared location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.utils.geometry import Point, distance
+from repro.utils.validation import check_non_negative
+
+
+class SignalVerdict(enum.Enum):
+    """Outcome of the distance-consistency check."""
+
+    CONSISTENT = "consistent"
+    MALICIOUS = "malicious"
+
+
+@dataclass(frozen=True)
+class SignalCheck:
+    """Full diagnostics of one consistency check.
+
+    Attributes:
+        verdict: consistent or malicious.
+        calculated_distance_ft: own-location to declared-location distance.
+        measured_distance_ft: the ranging estimate from the signal.
+        discrepancy_ft: |calculated - measured|.
+        threshold_ft: the maximum-measurement-error bound used.
+    """
+
+    verdict: SignalVerdict
+    calculated_distance_ft: float
+    measured_distance_ft: float
+    discrepancy_ft: float
+    threshold_ft: float
+
+    @property
+    def is_malicious(self) -> bool:
+        """Convenience flag."""
+        return self.verdict is SignalVerdict.MALICIOUS
+
+
+@dataclass(frozen=True)
+class MaliciousSignalDetector:
+    """The Section 2.1 detector, parameterized by the error bound.
+
+    Args:
+        max_error_ft: the maximum distance-measurement error of the ranging
+            technique in use (paper Section 4: 10 ft for RSSI).
+    """
+
+    max_error_ft: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.max_error_ft, "max_error_ft")
+
+    def check(
+        self,
+        own_location: Point,
+        declared_location: Point,
+        measured_distance_ft: float,
+    ) -> SignalCheck:
+        """Run the consistency check and return full diagnostics."""
+        calculated = distance(own_location, declared_location)
+        discrepancy = abs(calculated - measured_distance_ft)
+        verdict = (
+            SignalVerdict.MALICIOUS
+            if discrepancy > self.max_error_ft
+            else SignalVerdict.CONSISTENT
+        )
+        return SignalCheck(
+            verdict=verdict,
+            calculated_distance_ft=calculated,
+            measured_distance_ft=measured_distance_ft,
+            discrepancy_ft=discrepancy,
+            threshold_ft=self.max_error_ft,
+        )
+
+    def is_malicious(
+        self,
+        own_location: Point,
+        declared_location: Point,
+        measured_distance_ft: float,
+    ) -> bool:
+        """Boolean shortcut for :meth:`check`."""
+        return self.check(
+            own_location, declared_location, measured_distance_ft
+        ).is_malicious

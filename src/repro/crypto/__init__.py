@@ -1,0 +1,41 @@
+"""Key-management and packet-authentication substrate.
+
+The paper assumes (Section 2): "two communicating nodes share a unique
+pairwise key", established via random key predistribution, and every beacon
+packet is authenticated with that key. This package implements the
+predistribution schemes the paper cites — Eschenauer–Gligor's basic scheme,
+Chan–Perrig–Song's q-composite variant, and the Blom-matrix construction
+underlying Du et al. — plus the packet MAC layer and the detecting-ID key
+material of Section 2.1.
+"""
+
+from repro.crypto.mac import compute_tag, verify_tag
+from repro.crypto.predistribution import (
+    BlomScheme,
+    EschenauerGligorScheme,
+    KeyPredistributionScheme,
+    QCompositeScheme,
+)
+from repro.crypto.keyring import KeyRing
+from repro.crypto.manager import KeyManager
+from repro.crypto.mutesla import (
+    KeyChain,
+    MuTeslaBroadcaster,
+    MuTeslaTag,
+    MuTeslaVerifier,
+)
+
+__all__ = [
+    "compute_tag",
+    "verify_tag",
+    "KeyPredistributionScheme",
+    "EschenauerGligorScheme",
+    "QCompositeScheme",
+    "BlomScheme",
+    "KeyRing",
+    "KeyManager",
+    "KeyChain",
+    "MuTeslaBroadcaster",
+    "MuTeslaTag",
+    "MuTeslaVerifier",
+]

@@ -1,0 +1,66 @@
+"""Per-node view of key material: the :class:`KeyRing`.
+
+A node holds one ring per identity it owns — a beacon node with ``m``
+detecting IDs owns ``m + 1`` rings. The ring caches established pairwise
+keys so repeated exchanges with the same peer do not re-run agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.crypto.predistribution import KeyPredistributionScheme
+from repro.errors import KeyAgreementError
+
+
+class KeyRing:
+    """Key material owned by one identity.
+
+    Args:
+        owner_id: the identity this ring belongs to.
+        scheme: the predistribution scheme that issued the material.
+        base_station_key: the unique key shared with the base station
+            (paper Section 3.1: "each beacon node shares a unique random
+            key with the base station"); ``None`` for non-beacon identities.
+    """
+
+    def __init__(
+        self,
+        owner_id: int,
+        scheme: KeyPredistributionScheme,
+        *,
+        base_station_key: Optional[bytes] = None,
+    ) -> None:
+        self.owner_id = owner_id
+        self.scheme = scheme
+        self.base_station_key = base_station_key
+        self._cache: Dict[int, bytes] = {}
+        scheme.issue(owner_id)
+
+    def pairwise_key_with(self, peer_id: int) -> bytes:
+        """Establish (or recall) the pairwise key with ``peer_id``.
+
+        Raises:
+            KeyAgreementError: if the scheme cannot link the two identities.
+        """
+        key = self._cache.get(peer_id)
+        if key is None:
+            key = self.scheme.pairwise_key(self.owner_id, peer_id)
+            self._cache[peer_id] = key
+        return key
+
+    def can_communicate_with(self, peer_id: int) -> bool:
+        """True when a pairwise key with ``peer_id`` exists/can be derived."""
+        try:
+            self.pairwise_key_with(peer_id)
+        except KeyAgreementError:
+            return False
+        return True
+
+    def established_peers(self) -> List[int]:
+        """Peers with whom a key is already cached (sorted)."""
+        return sorted(self._cache)
+
+    def forget(self, peer_id: int) -> None:
+        """Drop the cached key with ``peer_id`` (e.g. after its revocation)."""
+        self._cache.pop(peer_id, None)

@@ -1,0 +1,35 @@
+"""Message authentication codes over simulated packets.
+
+Real HMAC-SHA256, truncated to the 8-byte tags typical of sensor-network
+protocols (TinySec and SPINS both use 4–8 byte MACs). Truncation length is
+a parameter; the detection logic never depends on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import AuthenticationError
+
+#: Tag length in bytes (TinySec-style truncated MAC).
+TAG_LENGTH = 8
+
+
+def compute_tag(key: bytes, message: bytes, *, length: int = TAG_LENGTH) -> bytes:
+    """HMAC-SHA256 over ``message``, truncated to ``length`` bytes."""
+    if not key:
+        raise AuthenticationError("cannot MAC with an empty key")
+    if length <= 0 or length > 32:
+        raise AuthenticationError(f"tag length must be in [1, 32], got {length}")
+    return hmac.new(key, message, hashlib.sha256).digest()[:length]
+
+
+def verify_tag(
+    key: bytes, message: bytes, tag: bytes, *, length: int = TAG_LENGTH
+) -> bool:
+    """Constant-time check that ``tag`` authenticates ``message`` under ``key``."""
+    if tag is None:
+        return False
+    expected = compute_tag(key, message, length=length)
+    return hmac.compare_digest(expected, tag)

@@ -1,0 +1,264 @@
+"""Random key predistribution schemes.
+
+Three classic constructions, each able to (a) issue per-node key material at
+deployment time and (b) derive a pairwise key for two nodes that share the
+right material:
+
+- :class:`EschenauerGligorScheme` — the basic random-subset scheme
+  (Eschenauer & Gligor, CCS 2002): each node stores a random ring of ``ring_size``
+  keys drawn from a pool of ``pool_size``; two nodes that share at least one
+  pool key derive a pairwise key from the shared keys.
+- :class:`QCompositeScheme` — Chan, Perrig & Song (S&P 2003): like the basic
+  scheme but requires at least ``q`` shared keys, hashing all of them.
+- :class:`BlomScheme` — the λ-secure symmetric-matrix construction that
+  underlies Du et al. (CCS 2003): *every* pair of nodes can compute a key,
+  and the scheme resists coalitions of up to λ compromised nodes.
+
+All schemes are deterministic given their RNG, so experiments reproduce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+from repro.errors import ConfigurationError, KeyAgreementError
+
+#: Prime modulus for Blom arithmetic (Mersenne prime 2^31 - 1).
+_BLOM_PRIME = 2_147_483_647
+
+
+def _hash_key(*parts: bytes) -> bytes:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(len(part).to_bytes(4, "big"))
+        digest.update(part)
+    return digest.digest()[:16]
+
+
+class KeyPredistributionScheme(ABC):
+    """Interface: issue node key material, then derive pairwise keys."""
+
+    @abstractmethod
+    def issue(self, node_id: int) -> object:
+        """Create (and remember) the key material for ``node_id``."""
+
+    @abstractmethod
+    def pairwise_key(self, id_a: int, id_b: int) -> bytes:
+        """Derive the pairwise key between two issued nodes.
+
+        Raises:
+            KeyAgreementError: when the two nodes cannot agree on a key
+                (e.g. disjoint key rings in the basic scheme).
+        """
+
+    def can_communicate(self, id_a: int, id_b: int) -> bool:
+        """True when :meth:`pairwise_key` would succeed."""
+        try:
+            self.pairwise_key(id_a, id_b)
+        except KeyAgreementError:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class _Ring:
+    """A node's random subset of pool-key indices."""
+
+    node_id: int
+    key_ids: FrozenSet[int]
+
+
+class EschenauerGligorScheme(KeyPredistributionScheme):
+    """The basic random key predistribution scheme.
+
+    Args:
+        pool_size: number of keys in the global pool.
+        ring_size: keys stored per node.
+        rng: deterministic source for pool generation and ring draws.
+    """
+
+    #: Minimum number of shared pool keys needed for agreement.
+    required_overlap = 1
+
+    def __init__(self, pool_size: int, ring_size: int, rng: random.Random) -> None:
+        if pool_size <= 0:
+            raise ConfigurationError(f"pool_size must be > 0, got {pool_size}")
+        if not 0 < ring_size <= pool_size:
+            raise ConfigurationError(
+                f"ring_size must be in (0, pool_size], got {ring_size}"
+            )
+        self.pool_size = pool_size
+        self.ring_size = ring_size
+        self._rng = rng
+        self._pool: List[bytes] = [
+            _hash_key(b"pool", rng.getrandbits(64).to_bytes(8, "big"))
+            for _ in range(pool_size)
+        ]
+        self._rings: Dict[int, _Ring] = {}
+
+    def issue(self, node_id: int) -> _Ring:
+        """Draw a random key ring for ``node_id`` (idempotent per id)."""
+        ring = self._rings.get(node_id)
+        if ring is None:
+            ids = frozenset(self._rng.sample(range(self.pool_size), self.ring_size))
+            ring = _Ring(node_id=node_id, key_ids=ids)
+            self._rings[node_id] = ring
+        return ring
+
+    def shared_key_ids(self, id_a: int, id_b: int) -> FrozenSet[int]:
+        """Pool-key indices both nodes hold."""
+        ring_a = self._require_ring(id_a)
+        ring_b = self._require_ring(id_b)
+        return ring_a.key_ids & ring_b.key_ids
+
+    def pairwise_key(self, id_a: int, id_b: int) -> bytes:
+        shared = self.shared_key_ids(id_a, id_b)
+        if len(shared) < self.required_overlap:
+            raise KeyAgreementError(
+                f"nodes {id_a} and {id_b} share {len(shared)} pool keys; "
+                f"need {self.required_overlap}"
+            )
+        lo, hi = sorted((id_a, id_b))
+        material = [self._pool[i] for i in sorted(shared)]
+        return _hash_key(
+            b"pairwise",
+            lo.to_bytes(8, "big"),
+            hi.to_bytes(8, "big"),
+            *material,
+        )
+
+    def _require_ring(self, node_id: int) -> _Ring:
+        ring = self._rings.get(node_id)
+        if ring is None:
+            raise KeyAgreementError(f"node {node_id} was never issued a key ring")
+        return ring
+
+    # ------------------------------------------------------------------
+    # Analytics (used by the key-distribution ablation bench)
+    # ------------------------------------------------------------------
+    def connectivity_probability(self) -> float:
+        """P[two random rings share >= 1 key] (the EG closed form)."""
+        p_disjoint = 1.0
+        for i in range(self.ring_size):
+            p_disjoint *= (self.pool_size - self.ring_size - i) / (self.pool_size - i)
+        return 1.0 - p_disjoint
+
+
+class QCompositeScheme(EschenauerGligorScheme):
+    """q-composite predistribution: require >= q shared pool keys."""
+
+    def __init__(
+        self, pool_size: int, ring_size: int, q: int, rng: random.Random
+    ) -> None:
+        if q < 1:
+            raise ConfigurationError(f"q must be >= 1, got {q}")
+        super().__init__(pool_size, ring_size, rng)
+        if q > ring_size:
+            raise ConfigurationError(
+                f"q ({q}) cannot exceed ring_size ({ring_size})"
+            )
+        self.required_overlap = q
+
+
+class BlomScheme(KeyPredistributionScheme):
+    """Blom's λ-secure pairwise key scheme over GF(2^31 - 1).
+
+    Every issued pair derives the same key from both sides
+    (``K_ij == K_ji``, by symmetry of D); an adversary must compromise more
+    than ``lam`` nodes to learn anything about other pairs' keys.
+    """
+
+    def __init__(self, lam: int, rng: random.Random, *, prime: int = _BLOM_PRIME) -> None:
+        if lam < 1:
+            raise ConfigurationError(f"lambda must be >= 1, got {lam}")
+        self.lam = lam
+        self.prime = prime
+        self._rng = rng
+        size = lam + 1
+        # Random symmetric (λ+1) x (λ+1) matrix D.
+        d = [[0] * size for _ in range(size)]
+        for i in range(size):
+            for j in range(i, size):
+                v = rng.randrange(prime)
+                d[i][j] = v
+                d[j][i] = v
+        self._d = d
+        self._rows: Dict[int, List[int]] = {}
+
+    def _public_column(self, node_id: int) -> List[int]:
+        """Vandermonde column g(id) = (1, s, s^2, ..., s^lam) mod p."""
+        seed = (node_id % (self.prime - 1)) + 1  # non-zero element
+        col = [1]
+        for _ in range(self.lam):
+            col.append((col[-1] * seed) % self.prime)
+        return col
+
+    def issue(self, node_id: int) -> List[int]:
+        """Compute and store the node's private row A_i = (D * g(id))."""
+        row = self._rows.get(node_id)
+        if row is None:
+            g = self._public_column(node_id)
+            row = [
+                sum(self._d[i][j] * g[j] for j in range(self.lam + 1)) % self.prime
+                for i in range(self.lam + 1)
+            ]
+            self._rows[node_id] = row
+        return row
+
+    def pairwise_key(self, id_a: int, id_b: int) -> bytes:
+        row = self._rows.get(id_a)
+        if row is None:
+            raise KeyAgreementError(f"node {id_a} was never issued Blom material")
+        if id_b not in self._rows:
+            raise KeyAgreementError(f"node {id_b} was never issued Blom material")
+        g_b = self._public_column(id_b)
+        scalar = sum(row[i] * g_b[i] for i in range(self.lam + 1)) % self.prime
+        # Symmetrize explicitly: K(a,b) must equal K(b,a) even though the
+        # raw Blom scalar already is symmetric; hashing sorted ids guards
+        # against id-dependent context differences.
+        lo, hi = sorted((id_a, id_b))
+        return _hash_key(
+            b"blom",
+            scalar.to_bytes(8, "big"),
+            lo.to_bytes(8, "big"),
+            hi.to_bytes(8, "big"),
+        )
+
+    def key_scalar(self, id_a: int, id_b: int) -> int:
+        """The raw Blom field element (exposed for symmetry tests)."""
+        row = self._rows.get(id_a)
+        if row is None:
+            raise KeyAgreementError(f"node {id_a} was never issued Blom material")
+        g_b = self._public_column(id_b)
+        return sum(row[i] * g_b[i] for i in range(self.lam + 1)) % self.prime
+
+
+class FullPairwiseScheme(KeyPredistributionScheme):
+    """Oracle scheme: every issued pair shares a unique key.
+
+    Matches the paper's working assumption ("we assume that two
+    communicating nodes share a unique pairwise key") without the ring-size
+    bookkeeping; used as the default by the experiment pipeline.
+    """
+
+    def __init__(self, master_secret: bytes = b"repro-master") -> None:
+        self._master = master_secret
+        self._issued: Dict[int, bool] = {}
+
+    def issue(self, node_id: int) -> bool:
+        self._issued[node_id] = True
+        return True
+
+    def pairwise_key(self, id_a: int, id_b: int) -> bytes:
+        if id_a not in self._issued:
+            raise KeyAgreementError(f"node {id_a} was never issued key material")
+        if id_b not in self._issued:
+            raise KeyAgreementError(f"node {id_b} was never issued key material")
+        lo, hi = sorted((id_a, id_b))
+        return _hash_key(
+            self._master, lo.to_bytes(8, "big"), hi.to_bytes(8, "big")
+        )

@@ -1,0 +1,81 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to discriminate on the concrete class.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ScheduleError",
+    "DeliveryError",
+    "CryptoError",
+    "KeyAgreementError",
+    "AuthenticationError",
+    "LocalizationError",
+    "InsufficientReferencesError",
+    "SolverError",
+    "DetectionError",
+    "CalibrationError",
+    "RevocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is missing, inconsistent, or out of range."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event simulator."""
+
+
+class ScheduleError(SimulationError):
+    """An event was scheduled in the past or after the engine stopped."""
+
+
+class DeliveryError(SimulationError):
+    """A packet could not be delivered (unknown node, out of range, ...)."""
+
+
+class CryptoError(ReproError):
+    """Base class for key-management and authentication failures."""
+
+
+class KeyAgreementError(CryptoError):
+    """Two nodes could not establish a pairwise key."""
+
+
+class AuthenticationError(CryptoError):
+    """A packet failed its message-authentication-code check."""
+
+
+class LocalizationError(ReproError):
+    """Base class for localization-substrate failures."""
+
+
+class InsufficientReferencesError(LocalizationError):
+    """Too few location references to solve for a position."""
+
+
+class SolverError(LocalizationError):
+    """The position solver failed to converge to a solution."""
+
+
+class DetectionError(ReproError):
+    """Base class for failures in the malicious-beacon detection suite."""
+
+
+class CalibrationError(DetectionError):
+    """The RTT detector was used before calibration, or calibration failed."""
+
+
+class RevocationError(ReproError):
+    """The base-station revocation protocol was misused."""

@@ -1,0 +1,44 @@
+"""Experiment harness: per-figure data generators and deployments.
+
+One function per evaluation figure (``figure04`` ... ``figure14``); each
+returns a :class:`repro.experiments.series.FigureData` containing exactly
+the series the paper plots, so the benchmarks can print paper-comparable
+rows.
+"""
+
+from repro.experiments.series import FigureData, Series
+from repro.experiments.deployment import Deployment, generate_deployment
+from repro.experiments.montecarlo import TrialSummary, run_trials, summarize
+from repro.experiments.svgplot import render_svg, save_svg
+from repro.experiments.fieldmap import (
+    FieldMap,
+    MarkerGroup,
+    pipeline_field_map,
+    render_field_map,
+)
+from repro.experiments.validation import (
+    max_abs_gap,
+    proportion_consistent,
+    proportion_z_score,
+)
+from repro.experiments import figures
+
+__all__ = [
+    "FigureData",
+    "Series",
+    "Deployment",
+    "generate_deployment",
+    "TrialSummary",
+    "run_trials",
+    "summarize",
+    "render_svg",
+    "save_svg",
+    "FieldMap",
+    "MarkerGroup",
+    "pipeline_field_map",
+    "render_field_map",
+    "max_abs_gap",
+    "proportion_consistent",
+    "proportion_z_score",
+    "figures",
+]

@@ -1,0 +1,116 @@
+"""Command-line interface: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments figure05
+    python -m repro.experiments figure12 --out results/ --svg
+    python -m repro.experiments all --out results/
+
+Each figure command prints the data table; ``--out`` also writes
+``<figure>.txt`` (and ``<figure>.svg`` with ``--svg``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.svgplot import save_svg
+
+#: Figures rendered as scatter rather than lines.
+_SCATTER = {"figure11"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "target",
+        help="figure name (e.g. figure05), 'all', 'list', or 'report'",
+    )
+    parser.add_argument(
+        "--bench-output",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks/output"),
+        help="where the benchmark .txt outputs live (for 'report')",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write <figure>.txt (created if missing)",
+    )
+    parser.add_argument(
+        "--svg",
+        action="store_true",
+        help="also render <figure>.svg into --out",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the table on stdout",
+    )
+    return parser
+
+
+def _emit(fig, args) -> None:
+    if not args.quiet:
+        print(fig.format_table())
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / f"{fig.figure_id}.txt").write_text(
+            fig.format_table() + "\n"
+        )
+        if args.svg:
+            save_svg(
+                fig,
+                str(args.out / f"{fig.figure_id}.svg"),
+                scatter=fig.figure_id in _SCATTER,
+            )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.target == "list":
+        for name in sorted(figures.ALL_FIGURES):
+            generator = figures.ALL_FIGURES[name]
+            doc = (generator.__doc__ or "").strip().splitlines()
+            summary = doc[0] if doc else ""
+            print(f"{name}: {summary}")
+        return 0
+
+    if args.target == "report":
+        from repro.experiments.report import build_report, write_report
+
+        if args.out is not None:
+            destination = args.out / "REPORT.md"
+            write_report(args.bench_output, destination)
+            if not args.quiet:
+                print(f"wrote {destination}")
+        elif not args.quiet:
+            print(build_report(args.bench_output))
+        return 0
+
+    if args.target == "all":
+        names: List[str] = sorted(figures.ALL_FIGURES)
+    elif args.target in figures.ALL_FIGURES:
+        names = [args.target]
+    else:
+        print(
+            f"unknown target {args.target!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+
+    for name in names:
+        fig = figures.ALL_FIGURES[name]()
+        _emit(fig, args)
+    return 0

@@ -1,0 +1,85 @@
+"""Random deployments of the paper's sensing field (Figure 11).
+
+Generates the node placement used throughout Section 4: N sensor nodes
+uniformly random in a square field, the first N_b of them beacons, of
+which N_a are compromised.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.utils.geometry import Point, random_point_in_rect
+
+
+@dataclass
+class Deployment:
+    """A generated placement.
+
+    Attributes:
+        benign_beacons: positions of benign beacon nodes (Figure 11's
+            blank circles).
+        malicious_beacons: positions of compromised beacons (solid circles).
+        non_beacons: positions of regular sensor nodes.
+        field_width_ft / field_height_ft: field dimensions.
+    """
+
+    field_width_ft: float
+    field_height_ft: float
+    benign_beacons: List[Point] = field(default_factory=list)
+    malicious_beacons: List[Point] = field(default_factory=list)
+    non_beacons: List[Point] = field(default_factory=list)
+
+    @property
+    def n_total(self) -> int:
+        """All nodes in the deployment."""
+        return (
+            len(self.benign_beacons)
+            + len(self.malicious_beacons)
+            + len(self.non_beacons)
+        )
+
+    def beacon_density_per_sqft(self) -> float:
+        """Beacons per square foot (coverage sanity metric)."""
+        area = self.field_width_ft * self.field_height_ft
+        return (len(self.benign_beacons) + len(self.malicious_beacons)) / area
+
+    def expected_neighbors(self, comm_range_ft: float) -> float:
+        """Mean nodes within radio range of a random point (border-ignoring)."""
+        import math
+
+        area = self.field_width_ft * self.field_height_ft
+        return self.n_total * math.pi * comm_range_ft**2 / area
+
+
+def generate_deployment(
+    *,
+    n_total: int = 1_000,
+    n_beacons: int = 110,
+    n_malicious: int = 10,
+    field_width_ft: float = 1_000.0,
+    field_height_ft: float = 1_000.0,
+    seed: int = 0,
+) -> Deployment:
+    """Uniform random deployment with the paper's Section 4 defaults."""
+    if not 0 <= n_malicious <= n_beacons <= n_total:
+        raise ConfigurationError(
+            f"need 0 <= n_malicious ({n_malicious}) <= n_beacons ({n_beacons})"
+            f" <= n_total ({n_total})"
+        )
+    rng = random.Random(seed)
+    deployment = Deployment(
+        field_width_ft=field_width_ft, field_height_ft=field_height_ft
+    )
+    for index in range(n_total):
+        point = random_point_in_rect(rng, field_width_ft, field_height_ft)
+        if index < n_beacons - n_malicious:
+            deployment.benign_beacons.append(point)
+        elif index < n_beacons:
+            deployment.malicious_beacons.append(point)
+        else:
+            deployment.non_beacons.append(point)
+    return deployment

@@ -1,0 +1,227 @@
+"""SVG field maps: the sensing field at a glance.
+
+Renders a deployment (and, when given a pipeline, the run's outcome —
+revoked beacons crossed out, affected sensors highlighted, the wormhole
+drawn as a dashed chord) to a standalone SVG. The Figure 11 bench renders
+the deployment; the quickstart-style examples render full outcomes.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.utils.geometry import Point
+
+_SIZE = 560
+_MARGIN = 50
+
+
+@dataclass
+class MarkerGroup:
+    """One legend entry: points drawn with a shared style.
+
+    Attributes:
+        label: legend text.
+        points: field coordinates.
+        color: fill color.
+        shape: "circle" | "ring" | "cross".
+        radius: marker radius in pixels.
+    """
+
+    label: str
+    points: List[Point] = field(default_factory=list)
+    color: str = "#0072B2"
+    shape: str = "circle"
+    radius: float = 3.5
+
+
+@dataclass
+class FieldMap:
+    """A renderable field scene."""
+
+    width_ft: float
+    height_ft: float
+    title: str = "Sensing field"
+    groups: List[MarkerGroup] = field(default_factory=list)
+    chords: List[Tuple[Point, Point, str]] = field(default_factory=list)
+
+    def add_group(self, group: MarkerGroup) -> MarkerGroup:
+        """Register a marker group."""
+        self.groups.append(group)
+        return group
+
+    def add_chord(self, a: Point, b: Point, label: str = "wormhole") -> None:
+        """Draw a dashed line between two field locations."""
+        self.chords.append((a, b, label))
+
+
+def _marker_svg(shape: str, x: float, y: float, r: float, color: str) -> str:
+    if shape == "circle":
+        return f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{color}"/>'
+    if shape == "ring":
+        return (
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="none" '
+            f'stroke="{color}" stroke-width="1.5"/>'
+        )
+    if shape == "cross":
+        return (
+            f'<g stroke="{color}" stroke-width="1.8">'
+            f'<line x1="{x - r:.1f}" y1="{y - r:.1f}" '
+            f'x2="{x + r:.1f}" y2="{y + r:.1f}"/>'
+            f'<line x1="{x - r:.1f}" y1="{y + r:.1f}" '
+            f'x2="{x + r:.1f}" y2="{y - r:.1f}"/></g>'
+        )
+    raise ConfigurationError(f"unknown marker shape {shape!r}")
+
+
+def render_field_map(scene: FieldMap) -> str:
+    """Render the scene to an SVG document string."""
+    if scene.width_ft <= 0 or scene.height_ft <= 0:
+        raise ConfigurationError("field dimensions must be positive")
+    plot = _SIZE - 2 * _MARGIN
+    scale = plot / max(scene.width_ft, scene.height_ft)
+
+    def sx(x: float) -> float:
+        return _MARGIN + x * scale
+
+    def sy(y: float) -> float:
+        # Field y grows upward; SVG y grows downward.
+        return _SIZE - _MARGIN - y * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_SIZE}" '
+        f'height="{_SIZE}" viewBox="0 0 {_SIZE} {_SIZE}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{_SIZE}" height="{_SIZE}" fill="white"/>',
+        f'<text x="{_SIZE / 2}" y="24" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">{html.escape(scene.title)}</text>',
+        f'<rect x="{sx(0):.1f}" y="{sy(scene.height_ft):.1f}" '
+        f'width="{scene.width_ft * scale:.1f}" '
+        f'height="{scene.height_ft * scale:.1f}" '
+        f'fill="#fafafa" stroke="#444"/>',
+    ]
+
+    for a, b, label in scene.chords:
+        parts.append(
+            f'<line x1="{sx(a.x):.1f}" y1="{sy(a.y):.1f}" '
+            f'x2="{sx(b.x):.1f}" y2="{sy(b.y):.1f}" stroke="#888" '
+            f'stroke-dasharray="6 4" stroke-width="1.5"/>'
+        )
+        mid_x = (sx(a.x) + sx(b.x)) / 2
+        mid_y = (sy(a.y) + sy(b.y)) / 2
+        parts.append(
+            f'<text x="{mid_x:.1f}" y="{mid_y - 6:.1f}" fill="#666" '
+            f'text-anchor="middle">{html.escape(label)}</text>'
+        )
+
+    for group in scene.groups:
+        for p in group.points:
+            parts.append(
+                _marker_svg(group.shape, sx(p.x), sy(p.y), group.radius, group.color)
+            )
+
+    # Legend below the field.
+    legend_y = _SIZE - 18
+    legend_x = _MARGIN
+    for group in scene.groups:
+        parts.append(
+            _marker_svg(group.shape, legend_x, legend_y - 4, 4.0, group.color)
+        )
+        parts.append(
+            f'<text x="{legend_x + 10}" y="{legend_y}">'
+            f"{html.escape(group.label)}</text>"
+        )
+        legend_x += 12 + 7 * len(group.label) + 18
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def pipeline_field_map(pipeline, *, title: Optional[str] = None) -> FieldMap:
+    """Build the outcome scene of a finished pipeline run.
+
+    Shows benign beacons, malicious beacons, revoked beacons (crossed),
+    and affected (misled) sensors; draws the wormhole when present.
+    """
+    cfg = pipeline.config
+    scene = FieldMap(
+        width_ft=cfg.field_width_ft,
+        height_ft=cfg.field_height_ft,
+        title=title or "Secure location discovery: run outcome",
+    )
+    assert pipeline.base_station is not None
+    revoked = pipeline.base_station.revoked
+    affected_ids = {
+        agent.node_id
+        for agent in pipeline.agents
+        for ref in agent.references
+        if ref.beacon_id in {b.node_id for b in pipeline.malicious_beacons}
+        and abs(ref.residual_at(agent.position)) > cfg.max_ranging_error_ft
+    }
+
+    scene.add_group(
+        MarkerGroup(
+            label="sensor",
+            points=[
+                a.position
+                for a in pipeline.agents
+                if a.node_id not in affected_ids
+            ],
+            color="#bbbbbb",
+            radius=1.6,
+        )
+    )
+    scene.add_group(
+        MarkerGroup(
+            label="misled sensor",
+            points=[
+                a.position for a in pipeline.agents if a.node_id in affected_ids
+            ],
+            color="#D55E00",
+            radius=3.0,
+        )
+    )
+    scene.add_group(
+        MarkerGroup(
+            label="benign beacon",
+            points=[
+                b.position
+                for b in pipeline.benign_beacons
+                if b.node_id not in revoked
+            ],
+            color="#0072B2",
+            shape="ring",
+            radius=4.0,
+        )
+    )
+    scene.add_group(
+        MarkerGroup(
+            label="malicious beacon",
+            points=[
+                b.position
+                for b in pipeline.malicious_beacons
+                if b.node_id not in revoked
+            ],
+            color="#000000",
+            radius=4.0,
+        )
+    )
+    scene.add_group(
+        MarkerGroup(
+            label="revoked",
+            points=[
+                pipeline.network.node(node_id).position
+                for node_id in sorted(revoked)
+            ],
+            color="#CC0000",
+            shape="cross",
+            radius=5.0,
+        )
+    )
+    if cfg.wormhole_endpoints is not None:
+        (ax, ay), (bx, by) = cfg.wormhole_endpoints
+        scene.add_chord(Point(ax, ay), Point(bx, by))
+    return scene

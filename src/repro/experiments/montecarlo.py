@@ -1,0 +1,104 @@
+"""Monte-Carlo trial aggregation with confidence intervals.
+
+Simulation metrics (detection rate, N', false positives) are random in the
+deployment and the adversary's coin flips; single-seed numbers can be
+misleading. This module runs independent trials (each under a forked seed)
+and reports mean plus a normal-approximation confidence interval —
+adequate for the trial counts used here and dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_seed
+from repro.utils.stats import mean, variance
+
+#: z-values for the supported confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Aggregated metric across trials.
+
+    Attributes:
+        mean: sample mean.
+        half_width: half-width of the confidence interval.
+        n: number of trials.
+        level: confidence level used.
+    """
+
+    mean: float
+    half_width: float
+    n: int
+    level: float
+
+    @property
+    def low(self) -> float:
+        """Lower CI bound."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper CI bound."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """True when ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.n})"
+
+
+def summarize(values: Sequence[float], *, level: float = 0.95) -> TrialSummary:
+    """Mean and CI of a sample of per-trial metric values."""
+    if not values:
+        raise ConfigurationError("cannot summarize zero trials")
+    if level not in _Z:
+        raise ConfigurationError(
+            f"unsupported confidence level {level}; pick one of {sorted(_Z)}"
+        )
+    m = mean(values)
+    if len(values) == 1:
+        return TrialSummary(mean=m, half_width=float("inf"), n=1, level=level)
+    # Sample (n-1) variance for the CI.
+    var = variance(values) * len(values) / (len(values) - 1)
+    half = _Z[level] * math.sqrt(var / len(values))
+    return TrialSummary(mean=m, half_width=half, n=len(values), level=level)
+
+
+def run_trials(
+    experiment: Callable[[int], Dict[str, float]],
+    *,
+    trials: int,
+    base_seed: int = 0,
+    level: float = 0.95,
+) -> Dict[str, TrialSummary]:
+    """Run ``experiment(seed)`` for independent seeds and aggregate.
+
+    Args:
+        experiment: maps a trial seed to a dict of metric name -> value.
+        trials: number of independent trials.
+        base_seed: anchor from which trial seeds are derived.
+        level: confidence level.
+
+    Returns:
+        metric name -> :class:`TrialSummary`. Metrics missing from some
+        trials are aggregated over the trials that produced them.
+    """
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    samples: Dict[str, List[float]] = {}
+    for trial in range(trials):
+        seed = derive_seed(base_seed, f"trial:{trial}") % (2**31)
+        metrics = experiment(seed)
+        for name, value in metrics.items():
+            samples.setdefault(name, []).append(float(value))
+    return {
+        name: summarize(values, level=level) for name, values in samples.items()
+    }

@@ -1,0 +1,92 @@
+"""Assemble a reproduction report from benchmark outputs.
+
+``pytest benchmarks/ --benchmark-only`` writes each figure's series to
+``benchmarks/output/<figure>.txt``; this module stitches them into one
+markdown report (figure tables + run metadata), so a full reproduction is
+one command away::
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro.experiments report --out results/
+
+The report intentionally embeds the raw series rather than prose: it is a
+lab notebook artifact, not a paper.
+"""
+
+from __future__ import annotations
+
+import datetime
+import pathlib
+import platform
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Order in which sections appear (figures first, ablations after).
+_SECTION_ORDER = [
+    "figure04",
+    "figure05",
+    "figure06",
+    "figure07",
+    "figure08",
+    "figure09",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+]
+
+
+def collect_outputs(output_dir: pathlib.Path) -> List[pathlib.Path]:
+    """The figure/ablation text outputs, in report order."""
+    if not output_dir.is_dir():
+        raise ConfigurationError(
+            f"benchmark output directory not found: {output_dir} "
+            "(run `pytest benchmarks/ --benchmark-only` first)"
+        )
+    files = {p.stem: p for p in output_dir.glob("*.txt")}
+    ordered: List[pathlib.Path] = []
+    for name in _SECTION_ORDER:
+        if name in files:
+            ordered.append(files.pop(name))
+    # Remaining (ablations and extras), alphabetically.
+    ordered.extend(files[name] for name in sorted(files))
+    return ordered
+
+
+def build_report(
+    output_dir: pathlib.Path,
+    *,
+    title: str = "Reproduction report — Liu, Ning & Du (ICDCS 2005)",
+    now: Optional[datetime.datetime] = None,
+) -> str:
+    """Render the markdown report from the collected outputs."""
+    stamp = (now or datetime.datetime.now()).isoformat(timespec="seconds")
+    lines = [
+        f"# {title}",
+        "",
+        f"- generated: {stamp}",
+        f"- python: {platform.python_version()} on {platform.system()}",
+        "- source: `pytest benchmarks/ --benchmark-only` outputs",
+        "",
+        "Figures 4-14 reproduce the paper's evaluation; `ablation_*`",
+        "sections cover the design-choice studies documented in DESIGN.md.",
+        "",
+    ]
+    for path in collect_outputs(output_dir):
+        lines.append(f"## {path.stem}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    output_dir: pathlib.Path, destination: pathlib.Path, **kwargs
+) -> pathlib.Path:
+    """Build and write the report; returns the destination path."""
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(build_report(output_dir, **kwargs) + "\n")
+    return destination

@@ -1,0 +1,79 @@
+"""Plot-ready data containers.
+
+A :class:`FigureData` is what each ``figureNN`` generator returns: labelled
+(x, y) series plus axis metadata, renderable as a table (benchmarks) or fed
+to any plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+@dataclass
+class Series:
+    """One labelled curve."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def append(self, x: float, y: float) -> None:
+        """Add one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def points(self) -> List[Tuple[float, float]]:
+        """The curve as (x, y) pairs."""
+        return list(zip(self.x, self.y))
+
+    def y_at(self, x: float, *, tol: float = 1e-9) -> float:
+        """The y value recorded at ``x`` (exact match within ``tol``)."""
+        for xi, yi in zip(self.x, self.y):
+            if abs(xi - x) <= tol:
+                return yi
+        raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+
+@dataclass
+class FigureData:
+    """All series of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    notes: str = ""
+
+    def new_series(self, label: str) -> Series:
+        """Create (and register) an empty series."""
+        if label in self.series:
+            raise ValueError(f"duplicate series label {label!r}")
+        s = Series(label=label)
+        self.series[label] = s
+        return s
+
+    def to_rows(self) -> List[Tuple[str, float, float]]:
+        """Flatten to (series label, x, y) rows for table printing."""
+        rows: List[Tuple[str, float, float]] = []
+        for label in sorted(self.series):
+            s = self.series[label]
+            rows.extend((label, x, y) for x, y in zip(s.x, s.y))
+        return rows
+
+    def format_table(self, *, float_fmt: str = "{:.4f}") -> str:
+        """A printable table of every series (used by the benches)."""
+        lines = [f"== {self.figure_id}: {self.title} ==",
+                 f"   x = {self.x_label}; y = {self.y_label}"]
+        for label in sorted(self.series):
+            s = self.series[label]
+            lines.append(f"-- {label}")
+            for x, y in zip(s.x, s.y):
+                lines.append(
+                    "   " + float_fmt.format(x) + "  ->  " + float_fmt.format(y)
+                )
+        if self.notes:
+            lines.append(f"   note: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Dependency-free SVG rendering of :class:`FigureData`.
+
+Matplotlib is not available offline, so figures are rendered to plain SVG:
+a line/scatter chart with axes, ticks, a legend, and one polyline per
+series. Good enough to eyeball every reproduced figure in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.series import FigureData, Series
+
+#: Color cycle (Okabe-Ito, colorblind-safe).
+PALETTE = [
+    "#0072B2",
+    "#D55E00",
+    "#009E73",
+    "#CC79A7",
+    "#E69F00",
+    "#56B4E9",
+    "#F0E442",
+    "#000000",
+]
+
+WIDTH = 640
+HEIGHT = 420
+MARGIN_L = 70
+MARGIN_R = 20
+MARGIN_T = 46
+MARGIN_B = 56
+
+
+def _nice_ticks(low: float, high: float, n: int = 5) -> List[float]:
+    """Round tick positions covering [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    span = high - low
+    raw_step = span / max(1, n - 1)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(low / step) * step
+    ticks = []
+    t = first
+    while t <= high + step / 2:
+        if t >= low - step / 2:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def _bounds(series: List[Series]) -> Tuple[float, float, float, float]:
+    xs = [x for s in series for x in s.x]
+    ys = [y for s in series for y in s.y]
+    if not xs:
+        raise ConfigurationError("cannot render a figure with no points")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    pad = 0.04 * (y_hi - y_lo)
+    return x_lo, x_hi, y_lo - pad, y_hi + pad
+
+
+def render_svg(
+    fig: FigureData,
+    *,
+    scatter: bool = False,
+    max_legend: Optional[int] = None,
+) -> str:
+    """Render ``fig`` as an SVG document string.
+
+    Args:
+        fig: the figure to draw.
+        scatter: draw points only (for deployments); default polylines.
+        max_legend: cap on legend entries (None = all).
+    """
+    labels = sorted(fig.series)
+    series = [fig.series[k] for k in labels]
+    x_lo, x_hi, y_lo, y_hi = _bounds(series)
+
+    plot_w = WIDTH - MARGIN_L - MARGIN_R
+    plot_h = HEIGHT - MARGIN_T - MARGIN_B
+
+    def sx(x: float) -> float:
+        return MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def sy(y: float) -> float:
+        return MARGIN_T + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="sans-serif" font-size="12">'
+    )
+    parts.append(f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>')
+    parts.append(
+        f'<text x="{WIDTH / 2}" y="20" text-anchor="middle" '
+        f'font-size="14" font-weight="bold">'
+        f"{html.escape(fig.title)}</text>"
+    )
+
+    # Axes box + grid + ticks.
+    parts.append(
+        f'<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#444"/>'
+    )
+    for tx in _nice_ticks(x_lo, x_hi):
+        if not x_lo <= tx <= x_hi:
+            continue
+        x = sx(tx)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{MARGIN_T}" x2="{x:.1f}" '
+            f'y2="{MARGIN_T + plot_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{tx:g}</text>'
+        )
+    for ty in _nice_ticks(y_lo, y_hi):
+        if not y_lo <= ty <= y_hi:
+            continue
+        y = sy(ty)
+        parts.append(
+            f'<line x1="{MARGIN_L}" y1="{y:.1f}" '
+            f'x2="{MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{MARGIN_L - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{ty:g}</text>'
+        )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{MARGIN_L + plot_w / 2}" y="{HEIGHT - 14}" '
+        f'text-anchor="middle">{html.escape(fig.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{MARGIN_T + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {MARGIN_T + plot_h / 2})">'
+        f"{html.escape(fig.y_label)}</text>"
+    )
+
+    # Series.
+    for index, (label, s) in enumerate(zip(labels, series)):
+        color = PALETTE[index % len(PALETTE)]
+        if scatter or len(s.x) == 1:
+            for x, y in zip(s.x, s.y):
+                parts.append(
+                    f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                    f'fill="{color}"/>'
+                )
+        else:
+            points = " ".join(
+                f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(s.x, s.y)
+            )
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{color}" stroke-width="1.8"/>'
+            )
+
+    # Legend.
+    shown = labels if max_legend is None else labels[:max_legend]
+    for index, label in enumerate(shown):
+        color = PALETTE[labels.index(label) % len(PALETTE)]
+        ly = MARGIN_T + 8 + 16 * index
+        lx = MARGIN_L + plot_w - 150
+        parts.append(
+            f'<rect x="{lx}" y="{ly - 8}" width="10" height="10" '
+            f'fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 15}" y="{ly + 1}">{html.escape(label)}</text>'
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(fig: FigureData, path: str, **kwargs) -> str:
+    """Render and write ``fig`` to ``path``; returns the path."""
+    document = render_svg(fig, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(document)
+    return path

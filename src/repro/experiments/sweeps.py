@@ -1,0 +1,121 @@
+"""Generic parameter sweeps over the pipeline.
+
+The figure/ablation benches all share one skeleton: vary one
+:class:`PipelineConfig` field over a grid, run (optionally several trials
+per point), and collect metrics into series. This module factors that
+skeleton out so downstream users can sweep *any* config field in three
+lines::
+
+    from repro.experiments.sweeps import sweep_config_field
+
+    fig = sweep_config_field(
+        "wormhole_p_d", (0.5, 0.7, 0.9, 1.0),
+        metrics=("false_positive_rate",),
+        base=dict(n_malicious=0, collusion=False),
+        trials=3,
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Optional, Sequence
+
+from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
+from repro.errors import ConfigurationError
+from repro.experiments.series import FigureData
+from repro.sim.rng import derive_seed
+
+#: PipelineResult attributes a sweep may collect.
+SUPPORTED_METRICS = (
+    "detection_rate",
+    "false_positive_rate",
+    "affected_non_beacons_per_malicious",
+    "revoked_malicious",
+    "revoked_benign",
+    "alerts_accepted",
+    "alerts_rejected",
+    "probes_sent",
+    "mean_localization_error_ft",
+    "mean_requesters_per_malicious",
+)
+
+
+def _metric_value(result: PipelineResult, metric: str) -> float:
+    if metric not in SUPPORTED_METRICS:
+        raise ConfigurationError(
+            f"unsupported metric {metric!r}; pick from {SUPPORTED_METRICS}"
+        )
+    return float(getattr(result, metric))
+
+
+def sweep_config_field(
+    field_name: str,
+    values: Sequence[Any],
+    *,
+    metrics: Sequence[str] = ("detection_rate",),
+    base: Optional[Dict[str, Any]] = None,
+    trials: int = 1,
+    base_seed: int = 0,
+    figure_id: str = "sweep",
+    title: Optional[str] = None,
+) -> FigureData:
+    """Sweep one config field; returns one series per requested metric.
+
+    Args:
+        field_name: a :class:`PipelineConfig` dataclass field.
+        values: grid of values for that field.
+        metrics: :class:`PipelineResult` attributes to collect.
+        base: overrides applied to every point (e.g. smaller fields).
+        trials: independent runs per point (seeds derived per trial);
+            series hold the per-point mean.
+        base_seed: determinism anchor.
+        figure_id / title: FigureData metadata.
+
+    Raises:
+        ConfigurationError: unknown field, empty grid, or bad metric.
+    """
+    known_fields = {f.name for f in dataclasses.fields(PipelineConfig)}
+    if field_name not in known_fields:
+        raise ConfigurationError(
+            f"{field_name!r} is not a PipelineConfig field"
+        )
+    if not values:
+        raise ConfigurationError("sweep needs at least one value")
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    for metric in metrics:
+        if metric not in SUPPORTED_METRICS:
+            raise ConfigurationError(
+                f"unsupported metric {metric!r}; pick from {SUPPORTED_METRICS}"
+            )
+
+    fig = FigureData(
+        figure_id=figure_id,
+        title=title or f"Sweep of {field_name}",
+        x_label=field_name,
+        y_label=", ".join(metrics),
+        notes=f"{trials} trial(s) per point; base overrides: {base or {}}",
+    )
+    series = {metric: fig.new_series(metric) for metric in metrics}
+    overrides = dict(base or {})
+    overrides.pop(field_name, None)
+
+    for value in values:
+        sums = {metric: 0.0 for metric in metrics}
+        for trial in range(trials):
+            seed = derive_seed(base_seed, f"{field_name}={value}:{trial}") % (
+                2**31
+            )
+            config = PipelineConfig(
+                **{**overrides, field_name: value, "seed": seed}
+            )
+            result = SecureLocalizationPipeline(config).run()
+            for metric in metrics:
+                sums[metric] += _metric_value(result, metric)
+        x = float(value) if isinstance(value, (int, float)) else float(
+            values.index(value)
+        )
+        for metric in metrics:
+            series[metric].append(x, sums[metric] / trials)
+    return fig

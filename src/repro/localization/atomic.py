@@ -1,0 +1,121 @@
+"""AHLoS-style atomic / iterative multilateration (Savvides et al., 2001).
+
+Atomic multilateration solves one node from >= 3 beacon ranges; *iterative*
+multilateration then promotes solved nodes to beacon status so their
+neighbours gain references, sweeping until no further node can be solved.
+
+The paper's Section 2.3 remarks that error accumulates as non-beacon nodes
+turn into beacons — this module is what the corresponding ablation bench
+measures.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import InsufficientReferencesError, SolverError
+from repro.localization.measurement import RangingModel, RssiModel
+from repro.localization.multilateration import mmse_multilaterate
+from repro.localization.references import LocationReference
+from repro.sim.network import Network
+from repro.utils.geometry import Point, distance
+
+
+@dataclass
+class IterativeResult:
+    """Outcome of an iterative-multilateration sweep.
+
+    Attributes:
+        positions: node_id -> estimated position (non-beacons solved).
+        rounds: number of promotion rounds performed.
+        promoted: node ids that became beacons round by round.
+        unsolved: non-beacon ids that never collected 3 references.
+    """
+
+    positions: Dict[int, Point] = field(default_factory=dict)
+    rounds: int = 0
+    promoted: List[List[int]] = field(default_factory=list)
+    unsolved: Set[int] = field(default_factory=set)
+
+
+def iterative_multilateration(
+    network: Network,
+    rng: random.Random,
+    *,
+    ranging: Optional[RangingModel] = None,
+    max_rounds: int = 20,
+    residual_gate_ft: Optional[float] = None,
+) -> IterativeResult:
+    """Run atomic multilateration sweeps, promoting solved nodes to beacons.
+
+    Args:
+        network: the deployed network; ranging happens between physical
+            positions with the supplied model's noise.
+        rng: measurement-noise stream.
+        ranging: measurement model (default RSSI with the network's bound).
+        max_rounds: hard cap on promotion rounds.
+        residual_gate_ft: if set, a solution whose RMS residual exceeds the
+            gate is rejected (not promoted) — a quality guard against error
+            accumulation.
+
+    Returns:
+        An :class:`IterativeResult`; promoted nodes use their *estimated*
+        positions as their declared locations, so error accumulates exactly
+        as the paper warns.
+    """
+    model = ranging if ranging is not None else RssiModel(
+        max_error_ft=network.max_ranging_error_ft
+    )
+    comm_range = network.radio.comm_range_ft
+
+    # Anchor set: (declared position, ground-truth physical position).
+    anchors: Dict[int, tuple] = {
+        b.node_id: (b.position, b.position) for b in network.beacon_nodes()
+    }
+    pending = {n.node_id: n for n in network.non_beacon_nodes()}
+    result = IterativeResult()
+
+    for _ in range(max_rounds):
+        solved_this_round: List[int] = []
+        for node_id in sorted(pending):
+            node = pending[node_id]
+            refs: List[LocationReference] = []
+            for anchor_id, (declared, physical) in sorted(anchors.items()):
+                true_dist = distance(node.position, physical)
+                if true_dist > comm_range:
+                    continue
+                measured = model.measure_distance(true_dist, rng)
+                refs.append(
+                    LocationReference(
+                        beacon_id=anchor_id,
+                        beacon_location=declared,
+                        measured_distance_ft=measured,
+                    )
+                )
+            if len(refs) < 3:
+                continue
+            try:
+                solution = mmse_multilaterate(refs)
+            except (InsufficientReferencesError, SolverError):
+                continue
+            if (
+                residual_gate_ft is not None
+                and solution.rms_residual_ft > residual_gate_ft
+            ):
+                continue
+            result.positions[node_id] = solution.position
+            solved_this_round.append(node_id)
+
+        if not solved_this_round:
+            break
+        result.rounds += 1
+        result.promoted.append(solved_this_round)
+        for node_id in solved_this_round:
+            node = pending.pop(node_id)
+            # Promoted nodes *declare* their estimate but range from truth.
+            anchors[node_id] = (result.positions[node_id], node.position)
+
+    result.unsolved = set(pending)
+    return result

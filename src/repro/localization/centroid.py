@@ -1,0 +1,28 @@
+"""Centroid localization (Bulusu, Heidemann & Estrin, 2000).
+
+The coarse-grained baseline the paper cites: a node estimates its position
+as the centroid of the locations declared by all beacons it can hear. No
+ranging needed — and no robustness to lying beacons, which is the paper's
+point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import InsufficientReferencesError
+from repro.localization.references import LocationReference
+from repro.utils.geometry import Point
+
+
+def centroid_localize(references: Sequence[LocationReference]) -> Point:
+    """Average the declared beacon locations.
+
+    Raises:
+        InsufficientReferencesError: when no references were heard.
+    """
+    if not references:
+        raise InsufficientReferencesError("centroid needs at least one reference")
+    x = sum(r.beacon_location.x for r in references) / len(references)
+    y = sum(r.beacon_location.y for r in references) / len(references)
+    return Point(x, y)

@@ -1,0 +1,154 @@
+"""DV-Hop localization (Niculescu & Nath, 2001/2003).
+
+The range-free baseline the paper cites: beacons flood hop counts; each
+beacon computes an *average hop size* from its known distances to the other
+beacons; non-beacon nodes convert their hop counts into distance estimates
+(hops x hop size) and multilaterate.
+
+Built over ``networkx`` shortest paths on the connectivity graph induced by
+the radio range.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.errors import InsufficientReferencesError, LocalizationError
+from repro.localization.multilateration import mmse_multilaterate
+from repro.localization.references import LocationReference
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.utils.geometry import Point, distance
+
+
+class DvHopLocalizer:
+    """Runs the three DV-Hop phases over a simulated network snapshot.
+
+    Args:
+        network: the deployed network (positions + radio range define the
+            connectivity graph).
+        beacon_locations: optional override of each beacon's *declared*
+            location — lets attack experiments inject lies without touching
+            physical positions.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        beacon_locations: Optional[Dict[int, Point]] = None,
+    ) -> None:
+        self.network = network
+        declared = beacon_locations or {}
+        self._declared = {
+            b.node_id: declared.get(b.node_id, b.position)
+            for b in network.beacon_nodes()
+        }
+        self._graph = self._build_graph()
+        self._hops = self._flood_hop_counts()
+        self._hop_sizes = self._compute_hop_sizes()
+
+    # ------------------------------------------------------------------
+    # Phase 1: connectivity + hop-count flood
+    # ------------------------------------------------------------------
+    def _build_graph(self) -> nx.Graph:
+        graph = nx.Graph()
+        nodes = self.network.nodes()
+        for node in nodes:
+            graph.add_node(node.node_id)
+        comm_range = self.network.radio.comm_range_ft
+        for node in nodes:
+            for neighbor in self.network.neighbors_of(node):
+                if node.node_id < neighbor.node_id:
+                    graph.add_edge(node.node_id, neighbor.node_id)
+        return graph
+
+    def _flood_hop_counts(self) -> Dict[int, Dict[int, int]]:
+        """hops[beacon_id][node_id] = hop count (only reachable nodes)."""
+        hops: Dict[int, Dict[int, int]] = {}
+        for beacon_id in self._declared:
+            hops[beacon_id] = dict(
+                nx.single_source_shortest_path_length(self._graph, beacon_id)
+            )
+        return hops
+
+    # ------------------------------------------------------------------
+    # Phase 2: average hop size per beacon
+    # ------------------------------------------------------------------
+    def _compute_hop_sizes(self) -> Dict[int, float]:
+        sizes: Dict[int, float] = {}
+        beacon_ids = sorted(self._declared)
+        for bid in beacon_ids:
+            total_dist = 0.0
+            total_hops = 0
+            for other in beacon_ids:
+                if other == bid:
+                    continue
+                hop = self._hops[bid].get(other)
+                if hop is None or hop == 0:
+                    continue
+                total_dist += distance(self._declared[bid], self._declared[other])
+                total_hops += hop
+            if total_hops > 0:
+                sizes[bid] = total_dist / total_hops
+        if not sizes:
+            raise LocalizationError(
+                "DV-Hop hop-size computation failed: no beacon pair is connected"
+            )
+        return sizes
+
+    def hop_size_of(self, beacon_id: int) -> float:
+        """The average hop size beacon ``beacon_id`` floods (phase 2)."""
+        try:
+            return self._hop_sizes[beacon_id]
+        except KeyError:
+            raise LocalizationError(
+                f"beacon {beacon_id} could not compute a hop size"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Phase 3: per-node distance estimates + multilateration
+    # ------------------------------------------------------------------
+    def references_for(self, node: Node) -> List[LocationReference]:
+        """DV-Hop distance estimates (hops x hop size) for ``node``."""
+        refs: List[LocationReference] = []
+        for bid, declared in sorted(self._declared.items()):
+            hop = self._hops[bid].get(node.node_id)
+            if hop is None or hop == 0:
+                continue
+            hop_size = self._hop_sizes.get(bid)
+            if hop_size is None:
+                continue
+            refs.append(
+                LocationReference(
+                    beacon_id=bid,
+                    beacon_location=declared,
+                    measured_distance_ft=hop * hop_size,
+                )
+            )
+        return refs
+
+    def localize(self, node: Node) -> Point:
+        """Estimate ``node``'s position from its DV-Hop references.
+
+        Raises:
+            InsufficientReferencesError: the node hears < 3 beacons.
+        """
+        refs = self.references_for(node)
+        if len(refs) < 3:
+            raise InsufficientReferencesError(
+                f"node {node.node_id} reaches only {len(refs)} beacons"
+            )
+        return mmse_multilaterate(refs).position
+
+    def localize_all(self) -> Dict[int, Point]:
+        """Estimate every non-beacon node that has enough references."""
+        out: Dict[int, Point] = {}
+        for node in self.network.non_beacon_nodes():
+            try:
+                out[node.node_id] = self.localize(node)
+            except InsufficientReferencesError:
+                continue
+        return out

@@ -1,0 +1,248 @@
+"""Ranging measurement models: RSSI, ToA, AoA.
+
+Each model maps a *true* geometry (distance or bearing) to a noisy
+measurement and exposes ``max_error`` — the bound the paper's detector uses
+as its decision threshold ("if the difference ... is larger than the maximum
+distance error, the ... beacon signal must be malicious").
+
+The RSSI model goes through an explicit log-distance path-loss channel
+(signal strength in dBm -> inverted distance estimate) so that adversarial
+transmit-power games have a physically meaningful hook; ToA adds timing
+noise; AoA measures bearings. All models clamp so the *resulting distance
+error* stays within ``max_error_ft``, preserving the paper's bounded-error
+assumption.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.utils.geometry import Point, clamp
+
+
+class RangingModel(ABC):
+    """Interface: produce a distance measurement from true geometry."""
+
+    #: Bound on |measured - true| distance; the detector's threshold.
+    max_error_ft: float
+
+    #: Whether the ranging feature is as protected as the packet data.
+    #: True for RSSI/ToA (manipulating the feature requires transmitting,
+    #: i.e. being the authenticated sender); False for ultrasound TDoA,
+    #: where an external attacker can inject/advance the ultrasound pulse
+    #: without holding any keys — the paper's §2.3 caveat.
+    protects_ranging_feature: bool = True
+
+    @abstractmethod
+    def measure_distance(
+        self, true_distance_ft: float, rng: random.Random, *, bias_ft: float = 0.0
+    ) -> float:
+        """A noisy distance estimate.
+
+        Args:
+            true_distance_ft: the physical distance.
+            rng: randomness source for measurement noise.
+            bias_ft: adversarial manipulation (e.g. power games); applied
+                *after* noise and NOT clamped — attacks may exceed the
+                honest error bound, which is exactly what gets detected.
+        """
+
+
+@dataclass
+class RssiModel(RangingModel):
+    """Received-signal-strength ranging via log-distance path loss.
+
+    ``P_rx = P_tx - PL0 - 10 n log10(d / d0) + X`` where ``X`` is shadowing
+    noise. Distance is recovered by inverting the deterministic part. The
+    shadowing sigma is chosen from ``max_error_ft`` so honest errors stay
+    within the bound (noise is truncated at the equivalent dB bound).
+
+    Attributes:
+        max_error_ft: bound on the honest distance error (paper: 10 ft).
+        path_loss_exponent: environment exponent ``n`` (2 = free space).
+        reference_loss_db: path loss at the reference distance ``d0``.
+        reference_distance_ft: ``d0``.
+        tx_power_dbm: nominal transmit power.
+    """
+
+    max_error_ft: float = 10.0
+    path_loss_exponent: float = 2.5
+    reference_loss_db: float = 40.0
+    reference_distance_ft: float = 3.0
+    tx_power_dbm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_error_ft < 0:
+            raise ConfigurationError(
+                f"max_error_ft must be >= 0, got {self.max_error_ft}"
+            )
+        if self.path_loss_exponent <= 0:
+            raise ConfigurationError(
+                f"path_loss_exponent must be > 0, got {self.path_loss_exponent}"
+            )
+
+    # ------------------------------------------------------------------
+    # Channel
+    # ------------------------------------------------------------------
+    def rssi_at(self, true_distance_ft: float, *, tx_power_dbm: float | None = None) -> float:
+        """Deterministic received power (dBm) at ``true_distance_ft``."""
+        if true_distance_ft < 0:
+            raise ConfigurationError(
+                f"distance must be >= 0, got {true_distance_ft}"
+            )
+        d = max(true_distance_ft, self.reference_distance_ft)
+        power = self.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+        return (
+            power
+            - self.reference_loss_db
+            - 10.0 * self.path_loss_exponent * math.log10(d / self.reference_distance_ft)
+        )
+
+    def distance_from_rssi(self, rssi_dbm: float, *, assumed_tx_power_dbm: float | None = None) -> float:
+        """Invert :meth:`rssi_at` assuming the nominal transmit power."""
+        power = self.tx_power_dbm if assumed_tx_power_dbm is None else assumed_tx_power_dbm
+        exponent = (power - self.reference_loss_db - rssi_dbm) / (
+            10.0 * self.path_loss_exponent
+        )
+        return self.reference_distance_ft * (10.0**exponent)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+    def measure_distance(
+        self, true_distance_ft: float, rng: random.Random, *, bias_ft: float = 0.0
+    ) -> float:
+        noise = rng.uniform(-self.max_error_ft, self.max_error_ft)
+        estimate = true_distance_ft + noise
+        # Honest estimates stay inside the bound; adversarial bias does not.
+        estimate = clamp(
+            estimate,
+            max(0.0, true_distance_ft - self.max_error_ft),
+            true_distance_ft + self.max_error_ft,
+        )
+        return max(0.0, estimate + bias_ft)
+
+
+@dataclass
+class ToaModel(RangingModel):
+    """Time-of-arrival ranging: distance = (arrival - departure) * v.
+
+    Timing jitter of ``timing_jitter_cycles`` CPU cycles translates to a
+    distance error; the model exposes the resulting ``max_error_ft``.
+    """
+
+    timing_jitter_cycles: float = 0.055
+    signal_speed_ft_per_cycle: float = 133.4  # speed of light per CPU cycle
+
+    def __post_init__(self) -> None:
+        if self.timing_jitter_cycles < 0:
+            raise ConfigurationError(
+                f"timing_jitter_cycles must be >= 0, got {self.timing_jitter_cycles}"
+            )
+        self.max_error_ft = self.timing_jitter_cycles * self.signal_speed_ft_per_cycle
+
+    def measure_distance(
+        self, true_distance_ft: float, rng: random.Random, *, bias_ft: float = 0.0
+    ) -> float:
+        jitter = rng.uniform(-self.timing_jitter_cycles, self.timing_jitter_cycles)
+        estimate = true_distance_ft + jitter * self.signal_speed_ft_per_cycle
+        return max(0.0, estimate + bias_ft)
+
+
+@dataclass
+class TdoaModel(RangingModel):
+    """Time-difference-of-arrival ranging (RF + ultrasound, AHLoS/Cricket).
+
+    Distance is the RF/ultrasound arrival gap times the speed of sound.
+    Precision is excellent (``max_error_ft`` defaults to 2 ft), but the
+    paper's Section 2.3 warns the technique is the *hardest to protect*:
+    ultrasound pulses cannot carry authenticated data, so an external
+    attacker near the link can inject an early pulse or echo and bias a
+    **benign** beacon's measurement without compromising any keys — which
+    turns the consistency detector's alarms into false accusations.
+    ``protects_ranging_feature`` is therefore False; the TDoA ablation
+    bench drives an external-manipulation attack through this hook.
+    """
+
+    max_error_ft: float = 2.0
+    sound_speed_ft_per_s: float = 1_125.0
+
+    protects_ranging_feature: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_error_ft < 0:
+            raise ConfigurationError(
+                f"max_error_ft must be >= 0, got {self.max_error_ft}"
+            )
+        if self.sound_speed_ft_per_s <= 0:
+            raise ConfigurationError(
+                f"sound_speed_ft_per_s must be > 0, got {self.sound_speed_ft_per_s}"
+            )
+
+    def arrival_gap_s(self, true_distance_ft: float) -> float:
+        """RF-vs-ultrasound arrival gap for a given distance.
+
+        RF arrives effectively instantly at these ranges; the gap is the
+        acoustic travel time.
+        """
+        if true_distance_ft < 0:
+            raise ConfigurationError(
+                f"distance must be >= 0, got {true_distance_ft}"
+            )
+        return true_distance_ft / self.sound_speed_ft_per_s
+
+    def distance_from_gap(self, gap_s: float) -> float:
+        """Invert :meth:`arrival_gap_s`."""
+        return max(0.0, gap_s * self.sound_speed_ft_per_s)
+
+    def measure_distance(
+        self, true_distance_ft: float, rng: random.Random, *, bias_ft: float = 0.0
+    ) -> float:
+        gap = self.arrival_gap_s(true_distance_ft)
+        jitter_s = rng.uniform(
+            -self.max_error_ft / self.sound_speed_ft_per_s,
+            self.max_error_ft / self.sound_speed_ft_per_s,
+        )
+        return max(0.0, self.distance_from_gap(gap + jitter_s) + bias_ft)
+
+
+@dataclass
+class AoaModel:
+    """Angle-of-arrival bearing measurement (for the AoA baselines).
+
+    Not a :class:`RangingModel` — it measures bearings, not distances — but
+    shares the bounded-error contract via ``max_error_rad``.
+    """
+
+    max_error_rad: float = math.radians(5.0)
+
+    def __post_init__(self) -> None:
+        if self.max_error_rad < 0:
+            raise ConfigurationError(
+                f"max_error_rad must be >= 0, got {self.max_error_rad}"
+            )
+
+    def measure_bearing(
+        self,
+        receiver: Point,
+        transmitter: Point,
+        rng: random.Random,
+        *,
+        bias_rad: float = 0.0,
+    ) -> float:
+        """Noisy bearing (radians, in (-pi, pi]) from receiver to transmitter."""
+        true_bearing = math.atan2(
+            transmitter.y - receiver.y, transmitter.x - receiver.x
+        )
+        noise = rng.uniform(-self.max_error_rad, self.max_error_rad)
+        bearing = true_bearing + noise + bias_rad
+        # Normalize into (-pi, pi].
+        while bearing <= -math.pi:
+            bearing += 2 * math.pi
+        while bearing > math.pi:
+            bearing -= 2 * math.pi
+        return bearing

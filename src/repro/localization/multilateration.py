@@ -1,0 +1,125 @@
+"""Minimum-mean-square-error multilateration.
+
+The paper's stage-2 solver: "consider the location references as constraints
+a sensor node's location must satisfy, and estimate it by finding a
+mathematical solution that satisfies these constraints with minimum
+estimation error."
+
+Implementation: a linearized least-squares seed (subtracting the last
+range equation turns the system linear) refined by Gauss–Newton iterations
+on the true nonlinear residual ``||x - b_i|| - d_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import InsufficientReferencesError, SolverError
+from repro.localization.references import LocationReference
+from repro.utils.geometry import Point
+
+#: Minimum references for an unambiguous 2-D fix.
+MIN_REFERENCES = 3
+
+
+@dataclass(frozen=True)
+class MultilaterationResult:
+    """A solved position with residual diagnostics.
+
+    Attributes:
+        position: the MMSE location estimate.
+        rms_residual_ft: root-mean-square range residual at the solution;
+            large values signal inconsistent (possibly malicious) references.
+        iterations: Gauss–Newton iterations used.
+    """
+
+    position: Point
+    rms_residual_ft: float
+    iterations: int
+
+
+def mmse_multilaterate(
+    references: Sequence[LocationReference],
+    *,
+    max_iterations: int = 50,
+    tolerance_ft: float = 1e-6,
+) -> MultilaterationResult:
+    """Solve for the position that best satisfies the range constraints.
+
+    Args:
+        references: at least :data:`MIN_REFERENCES` location references from
+            *distinct* beacon locations.
+        max_iterations: Gauss–Newton iteration cap.
+        tolerance_ft: convergence threshold on the position update norm.
+
+    Raises:
+        InsufficientReferencesError: fewer than 3 references, or the beacon
+            locations are (numerically) collinear/duplicated.
+        SolverError: the iteration diverged.
+    """
+    if len(references) < MIN_REFERENCES:
+        raise InsufficientReferencesError(
+            f"need >= {MIN_REFERENCES} references, got {len(references)}"
+        )
+
+    anchors = np.array(
+        [[r.beacon_location.x, r.beacon_location.y] for r in references], dtype=float
+    )
+    ranges = np.array([r.measured_distance_ft for r in references], dtype=float)
+
+    seed = _linearized_seed(anchors, ranges)
+    position = seed.copy()
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        deltas = position - anchors  # (n, 2)
+        dists = np.linalg.norm(deltas, axis=1)
+        # Guard against a candidate landing exactly on an anchor.
+        dists = np.maximum(dists, 1e-9)
+        residuals = dists - ranges
+        jacobian = deltas / dists[:, None]  # d residual / d position
+        update, *_ = np.linalg.lstsq(jacobian, -residuals, rcond=None)
+        position = position + update
+        if not np.all(np.isfinite(position)):
+            raise SolverError("Gauss-Newton diverged to non-finite position")
+        if float(np.linalg.norm(update)) < tolerance_ft:
+            break
+
+    deltas = position - anchors
+    dists = np.maximum(np.linalg.norm(deltas, axis=1), 1e-9)
+    rms = float(np.sqrt(np.mean((dists - ranges) ** 2)))
+    return MultilaterationResult(
+        position=Point(float(position[0]), float(position[1])),
+        rms_residual_ft=rms,
+        iterations=iterations,
+    )
+
+
+def _linearized_seed(anchors: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """Classic linearization: subtract the last equation from the others.
+
+    ``||x - b_i||^2 - ||x - b_n||^2 = d_i^2 - d_n^2`` is linear in x.
+    """
+    last = anchors[-1]
+    d_last = ranges[-1]
+    a_rows = 2.0 * (last - anchors[:-1])
+    b_rows = (
+        ranges[:-1] ** 2
+        - d_last**2
+        - np.sum(anchors[:-1] ** 2, axis=1)
+        + np.sum(last**2)
+    )
+    if np.linalg.matrix_rank(a_rows) < 2:
+        raise InsufficientReferencesError(
+            "beacon locations are collinear or duplicated; 2-D fix is ambiguous"
+        )
+    seed, *_ = np.linalg.lstsq(a_rows, b_rows, rcond=None)
+    return seed
+
+
+def location_error_ft(estimate: Point, truth: Point) -> float:
+    """Euclidean localization error — the evaluation's quality metric."""
+    return estimate.distance_to(truth)

@@ -1,0 +1,182 @@
+"""SeRLoc: secure range-independent localization (Lazos & Poovendran 2004).
+
+The related-work baseline the paper contrasts itself against: beacons
+("locators") carry **sectored antennas**; each transmission covers one
+angular sector of the locator's range. A sensor that hears a set of
+(locator position, sector) pairs knows it lies in the **intersection** of
+those sectors and estimates its position as the intersection's center of
+gravity — no ranging at all, hence robust to signal-strength games.
+
+The paper's point stands reproduced here: SeRLoc localizes securely
+against *external* attackers, but "it cannot detect and remove compromised
+beacon nodes" — a lying locator shifts the region and nothing in the
+scheme notices (see the baseline tests and the comparison bench).
+
+Geometry is evaluated by grid sampling (the original paper does the same),
+with the grid step a parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError, InsufficientReferencesError
+from repro.utils.geometry import Point, distance
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Sector:
+    """One antenna sector: a wedge of the locator's communication disk.
+
+    Attributes:
+        origin: the locator's (declared) position.
+        bearing_rad: the wedge's center direction.
+        width_rad: angular width of the wedge.
+        range_ft: the locator's communication range.
+    """
+
+    origin: Point
+    bearing_rad: float
+    width_rad: float
+    range_ft: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.range_ft, "range_ft")
+        if not 0 < self.width_rad <= 2 * math.pi:
+            raise ConfigurationError(
+                f"width_rad must be in (0, 2*pi], got {self.width_rad}"
+            )
+
+    def contains(self, point: Point) -> bool:
+        """True when ``point`` lies inside the wedge (inclusive)."""
+        if distance(self.origin, point) > self.range_ft:
+            return False
+        if self.width_rad >= 2 * math.pi - 1e-12:
+            return True
+        angle = math.atan2(point.y - self.origin.y, point.x - self.origin.x)
+        delta = (angle - self.bearing_rad + math.pi) % (2 * math.pi) - math.pi
+        return abs(delta) <= self.width_rad / 2 + 1e-12
+
+
+class SerLocLocator:
+    """A sectored-antenna beacon.
+
+    Args:
+        locator_id: identity.
+        position: physical position.
+        n_sectors: antenna count (sector width = 2*pi / n_sectors).
+        range_ft: transmission range.
+        declared_position: the position it *advertises* (a compromised
+            locator lies here).
+    """
+
+    def __init__(
+        self,
+        locator_id: int,
+        position: Point,
+        *,
+        n_sectors: int = 8,
+        range_ft: float = 150.0,
+        declared_position: Point | None = None,
+    ) -> None:
+        if n_sectors < 1:
+            raise ConfigurationError(f"n_sectors must be >= 1, got {n_sectors}")
+        self.locator_id = locator_id
+        self.position = position
+        self.n_sectors = n_sectors
+        self.range_ft = range_ft
+        self.declared_position = (
+            declared_position if declared_position is not None else position
+        )
+
+    def sector_width_rad(self) -> float:
+        """Angular width of one sector."""
+        return 2 * math.pi / self.n_sectors
+
+    def sector_index_for(self, receiver: Point) -> int:
+        """Which antenna's sector physically covers ``receiver``."""
+        angle = math.atan2(
+            receiver.y - self.position.y, receiver.x - self.position.x
+        ) % (2 * math.pi)
+        return int(angle // self.sector_width_rad()) % self.n_sectors
+
+    def heard_sector(self, receiver: Point) -> Sector | None:
+        """The sector a receiver at ``receiver`` hears, or None.
+
+        The sector's geometry is expressed from the *declared* position —
+        which is how a lying locator corrupts the sensor's region — while
+        audibility and the transmitting antenna are physical.
+        """
+        if distance(self.position, receiver) > self.range_ft:
+            return None
+        index = self.sector_index_for(receiver)
+        width = self.sector_width_rad()
+        return Sector(
+            origin=self.declared_position,
+            bearing_rad=(index + 0.5) * width,
+            width_rad=width,
+            range_ft=self.range_ft,
+        )
+
+
+def serloc_localize(
+    sectors: Sequence[Sector], *, grid_step_ft: float = 5.0
+) -> Point:
+    """Center of gravity of the intersection of ``sectors``.
+
+    Raises:
+        InsufficientReferencesError: no sectors, or empty intersection at
+            the sampling resolution (inconsistent — possibly attacked —
+            information).
+    """
+    if not sectors:
+        raise InsufficientReferencesError("SeRLoc needs at least one sector")
+    check_positive(grid_step_ft, "grid_step_ft")
+
+    x_lo = max(s.origin.x - s.range_ft for s in sectors)
+    x_hi = min(s.origin.x + s.range_ft for s in sectors)
+    y_lo = max(s.origin.y - s.range_ft for s in sectors)
+    y_hi = min(s.origin.y + s.range_ft for s in sectors)
+    if x_hi < x_lo or y_hi < y_lo:
+        raise InsufficientReferencesError(
+            "sector bounding boxes are disjoint (inconsistent beacons?)"
+        )
+
+    sum_x = 0.0
+    sum_y = 0.0
+    count = 0
+    steps_x = int((x_hi - x_lo) / grid_step_ft) + 1
+    steps_y = int((y_hi - y_lo) / grid_step_ft) + 1
+    for i in range(steps_x):
+        x = x_lo + i * grid_step_ft
+        for j in range(steps_y):
+            y = y_lo + j * grid_step_ft
+            p = Point(x, y)
+            if all(s.contains(p) for s in sectors):
+                sum_x += x
+                sum_y += y
+                count += 1
+    if count == 0:
+        raise InsufficientReferencesError(
+            "sector intersection is empty at this resolution "
+            "(inconsistent beacons?)"
+        )
+    return Point(sum_x / count, sum_y / count)
+
+
+def localize_with(
+    locators: Sequence[SerLocLocator],
+    receiver: Point,
+    *,
+    grid_step_ft: float = 5.0,
+) -> Point:
+    """Full SeRLoc round: collect heard sectors, intersect, estimate."""
+    sectors: List[Sector] = []
+    for locator in locators:
+        sector = locator.heard_sector(receiver)
+        if sector is not None:
+            sectors.append(sector)
+    return serloc_localize(sectors, grid_step_ft=grid_step_ft)

@@ -1,0 +1,22 @@
+"""Geographic routing substrate (GPSR — Karp & Kung, MobiCom 2000).
+
+The paper's introduction motivates secure localization partly through
+geographic routing: "in geographical routing (e.g., GPSR), sensor nodes
+make routing decisions at least partially based on their own and their
+neighbors' locations". This package implements GPSR — greedy forwarding
+plus perimeter (face) routing on a Gabriel-graph planarization — over the
+simulator, so the downstream damage of corrupted positions (and the
+benefit of the paper's defence) can be measured end to end.
+"""
+
+from repro.routing.table import PositionTable
+from repro.routing.gpsr import GpsrRouter, RouteResult
+from repro.routing.metrics import delivery_ratio, mean_path_stretch
+
+__all__ = [
+    "PositionTable",
+    "GpsrRouter",
+    "RouteResult",
+    "delivery_ratio",
+    "mean_path_stretch",
+]

@@ -1,0 +1,241 @@
+"""GPSR: greedy perimeter stateless routing (Karp & Kung, 2000).
+
+Two modes, exactly as in the original protocol:
+
+- **Greedy**: forward to the physical neighbour whose *believed* position
+  is closest to the destination's believed position, requiring strict
+  progress.
+- **Perimeter**: at a local minimum (no neighbour closer than self),
+  planarize the neighbourhood with the Gabriel-graph test and walk faces
+  with the right-hand rule, switching faces where the walked edge crosses
+  the line from the perimeter entry point ``L_p`` to the destination;
+  return to greedy as soon as the current node is closer to the
+  destination than ``L_p`` was.
+
+All geometry uses *believed* positions (a lying beacon corrupts them);
+connectivity uses physical positions (radio truth). A hop limit bounds
+pathological perimeter walks caused by corrupted coordinates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.routing.table import PositionTable
+from repro.sim.network import Network
+from repro.utils.geometry import Point, distance
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one packet.
+
+    Attributes:
+        delivered: True when the packet reached the destination node.
+        path: node ids visited, starting at the source.
+        greedy_hops / perimeter_hops: per-mode hop counts.
+        failure_reason: why routing stopped, when not delivered.
+    """
+
+    delivered: bool
+    path: List[int] = field(default_factory=list)
+    greedy_hops: int = 0
+    perimeter_hops: int = 0
+    failure_reason: str = ""
+
+    @property
+    def hops(self) -> int:
+        """Total hops taken."""
+        return max(0, len(self.path) - 1)
+
+
+def _segments_cross(a: Point, b: Point, c: Point, d: Point) -> bool:
+    """True when open segments ab and cd properly intersect."""
+
+    def orient(p: Point, q: Point, r: Point) -> float:
+        return (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x)
+
+    o1 = orient(a, b, c)
+    o2 = orient(a, b, d)
+    o3 = orient(c, d, a)
+    o4 = orient(c, d, b)
+    return (o1 * o2 < 0) and (o3 * o4 < 0)
+
+
+class GpsrRouter:
+    """Routes packets over a network snapshot using believed positions.
+
+    Args:
+        network: physical topology (who can hear whom).
+        table: believed positions (possibly corrupted).
+        hop_limit: safety bound on route length.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        table: PositionTable,
+        *,
+        hop_limit: int = 200,
+    ) -> None:
+        if hop_limit < 1:
+            raise ConfigurationError(f"hop_limit must be >= 1, got {hop_limit}")
+        self.network = network
+        self.table = table
+        self.hop_limit = hop_limit
+        self._neighbors: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: int) -> List[int]:
+        """Physical radio neighbours that have believed positions."""
+        cached = self._neighbors.get(node_id)
+        if cached is None:
+            node = self.network.node(node_id)
+            cached = [
+                n.node_id
+                for n in self.network.neighbors_of(node)
+                if self.table.knows(n.node_id)
+            ]
+            self._neighbors[node_id] = cached
+        return cached
+
+    def planar_neighbors(self, node_id: int) -> List[int]:
+        """Gabriel-graph filter over believed positions.
+
+        Edge (u, v) survives iff no common-range witness w lies strictly
+        inside the circle with diameter uv.
+        """
+        u = self.table.position_of(node_id)
+        kept = []
+        candidates = self.neighbors(node_id)
+        for v_id in candidates:
+            v = self.table.position_of(v_id)
+            mid = Point((u.x + v.x) / 2.0, (u.y + v.y) / 2.0)
+            radius = distance(u, v) / 2.0
+            blocked = False
+            for w_id in candidates:
+                if w_id == v_id:
+                    continue
+                w = self.table.position_of(w_id)
+                if distance(w, mid) < radius - 1e-9:
+                    blocked = True
+                    break
+            if not blocked:
+                kept.append(v_id)
+        return kept
+
+    # ------------------------------------------------------------------
+    # Forwarding rules
+    # ------------------------------------------------------------------
+    def _greedy_next(self, current: int, dst: int) -> Optional[int]:
+        dst_pos = self.table.position_of(dst)
+        best_id = None
+        best_dist = self.table.position_of(current).distance_to(dst_pos)
+        for n_id in self.neighbors(current):
+            d = self.table.position_of(n_id).distance_to(dst_pos)
+            if d < best_dist - 1e-12:
+                best_dist = d
+                best_id = n_id
+        return best_id
+
+    def _right_hand_next(
+        self, current: int, came_from_bearing: float
+    ) -> Optional[int]:
+        """First planar edge counterclockwise from the incoming bearing."""
+        u = self.table.position_of(current)
+        best_id = None
+        best_sweep = None
+        for v_id in self.planar_neighbors(current):
+            v = self.table.position_of(v_id)
+            bearing = math.atan2(v.y - u.y, v.x - u.x)
+            sweep = (bearing - came_from_bearing) % (2.0 * math.pi)
+            if sweep < 1e-12:
+                sweep = 2.0 * math.pi  # the incoming edge itself: last resort
+            if best_sweep is None or sweep < best_sweep:
+                best_sweep = sweep
+                best_id = v_id
+        return best_id
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def route(self, src: int, dst: int) -> RouteResult:
+        """Route a packet from ``src`` to ``dst``."""
+        if src == dst:
+            return RouteResult(delivered=True, path=[src])
+        if not (self.table.knows(src) and self.table.knows(dst)):
+            return RouteResult(
+                delivered=False, path=[src], failure_reason="unknown-position"
+            )
+
+        result = RouteResult(delivered=False, path=[src])
+        current = src
+        mode = "greedy"
+        entry_point: Optional[Point] = None  # L_p
+        prev: Optional[int] = None
+        dst_pos = self.table.position_of(dst)
+
+        while result.hops < self.hop_limit:
+            if current == dst:
+                result.delivered = True
+                return result
+
+            if mode == "greedy":
+                nxt = self._greedy_next(current, dst)
+                if nxt is not None:
+                    result.greedy_hops += 1
+                    prev, current = current, nxt
+                    result.path.append(current)
+                    continue
+                # Local minimum: enter perimeter mode.
+                mode = "perimeter"
+                entry_point = self.table.position_of(current)
+                # Start the walk as if arriving along the L_p->D direction.
+                prev = None
+
+            # Perimeter mode.
+            cur_pos = self.table.position_of(current)
+            if cur_pos.distance_to(dst_pos) < entry_point.distance_to(dst_pos) - 1e-12:
+                mode = "greedy"
+                entry_point = None
+                continue
+            if prev is None:
+                came_bearing = math.atan2(
+                    dst_pos.y - cur_pos.y, dst_pos.x - cur_pos.x
+                )
+            else:
+                prev_pos = self.table.position_of(prev)
+                came_bearing = math.atan2(
+                    prev_pos.y - cur_pos.y, prev_pos.x - cur_pos.x
+                )
+            nxt = self._right_hand_next(current, came_bearing)
+            if nxt is None:
+                result.failure_reason = "isolated-node"
+                return result
+            # Face change: if the edge crosses L_p -> D nearer to D, resume
+            # the walk on the new face (re-anchor the entry point).
+            nxt_pos = self.table.position_of(nxt)
+            if entry_point is not None and _segments_cross(
+                entry_point, dst_pos, cur_pos, nxt_pos
+            ):
+                crossing_progress = min(
+                    cur_pos.distance_to(dst_pos), nxt_pos.distance_to(dst_pos)
+                )
+                if crossing_progress < entry_point.distance_to(dst_pos):
+                    entry_point = (
+                        cur_pos
+                        if cur_pos.distance_to(dst_pos)
+                        < nxt_pos.distance_to(dst_pos)
+                        else nxt_pos
+                    )
+            result.perimeter_hops += 1
+            prev, current = current, nxt
+            result.path.append(current)
+
+        result.failure_reason = "hop-limit"
+        return result

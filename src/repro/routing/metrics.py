@@ -1,0 +1,61 @@
+"""Routing quality metrics: delivery ratio and path stretch."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.routing.gpsr import GpsrRouter
+from repro.sim.network import Network
+
+
+def physical_graph(network: Network) -> nx.Graph:
+    """The ground-truth connectivity graph (radio range edges)."""
+    graph = nx.Graph()
+    for node in network.nodes():
+        graph.add_node(node.node_id)
+    for node in network.nodes():
+        for neighbor in network.neighbors_of(node):
+            if node.node_id < neighbor.node_id:
+                graph.add_edge(node.node_id, neighbor.node_id)
+    return graph
+
+
+def delivery_ratio(
+    router: GpsrRouter, pairs: Sequence[Tuple[int, int]]
+) -> float:
+    """Fraction of (src, dst) pairs the router delivers."""
+    if not pairs:
+        return 0.0
+    delivered = sum(1 for s, d in pairs if router.route(s, d).delivered)
+    return delivered / len(pairs)
+
+
+def mean_path_stretch(
+    router: GpsrRouter,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    graph: Optional[nx.Graph] = None,
+) -> float:
+    """Mean (GPSR hops / shortest-path hops) over delivered pairs.
+
+    Pairs the router fails to deliver, or that are physically
+    disconnected, are skipped; returns NaN when nothing is comparable.
+    """
+    g = graph if graph is not None else physical_graph(router.network)
+    stretches: List[float] = []
+    for src, dst in pairs:
+        result = router.route(src, dst)
+        if not result.delivered:
+            continue
+        try:
+            optimal = nx.shortest_path_length(g, src, dst)
+        except nx.NetworkXNoPath:
+            continue
+        if optimal == 0:
+            continue
+        stretches.append(result.hops / optimal)
+    if not stretches:
+        return float("nan")
+    return sum(stretches) / len(stretches)

@@ -1,0 +1,82 @@
+"""Position tables: what each node *believes* about locations.
+
+Radio connectivity is physical (ground truth), but routing decisions use
+*believed* positions — the output of localization, possibly corrupted by
+malicious beacons. Keeping the two separate is what lets the routing bench
+measure the damage of location attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.network import Network
+from repro.utils.geometry import Point
+
+
+class PositionTable:
+    """A mapping from node id to believed position.
+
+    Args:
+        positions: initial beliefs.
+    """
+
+    def __init__(self, positions: Optional[Dict[int, Point]] = None) -> None:
+        self._positions: Dict[int, Point] = dict(positions or {})
+
+    @classmethod
+    def ground_truth(cls, network: Network) -> "PositionTable":
+        """Beliefs equal to physical reality (the no-attack baseline)."""
+        return cls({n.node_id: n.position for n in network.nodes()})
+
+    @classmethod
+    def from_estimates(
+        cls,
+        network: Network,
+        estimates: Dict[int, Point],
+        *,
+        fallback_to_truth: bool = True,
+    ) -> "PositionTable":
+        """Beliefs from localization output.
+
+        Args:
+            network: supplies the node universe.
+            estimates: node_id -> estimated position (e.g. from the
+                pipeline's agents).
+            fallback_to_truth: nodes without an estimate (beacons, unsolved
+                sensors) use their true position when True, else they are
+                absent from the table (and unroutable).
+        """
+        table: Dict[int, Point] = {}
+        for node in network.nodes():
+            if node.node_id in estimates:
+                table[node.node_id] = estimates[node.node_id]
+            elif fallback_to_truth:
+                table[node.node_id] = node.position
+        return cls(table)
+
+    def knows(self, node_id: int) -> bool:
+        """True when the table has a belief for ``node_id``."""
+        return node_id in self._positions
+
+    def position_of(self, node_id: int) -> Point:
+        """The believed position of ``node_id``."""
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"no believed position for node {node_id}"
+            ) from None
+
+    def set(self, node_id: int, position: Point) -> None:
+        """Overwrite one belief (used by attack injection in tests)."""
+        self._positions[node_id] = position
+
+    def node_ids(self) -> Iterable[int]:
+        """Ids with a believed position."""
+        return self._positions.keys()
+
+    def believed_distance(self, a: int, b: int) -> float:
+        """Distance between two believed positions."""
+        return self.position_of(a).distance_to(self.position_of(b))

@@ -1,0 +1,103 @@
+"""A minimal CSMA-style medium-access model.
+
+The paper's analysis needs only one MAC-level fact (Section 2.3): during a
+packet's transmission period a neighbour either receives the whole original
+signal or, on collision, nothing — so a local replay is delayed by at least
+one full packet transmission time. This module provides exactly that
+"all-or-nothing per transmission window" behaviour, plus carrier-sense
+backoff so senders serialize when they can hear each other.
+
+It is intentionally *optional*: the evaluation experiments run with the MAC
+disabled (like the paper's analysis, which abstracts MAC delays away via the
+register-level RTT), while MAC-focused tests and the ablation benches enable
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class _Window:
+    start: float
+    end: float
+    tx_id: int
+    collided: bool = False
+
+
+@dataclass
+class CsmaMedium:
+    """Tracks per-receiver reception windows and flags collisions.
+
+    Usage: the caller proposes a reception window with :meth:`try_receive`;
+    overlapping windows at the same receiver mark *both* transmissions as
+    collided and neither is delivered (all-or-nothing).
+    """
+
+    enabled: bool = True
+    _windows: Dict[int, List[_Window]] = field(default_factory=dict)
+
+    def try_receive(
+        self, receiver_id: int, start: float, end: float, tx_id: int
+    ) -> bool:
+        """Propose delivering transmission ``tx_id`` to ``receiver_id``.
+
+        Returns:
+            True if the window is (so far) collision-free. A later
+            overlapping proposal retroactively voids the earlier one, which
+            callers observe via :meth:`is_clear` at delivery time.
+        """
+        if end < start:
+            raise ConfigurationError(f"bad window: start={start}, end={end}")
+        if not self.enabled:
+            return True
+        windows = self._windows.setdefault(receiver_id, [])
+        clear = True
+        for w in windows:
+            if w.start < end and start < w.end:
+                w.collided = True
+                clear = False
+        windows.append(_Window(start=start, end=end, tx_id=tx_id, collided=not clear))
+        return clear
+
+    def is_clear(self, receiver_id: int, tx_id: int) -> bool:
+        """True when transmission ``tx_id`` at ``receiver_id`` never collided."""
+        if not self.enabled:
+            return True
+        for w in self._windows.get(receiver_id, ()):
+            if w.tx_id == tx_id:
+                return not w.collided
+        return False
+
+    def busy_until(self, listener_id: int, now: float) -> Optional[float]:
+        """Carrier sense: when does the channel at ``listener_id`` go idle?
+
+        Returns None if the channel is already idle at ``now``.
+        """
+        latest: Optional[float] = None
+        for w in self._windows.get(listener_id, ()):
+            if w.start <= now < w.end:
+                latest = w.end if latest is None else max(latest, w.end)
+        return latest
+
+    def prune(self, before: float) -> int:
+        """Drop windows that ended before ``before``; returns count removed."""
+        removed = 0
+        for receiver_id, windows in self._windows.items():
+            kept = [w for w in windows if w.end >= before]
+            removed += len(windows) - len(kept)
+            self._windows[receiver_id] = kept
+        return removed
+
+    def stats(self) -> Tuple[int, int]:
+        """(total windows tracked, collided windows)."""
+        total = 0
+        collided = 0
+        for windows in self._windows.values():
+            total += len(windows)
+            collided += sum(1 for w in windows if w.collided)
+        return total, collided

@@ -1,0 +1,140 @@
+"""Node mobility: the random-waypoint model.
+
+Section 2.1 names mobility as one way to make detecting IDs harder to
+unmask ("if sensor nodes have certain mobility ... it will become even
+more difficult for the attacker to determine the source of a request
+message"). This module provides the standard random-waypoint walker over
+the simulation clock: pick a destination uniformly in the field, move at a
+speed drawn from [v_min, v_max], pause, repeat. Positions update through
+:meth:`repro.sim.network.Network.update_position`, keeping neighbor
+queries consistent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import seconds_to_cycles
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.utils.geometry import Point, distance
+
+
+@dataclass(frozen=True)
+class WaypointConfig:
+    """Random-waypoint parameters.
+
+    Attributes:
+        field_width_ft / field_height_ft: movement bounds.
+        speed_min_ft_s / speed_max_ft_s: uniform speed range.
+        pause_s: dwell time at each waypoint.
+        step_s: position-update granularity.
+    """
+
+    field_width_ft: float = 1_000.0
+    field_height_ft: float = 1_000.0
+    speed_min_ft_s: float = 1.0
+    speed_max_ft_s: float = 5.0
+    pause_s: float = 0.0
+    step_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.field_width_ft <= 0 or self.field_height_ft <= 0:
+            raise ConfigurationError("field dimensions must be positive")
+        if not 0 < self.speed_min_ft_s <= self.speed_max_ft_s:
+            raise ConfigurationError(
+                "need 0 < speed_min <= speed_max, got "
+                f"[{self.speed_min_ft_s}, {self.speed_max_ft_s}]"
+            )
+        if self.pause_s < 0 or self.step_s <= 0:
+            raise ConfigurationError("pause_s must be >= 0 and step_s > 0")
+
+
+class RandomWaypointWalker:
+    """Drives one node along random waypoints on the engine clock."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: Node,
+        config: WaypointConfig,
+        rng: random.Random,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.config = config
+        self.rng = rng
+        self.waypoints_visited = 0
+        self._target: Optional[Point] = None
+        self._speed_ft_s = 0.0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin walking; schedules the first movement step."""
+        if self._running:
+            return
+        self._running = True
+        self._pick_waypoint()
+        self._schedule_step()
+
+    def stop(self) -> None:
+        """Freeze the node at its current position."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pick_waypoint(self) -> None:
+        self._target = Point(
+            self.rng.uniform(0.0, self.config.field_width_ft),
+            self.rng.uniform(0.0, self.config.field_height_ft),
+        )
+        self._speed_ft_s = self.rng.uniform(
+            self.config.speed_min_ft_s, self.config.speed_max_ft_s
+        )
+
+    def _schedule_step(self, delay_s: Optional[float] = None) -> None:
+        if not self._running:
+            return
+        step = self.config.step_s if delay_s is None else delay_s
+        self.network.engine.schedule_in(
+            seconds_to_cycles(step), self._step, label="waypoint-step"
+        )
+
+    def _step(self) -> None:
+        if not self._running or self._target is None:
+            return
+        pos = self.node.position
+        remaining = distance(pos, self._target)
+        stride = self._speed_ft_s * self.config.step_s
+        if remaining <= stride:
+            self.network.update_position(self.node, self._target)
+            self.waypoints_visited += 1
+            self._pick_waypoint()
+            self._schedule_step(self.config.pause_s + self.config.step_s)
+            return
+        frac = stride / remaining
+        new_pos = Point(
+            pos.x + (self._target.x - pos.x) * frac,
+            pos.y + (self._target.y - pos.y) * frac,
+        )
+        self.network.update_position(self.node, new_pos)
+        self._schedule_step()
+
+
+def start_walkers(
+    network: Network,
+    nodes: List[Node],
+    config: WaypointConfig,
+    rng: random.Random,
+) -> List[RandomWaypointWalker]:
+    """Convenience: start one walker per node; returns the walkers."""
+    walkers = []
+    for node in nodes:
+        walker = RandomWaypointWalker(network, node, config, rng)
+        walker.start()
+        walkers.append(walker)
+    return walkers

@@ -1,0 +1,98 @@
+"""Node base class: identity, position, and packet dispatch.
+
+Protocol behaviour (beacon service, detection, revocation handling) is built
+by registering per-packet-type handlers; subclasses in
+:mod:`repro.localization.beacon`, :mod:`repro.attacks`, and
+:mod:`repro.core.pipeline` compose on top of this.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Type
+
+from repro.errors import SimulationError
+from repro.sim.messages import Packet
+from repro.sim.radio import Reception
+from repro.utils.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.network import Network
+
+Handler = Callable[["Node", Reception], None]
+
+
+class Node:
+    """A sensor node in the simulated field.
+
+    Attributes:
+        node_id: unique integer identity.
+        position: physical location (ground truth; nodes do not necessarily
+            *know* it — only beacon nodes do, per the paper's model).
+        is_beacon: True for beacon nodes (location-aware).
+        revoked: set by the revocation protocol; revoked beacons' signals
+            are ignored by compliant nodes.
+    """
+
+    def __init__(self, node_id: int, position: Point, *, is_beacon: bool = False) -> None:
+        self.node_id = int(node_id)
+        self.position = position
+        self.is_beacon = bool(is_beacon)
+        self.revoked = False
+        self.network: Optional["Network"] = None
+        self._handlers: Dict[Type[Packet], Handler] = {}
+        self.received_count = 0
+        self.dropped_count = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        """Called by :meth:`Network.add_node`; stores the back-reference."""
+        self.network = network
+
+    def on(self, packet_type: Type[Packet], handler: Handler) -> None:
+        """Register ``handler`` for receptions of ``packet_type``.
+
+        Dispatch is by exact type first, then by subclass match.
+        """
+        self._handlers[packet_type] = handler
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet, **delivery_kwargs) -> None:
+        """Transmit ``packet`` from this node's physical position."""
+        if self.network is None:
+            raise SimulationError(
+                f"node {self.node_id} is not attached to a network"
+            )
+        self.network.unicast(self, packet, **delivery_kwargs)
+
+    def handle(self, reception: Reception) -> None:
+        """Dispatch an arriving packet to the registered handler."""
+        self.received_count += 1
+        handler = self._lookup_handler(type(reception.packet))
+        if handler is None:
+            self.dropped_count += 1
+            return
+        handler(self, reception)
+
+    def _lookup_handler(self, packet_type: Type[Packet]) -> Optional[Handler]:
+        handler = self._handlers.get(packet_type)
+        if handler is not None:
+            return handler
+        for registered, candidate in self._handlers.items():
+            if issubclass(packet_type, registered):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def distance_to(self, other: "Node") -> float:
+        """Physical (ground-truth) distance to ``other``."""
+        return self.position.distance_to(other.position)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "beacon" if self.is_beacon else "sensor"
+        return f"Node(id={self.node_id}, {role}, pos={self.position})"

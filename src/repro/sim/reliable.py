@@ -1,0 +1,155 @@
+"""Lossy channels and retransmission-based reliable delivery.
+
+The paper assumes (§3.2) "every alert from beacon nodes can be
+successfully delivered to the base station using some standard fault
+tolerant techniques (e.g., retransmission) when there are message
+losses". This module supplies both halves of that assumption:
+
+- :class:`LossModel` — per-attempt Bernoulli loss, pluggable into the
+  network or used standalone;
+- :class:`ReliableChannel` — stop-and-wait ARQ over a lossy link: retry
+  with a fixed timeout until an attempt (and its acknowledgement) gets
+  through or the retry budget is exhausted.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Engine
+from repro.utils.validation import check_int_in_range, check_probability
+
+
+@dataclass
+class LossModel:
+    """Independent per-attempt message loss.
+
+    Attributes:
+        loss_rate: probability a single transmission attempt is lost.
+        rng: randomness source.
+    """
+
+    loss_rate: float
+    rng: random.Random
+    attempts: int = field(default=0, init=False)
+    losses: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        check_probability(self.loss_rate, "loss_rate")
+
+    def attempt_succeeds(self) -> bool:
+        """Draw one attempt; updates counters."""
+        self.attempts += 1
+        if self.rng.random() < self.loss_rate:
+            self.losses += 1
+            return False
+        return True
+
+    def expected_attempts(self) -> float:
+        """Mean attempts until first success (geometric distribution)."""
+        if self.loss_rate >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - self.loss_rate)
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of one reliable send."""
+
+    delivered: bool
+    attempts: int
+    completion_time: float
+
+
+class ReliableChannel:
+    """Stop-and-wait ARQ: retransmit until delivered or budget exhausted.
+
+    Both the data packet and the acknowledgement traverse the lossy link,
+    so one round trip succeeds with probability ``(1 - loss)^2``.
+
+    Args:
+        engine: the simulation engine for timeout scheduling.
+        loss: the loss model (shared counters are intentional).
+        max_retries: additional attempts after the first.
+        retry_timeout_cycles: wait before concluding an attempt failed.
+        ack_required: model the acknowledgement path too (default True).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        loss: LossModel,
+        *,
+        max_retries: int = 8,
+        retry_timeout_cycles: float = 1_000_000.0,
+        ack_required: bool = True,
+    ) -> None:
+        check_int_in_range(max_retries, "max_retries", 0)
+        if retry_timeout_cycles <= 0:
+            raise ConfigurationError(
+                f"retry_timeout_cycles must be > 0, got {retry_timeout_cycles}"
+            )
+        self.engine = engine
+        self.loss = loss
+        self.max_retries = max_retries
+        self.retry_timeout_cycles = retry_timeout_cycles
+        self.ack_required = ack_required
+        self.sends = 0
+        self.delivered = 0
+        self.failed = 0
+
+    def _attempt_round_trip(self) -> bool:
+        if not self.loss.attempt_succeeds():
+            return False
+        if self.ack_required and not self.loss.attempt_succeeds():
+            return False
+        return True
+
+    def send(
+        self,
+        deliver: Callable[[], None],
+        *,
+        on_failure: Optional[Callable[[], None]] = None,
+    ) -> DeliveryReport:
+        """Deliver ``deliver()`` reliably; returns the synchronous report.
+
+        The delivery callback runs at the simulated completion time (the
+        attempt number times the timeout); the report is computed eagerly
+        so callers in tests can assert without running the engine, while
+        the scheduled callback preserves causality for protocol code.
+        """
+        self.sends += 1
+        attempts = 0
+        for attempt in range(self.max_retries + 1):
+            attempts += 1
+            if self._attempt_round_trip():
+                delay = (attempts - 1) * self.retry_timeout_cycles
+                completion = self.engine.now() + delay
+                if delay > 0:
+                    self.engine.schedule_in(delay, deliver, label="arq-deliver")
+                else:
+                    deliver()
+                self.delivered += 1
+                return DeliveryReport(
+                    delivered=True, attempts=attempts, completion_time=completion
+                )
+        self.failed += 1
+        if on_failure is not None:
+            failure_delay = attempts * self.retry_timeout_cycles
+            self.engine.schedule_in(failure_delay, on_failure, label="arq-fail")
+        return DeliveryReport(
+            delivered=False,
+            attempts=attempts,
+            completion_time=self.engine.now()
+            + attempts * self.retry_timeout_cycles,
+        )
+
+    def delivery_probability(self) -> float:
+        """P[delivered within the retry budget] for the configured loss."""
+        p_attempt = 1.0 - self.loss.loss_rate
+        if self.ack_required:
+            p_attempt *= 1.0 - self.loss.loss_rate
+        return 1.0 - (1.0 - p_attempt) ** (self.max_retries + 1)

@@ -1,0 +1,63 @@
+"""Deterministic named random streams.
+
+Every stochastic component draws from its own named stream derived from one
+master seed, so that (a) experiments are exactly reproducible, and (b) adding
+randomness to one subsystem does not perturb the draws seen by another —
+the standard trick for variance-controlled discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``master_seed`` and a stream name.
+
+    Uses SHA-256 so that child seeds are statistically independent even for
+    adjacent master seeds and similar names.
+    """
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`random.Random` streams.
+
+    Example:
+        >>> rngs = RngRegistry(seed=42)
+        >>> deploy_rng = rngs.stream("deployment")
+        >>> noise_rng = rngs.stream("rssi-noise")
+        >>> rngs.stream("deployment") is deploy_rng
+        True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: Dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self._seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose master seed is derived from ``name``.
+
+        Useful for giving each simulation trial its own independent universe
+        of streams.
+        """
+        return RngRegistry(derive_seed(self._seed, f"fork:{name}"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self._seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,69 @@
+"""Structured event tracing.
+
+Tests and examples use the trace to assert on *what happened* (deliveries,
+detections, revocations) without reaching into private state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded happening: a kind, a timestamp, and free-form fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Dict-style access to the event's fields."""
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only in-memory trace with simple filtering."""
+
+    def __init__(self, *, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        """Append an event (no-op when disabled or at capacity)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            return
+        self._events.append(TraceEvent(time=time, kind=kind, fields=fields))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events whose kind equals ``kind``."""
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return len(self.of_kind(kind))
+
+    def where(self, kind: str, **match: Any) -> List[TraceEvent]:
+        """Events of ``kind`` whose fields contain every ``match`` item."""
+        out = []
+        for event in self.of_kind(kind):
+            if all(event.get(k) == v for k, v in match.items()):
+                out.append(event)
+        return out
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self._events.clear()

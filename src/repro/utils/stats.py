@@ -1,0 +1,118 @@
+"""Small statistics toolkit: empirical CDFs and exact binomial terms.
+
+The paper's analysis (Sections 2.3 and 3.2) is built almost entirely from
+binomial probabilities and an empirical round-trip-time distribution, so we
+keep exact, dependency-light implementations here.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Sequence
+
+
+class Ecdf:
+    """Empirical cumulative distribution function over a fixed sample.
+
+    Mirrors the paper's use of the measured RTT distribution (Figure 4):
+    exposes the CDF value at any point plus the support bounds ``x_min``
+    (largest x with F(x) = 0) and ``x_max`` (smallest x with F(x) = 1).
+    """
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        data = sorted(float(s) for s in samples)
+        if not data:
+            raise ValueError("Ecdf requires at least one sample")
+        self._data: List[float] = data
+
+    @property
+    def n(self) -> int:
+        """Number of samples backing the ECDF."""
+        return len(self._data)
+
+    @property
+    def x_min(self) -> float:
+        """The minimum observed value; F(x) = 0 for all x < x_min."""
+        return self._data[0]
+
+    @property
+    def x_max(self) -> float:
+        """The maximum observed value; F(x) = 1 for all x >= x_max."""
+        return self._data[-1]
+
+    def __call__(self, x: float) -> float:
+        """F(x): fraction of samples <= x."""
+        return bisect.bisect_right(self._data, x) / len(self._data)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF: the smallest sample value v with F(v) >= q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self._data[0]
+        index = math.ceil(q * len(self._data)) - 1
+        return self._data[index]
+
+    def support_width(self) -> float:
+        """x_max - x_min: the width of the observed support."""
+        return self.x_max - self.x_min
+
+    def curve(self) -> List[tuple]:
+        """The full (x, F(x)) step curve, one point per distinct sample."""
+        points = []
+        n = len(self._data)
+        previous = None
+        for i, x in enumerate(self._data):
+            if x != previous:
+                # overwrite duplicates with the highest step
+                points.append((x, (i + 1) / n))
+                previous = x
+            else:
+                points[-1] = (x, (i + 1) / n)
+        return points
+
+
+def binomial_pmf(k: int, n: int, p: float) -> float:
+    """P[X = k] for X ~ Binomial(n, p), computed exactly.
+
+    Uses ``math.comb`` so it stays numerically exact for the small n used in
+    the paper's analysis (N_c, N_a, N_w are all at most a few hundred).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    if k < 0 or k > n:
+        return 0.0
+    # 0**0 == 1 in Python, which is exactly the convention we need here.
+    return math.comb(n, k) * (p**k) * ((1.0 - p) ** (n - k))
+
+
+def binomial_cdf(k: int, n: int, p: float) -> float:
+    """P[X <= k] for X ~ Binomial(n, p)."""
+    if k < 0:
+        return 0.0
+    upper = min(k, n)
+    return math.fsum(binomial_pmf(i, n, p) for i in range(upper + 1))
+
+
+def binomial_sf(k: int, n: int, p: float) -> float:
+    """P[X > k] for X ~ Binomial(n, p) (the survival function).
+
+    This is the paper's ``P_d = 1 - sum_{i=0}^{tau} P(i)`` form.
+    """
+    return max(0.0, 1.0 - binomial_cdf(k, n, p))
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not values:
+        raise ValueError("mean of an empty sequence is undefined")
+    return math.fsum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Population variance; raises on an empty sequence."""
+    mu = mean(values)
+    return math.fsum((v - mu) ** 2 for v in values) / len(values)

@@ -1,0 +1,46 @@
+"""Argument validation helpers.
+
+These raise :class:`repro.errors.ConfigurationError` with a consistent
+message format, so configuration mistakes surface at construction time
+instead of as silent mis-simulation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Alias of :func:`check_probability` for values that are fractions."""
+    return check_probability(value, name)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_int_in_range(value: int, name: str, low: int, high: int | None = None) -> int:
+    """Validate that ``value`` is an int within ``[low, high]`` and return it."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an int, got {value!r}")
+    if value < low or (high is not None and value > high):
+        bound = f">= {low}" if high is None else f"in [{low}, {high}]"
+        raise ConfigurationError(f"{name} must be {bound}, got {value!r}")
+    return value

@@ -1,0 +1,26 @@
+"""Wormhole detectors.
+
+The paper assumes "there is a wormhole detector installed on every beacon
+and non-beacon node ... [that] can tell whether two communicating nodes are
+neighbor nodes or not with certain accuracy" and parameterizes the analysis
+by its detection rate ``p_d`` (0.9 in the evaluation).
+
+- :class:`ProbabilisticWormholeDetector` — the abstract detector the
+  analysis uses: flags true wormholes with probability ``p_d``;
+- :class:`GeographicLeashDetector`, :class:`TemporalLeashDetector` — the
+  concrete packet-leash mechanisms (Hu, Perrig & Johnson, INFOCOM 2003)
+  the paper cites, usable as drop-in implementations.
+"""
+
+from repro.wormhole.detector import (
+    ProbabilisticWormholeDetector,
+    WormholeDetector,
+)
+from repro.wormhole.leashes import GeographicLeashDetector, TemporalLeashDetector
+
+__all__ = [
+    "WormholeDetector",
+    "ProbabilisticWormholeDetector",
+    "GeographicLeashDetector",
+    "TemporalLeashDetector",
+]

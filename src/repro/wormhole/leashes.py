@@ -1,0 +1,115 @@
+"""Packet leashes (Hu, Perrig & Johnson, INFOCOM 2003).
+
+Concrete wormhole-detection mechanisms the paper cites:
+
+- **Geographic leash**: the sender includes its location; the receiver
+  flags the packet when the implied sender-receiver distance exceeds the
+  radio range plus error allowances. A wormhole that teleports a signal
+  across the field makes that distance impossible.
+- **Temporal leash**: the sender timestamps the packet; with clocks
+  synchronized to within ``max_clock_skew``, a packet whose time-of-flight
+  implies a distance beyond the radio range is flagged. Tunnels add latency
+  and distance, tripping the bound.
+
+Both operate on our :class:`Reception` objects. The geographic leash reads
+the *physical* transmission origin (a leash is transmitted authenticated by
+the honest sender; for a tunnelled copy, the leash still carries the honest
+origin while the signal emerges elsewhere — our ``Transmission.tx_origin``
+*is* the emergence point, so the distance check uses origin-vs-receiver
+exactly as the real mechanism would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.radio import SPEED_OF_LIGHT_FT_PER_CYCLE, Reception
+from repro.utils.geometry import Point, distance
+from repro.wormhole.detector import WormholeDetector
+
+
+@dataclass
+class GeographicLeashDetector(WormholeDetector):
+    """Flags receptions whose emergence point is implausibly far.
+
+    Args:
+        comm_range_ft: the radio range bound.
+        slack_ft: allowance for localization error of the two endpoints
+            (the leash's ``delta`` terms).
+    """
+
+    comm_range_ft: float
+    slack_ft: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.comm_range_ft <= 0:
+            raise ConfigurationError(
+                f"comm_range_ft must be > 0, got {self.comm_range_ft}"
+            )
+        if self.slack_ft < 0:
+            raise ConfigurationError(f"slack_ft must be >= 0, got {self.slack_ft}")
+
+    def detect(self, reception: Reception, receiver_position: Point) -> bool:
+        tx = reception.transmission
+        if tx.fake_wormhole_symptoms:
+            return True
+        # The leash is the sender's authenticated location. Beacon packets
+        # already carry one (the claimed location); packets without a leash
+        # cannot be checked by this mechanism.
+        claimed = getattr(reception.packet, "claimed_point", None)
+        if claimed is None:
+            return False
+        # A signal whose (honest) sender is farther than the radio range
+        # cannot have arrived directly — the geographic leash's core test.
+        return (
+            distance(claimed, receiver_position)
+            > self.comm_range_ft + self.slack_ft
+        )
+
+
+@dataclass
+class TemporalLeashDetector(WormholeDetector):
+    """Flags receptions whose time-of-flight is implausibly long.
+
+    Args:
+        comm_range_ft: the radio range bound.
+        max_clock_skew_cycles: synchronization error budget.
+        airtime_allowance_cycles: expected airtime (subtracted before the
+            time-of-flight test).
+    """
+
+    comm_range_ft: float
+    max_clock_skew_cycles: float = 10.0
+    airtime_allowance_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.comm_range_ft <= 0:
+            raise ConfigurationError(
+                f"comm_range_ft must be > 0, got {self.comm_range_ft}"
+            )
+        if self.max_clock_skew_cycles < 0:
+            raise ConfigurationError(
+                f"max_clock_skew_cycles must be >= 0, got {self.max_clock_skew_cycles}"
+            )
+
+    def max_flight_cycles(self) -> float:
+        """The largest believable propagation delay for a direct signal."""
+        return (
+            self.comm_range_ft / SPEED_OF_LIGHT_FT_PER_CYCLE
+            + self.max_clock_skew_cycles
+        )
+
+    def detect(self, reception: Reception, receiver_position: Point) -> bool:
+        tx = reception.transmission
+        if tx.fake_wormhole_symptoms:
+            return True
+        airtime = self.airtime_allowance_cycles
+        if airtime <= 0.0:
+            # Infer the nominal airtime from the packet size at the
+            # standard bit rate so only *extra* latency counts.
+            from repro.sim.timing import packet_transmission_cycles
+
+            airtime = packet_transmission_cycles(reception.packet.size_bits)
+        flight = reception.arrival_time - tx.departure_time - airtime
+        return flight > self.max_flight_cycles()

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.manager import KeyManager
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh event engine."""
+    return Engine()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    """A deterministic RNG registry."""
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def trace() -> TraceRecorder:
+    """An enabled trace recorder."""
+    return TraceRecorder(enabled=True)
+
+
+@pytest.fixture
+def network(engine, rngs, trace) -> Network:
+    """A default network (150 ft range, 10 ft ranging error)."""
+    return Network(engine, rngs=rngs, trace=trace)
+
+
+@pytest.fixture
+def key_manager() -> KeyManager:
+    """A key manager with the full-pairwise oracle scheme."""
+    return KeyManager()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A plain deterministic random stream."""
+    return random.Random(99)

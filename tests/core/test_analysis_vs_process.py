@@ -1,0 +1,144 @@
+"""Formula-vs-process property tests.
+
+The paper's closed forms describe stochastic processes (independent
+requesters, Bernoulli alerts, binomial thresholds). These tests simulate
+the *processes* directly — no network stack, just the probabilistic model
+— and verify the formulas in :mod:`repro.core.analysis` predict them.
+This is a different check from the full-pipeline comparison: it isolates
+formula errors from protocol-implementation effects.
+"""
+
+import random
+
+import pytest
+
+from repro.core import analysis
+from repro.core.analysis import Population
+
+POP = Population(n_total=2_000, n_beacons=220, n_malicious=20)
+
+
+def simulate_revocation_process(
+    p_prime, m, tau_alert, n_c, population, rng, trials=2_000
+):
+    """Directly simulate the §3.2 alert process; returns revocation rate."""
+    p_benign_beacon = population.n_benign_beacons / population.n_total
+    p_r = 1.0 - (1.0 - p_prime) ** m
+    revoked = 0
+    for _ in range(trials):
+        alerts = 0
+        for _ in range(n_c):
+            if rng.random() < p_benign_beacon and rng.random() < p_r:
+                alerts += 1
+        if alerts > tau_alert:
+            revoked += 1
+    return revoked / trials
+
+
+class TestDetectionRateProcess:
+    @pytest.mark.parametrize(
+        "p_prime,m,tau,n_c",
+        [
+            (0.1, 8, 2, 100),
+            (0.3, 4, 1, 50),
+            (0.05, 8, 4, 150),
+            (0.5, 2, 3, 80),
+        ],
+    )
+    def test_formula_matches_direct_simulation(self, p_prime, m, tau, n_c):
+        rng = random.Random(hash((p_prime, m, tau, n_c)) & 0xFFFF)
+        simulated = simulate_revocation_process(
+            p_prime, m, tau, n_c, POP, rng
+        )
+        predicted = analysis.revocation_detection_rate(
+            p_prime, m, tau, n_c, POP
+        )
+        assert simulated == pytest.approx(predicted, abs=0.035)
+
+
+class TestDetectingIdProcess:
+    def test_pr_formula_matches_probe_process(self):
+        """m sticky per-requester decisions; detected iff any is MALICIOUS."""
+        rng = random.Random(7)
+        p_prime = 0.15
+        m = 8
+        trials = 20_000
+        detected = 0
+        for _ in range(trials):
+            if any(rng.random() < p_prime for _ in range(m)):
+                detected += 1
+        assert detected / trials == pytest.approx(
+            analysis.detection_rate_pr(p_prime, m), abs=0.01
+        )
+
+
+class TestAffectedProcess:
+    def test_n_prime_formula_matches_victim_process(self):
+        """Simulate the post-revocation victim count for one liar."""
+        rng = random.Random(13)
+        p_prime, m, tau, n_c = 0.2, 8, 3, 60
+        p_d = analysis.revocation_detection_rate(p_prime, m, tau, n_c, POP)
+        p_non_beacon = POP.n_non_beacons / POP.n_total
+        trials = 4_000
+        total_victims = 0
+        for _ in range(trials):
+            revoked = rng.random() < p_d
+            if revoked:
+                continue
+            for _ in range(n_c):
+                if rng.random() < p_non_beacon and rng.random() < p_prime:
+                    total_victims += 1
+        simulated = total_victims / trials
+        predicted = analysis.affected_non_beacons(p_prime, m, tau, n_c, POP)
+        # The formula decouples P_d from the per-requester draws (both
+        # derived from the same parameters), matching the paper's
+        # independence approximation.
+        assert simulated == pytest.approx(predicted, rel=0.15)
+
+
+class TestReportCounterProcess:
+    def test_po_formula_matches_counter_process(self):
+        """Simulate one benign beacon's report counter (§3.2, Figure 10)."""
+        rng = random.Random(19)
+        tau_report = 1
+        n_c, m, p_prime, tau_alert = 10, 8, 0.1, 1
+        n_wormholes, p_d = 10, 0.9
+
+        p_r = analysis.detection_rate_pr(p_prime, m)
+        p_detect = analysis.revocation_detection_rate(
+            p_prime, m, tau_alert, n_c, POP
+        )
+        p1 = p_r * n_c * (1.0 - p_detect) / POP.n_total
+        n_f = analysis.false_positives_nf(
+            n_wormholes, p_d, tau_report, tau_alert, POP
+        )
+        p2 = (
+            2.0
+            * (1.0 - p_d)
+            * max(0.0, POP.n_benign_beacons - n_f)
+            / (POP.n_benign_beacons**2)
+        )
+
+        trials = 200_000
+        overflow = 0
+        for _ in range(trials):
+            counter = 0
+            for _ in range(POP.n_malicious):
+                if rng.random() < p1:
+                    counter += 1
+            for _ in range(n_wormholes):
+                if rng.random() < p2:
+                    counter += 1
+            if counter > tau_report:
+                overflow += 1
+        predicted = analysis.report_counter_overflow(
+            tau_report,
+            n_c=n_c,
+            m=m,
+            p_prime=p_prime,
+            tau_alert=tau_alert,
+            n_wormholes=n_wormholes,
+            p_d=p_d,
+            population=POP,
+        )
+        assert overflow / trials == pytest.approx(predicted, abs=5e-4)

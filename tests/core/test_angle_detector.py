@@ -1,0 +1,234 @@
+"""Tests for the AoA consistency detector and triangulation solver."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.angle_detector import (
+    AngleConsistencyDetector,
+    CombinedConsistencyDetector,
+    MIN_BEARINGS,
+    angular_difference,
+    aoa_triangulate,
+    wrap_angle,
+)
+from repro.core.signal_detector import MaliciousSignalDetector
+from repro.errors import InsufficientReferencesError
+from repro.localization.measurement import AoaModel
+from repro.localization.references import LocationReference
+from repro.utils.geometry import Point
+
+angles = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+class TestAngleHelpers:
+    def test_wrap_angle_range(self):
+        for raw in (-10.0, -math.pi, 0.0, math.pi, 7.5):
+            assert -math.pi < wrap_angle(raw) <= math.pi
+
+    def test_wrap_identity_inside(self):
+        assert wrap_angle(1.0) == pytest.approx(1.0)
+
+    def test_angular_difference_symmetric(self):
+        assert angular_difference(0.1, 3.0) == pytest.approx(
+            angular_difference(3.0, 0.1)
+        )
+
+    def test_angular_difference_wraps(self):
+        # Just above -pi and just below +pi are close.
+        assert angular_difference(math.pi - 0.01, -math.pi + 0.01) == (
+            pytest.approx(0.02, abs=1e-9)
+        )
+
+    @given(angles, angles)
+    def test_angular_difference_bounded(self, a, b):
+        assert 0.0 <= angular_difference(a, b) <= math.pi + 1e-9
+
+
+class TestAngleDetector:
+    def test_truthful_bearing_passes(self):
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        declared = Point(100, 100)
+        true_bearing = math.atan2(100, 100)
+        assert not d.is_malicious(own, declared, true_bearing)
+
+    def test_angular_lie_detected(self):
+        # Beacon physically north, claims to be east.
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        declared = Point(100, 0)  # east
+        measured = math.pi / 2  # signal actually arrives from north
+        assert d.is_malicious(own, declared, measured)
+
+    def test_error_within_bound_tolerated(self):
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        declared = Point(100, 0)
+        assert not d.is_malicious(own, declared, math.radians(4.9))
+
+    def test_on_ray_lie_escapes_angle_check(self):
+        # A lie farther along the same bearing preserves the angle — the
+        # case only the distance check catches.
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        declared = Point(300, 0)  # physically at (100, 0), same ray
+        assert not d.is_malicious(own, declared, 0.0)
+
+    def test_with_aoa_model_noise(self, rng):
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        model = AoaModel(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        beacon = Point(80, 60)
+        for _ in range(100):
+            measured = model.measure_bearing(own, beacon, rng)
+            assert not d.is_malicious(own, beacon, measured)
+
+    @given(
+        st.floats(min_value=10, max_value=500),
+        st.floats(min_value=-math.pi, max_value=math.pi),
+    )
+    @settings(max_examples=40)
+    def test_truthful_property(self, dist, bearing):
+        d = AngleConsistencyDetector(max_error_rad=math.radians(5))
+        own = Point(0, 0)
+        declared = Point(dist * math.cos(bearing), dist * math.sin(bearing))
+        assert not d.is_malicious(own, declared, bearing)
+
+
+class TestCombinedDetector:
+    def make(self):
+        return CombinedConsistencyDetector(
+            distance_detector=MaliciousSignalDetector(max_error_ft=10.0),
+            angle_detector=AngleConsistencyDetector(
+                max_error_rad=math.radians(5)
+            ),
+        )
+
+    def test_on_ray_lie_caught_by_distance(self):
+        d = self.make()
+        own = Point(0, 0)
+        # Physical beacon at (100, 0); declares (300, 0) on the same ray.
+        check = d.check(own, Point(300, 0), 100.0, 0.0)
+        assert not check.angle.is_malicious
+        assert check.distance.is_malicious
+        assert check.is_malicious
+
+    def test_iso_range_lie_caught_by_angle(self):
+        d = self.make()
+        own = Point(0, 0)
+        # Physical beacon at (100, 0); declares (0, 100): same range,
+        # different direction.
+        check = d.check(own, Point(0, 100), 100.0, 0.0)
+        assert check.angle.is_malicious
+        assert not check.distance.is_malicious
+        assert check.is_malicious
+
+    def test_consistent_lie_passes_both(self):
+        # The §2.1 equivalence: consistent with both measurements ==
+        # indistinguishable from an honest beacon at the declared spot.
+        d = self.make()
+        own = Point(0, 0)
+        check = d.check(own, Point(100, 0), 100.0, 0.0)
+        assert not check.is_malicious
+
+    def test_truthful_beacon_passes(self):
+        d = self.make()
+        own = Point(30, 40)
+        beacon = Point(130, 40)
+        check = d.check(own, beacon, 100.0, 0.0)
+        assert not check.is_malicious
+
+
+class TestAoaTriangulation:
+    def bearings_from(self, truth, beacons, *, noise=0.0, rng=None):
+        refs = []
+        for i, b in enumerate(beacons):
+            theta = math.atan2(b.y - truth.y, b.x - truth.x)
+            if rng is not None:
+                theta += rng.uniform(-noise, noise)
+            refs.append(
+                LocationReference(
+                    beacon_id=i + 1,
+                    beacon_location=b,
+                    measured_distance_ft=0.0,
+                    measured_angle_rad=theta,
+                )
+            )
+        return refs
+
+    def test_exact_recovery(self):
+        truth = Point(40, 70)
+        beacons = [Point(0, 0), Point(200, 0), Point(0, 200)]
+        est = aoa_triangulate(self.bearings_from(truth, beacons))
+        assert est.distance_to(truth) < 1e-6
+
+    def test_two_bearings_suffice(self):
+        truth = Point(40, 70)
+        beacons = [Point(0, 0), Point(200, 0)]
+        est = aoa_triangulate(self.bearings_from(truth, beacons))
+        assert est.distance_to(truth) < 1e-6
+        assert MIN_BEARINGS == 2
+
+    def test_noisy_recovery_reasonable(self):
+        rng = random.Random(8)
+        truth = Point(100, 100)
+        beacons = [Point(0, 0), Point(300, 0), Point(0, 300), Point(300, 300)]
+        errors = []
+        for _ in range(30):
+            refs = self.bearings_from(
+                truth, beacons, noise=math.radians(5), rng=rng
+            )
+            errors.append(aoa_triangulate(refs).distance_to(truth))
+        assert sum(errors) / len(errors) < 30.0
+
+    def test_too_few_bearings(self):
+        truth = Point(1, 1)
+        with pytest.raises(InsufficientReferencesError):
+            aoa_triangulate(self.bearings_from(truth, [Point(0, 0)]))
+
+    def test_missing_angles_ignored(self):
+        refs = [
+            LocationReference(
+                beacon_id=1,
+                beacon_location=Point(0, 0),
+                measured_distance_ft=10.0,
+            )
+        ] * 5
+        with pytest.raises(InsufficientReferencesError):
+            aoa_triangulate(refs)
+
+    def test_parallel_bearings_rejected(self):
+        refs = [
+            LocationReference(
+                beacon_id=i,
+                beacon_location=Point(0, float(i * 100)),
+                measured_distance_ft=0.0,
+                measured_angle_rad=0.0,
+            )
+            for i in (1, 2, 3)
+        ]
+        with pytest.raises(InsufficientReferencesError):
+            aoa_triangulate(refs)
+
+    def test_lying_beacon_shifts_estimate(self):
+        truth = Point(50, 50)
+        honest = [Point(0, 0), Point(200, 0), Point(0, 200)]
+        refs = self.bearings_from(truth, honest)
+        baseline = aoa_triangulate(refs)
+        # Replace one declared location (bearing unchanged — it is
+        # physical), shifting the inferred ray.
+        lied = list(refs)
+        # (150, 0) is OFF the true bearing ray through (0,0) and (50,50),
+        # so the lied ray misses the true position.
+        lied[0] = LocationReference(
+            beacon_id=1,
+            beacon_location=Point(150, 0),
+            measured_distance_ft=0.0,
+            measured_angle_rad=refs[0].measured_angle_rad,
+        )
+        shifted = aoa_triangulate(lied)
+        assert shifted.distance_to(baseline) > 10.0

@@ -1,0 +1,162 @@
+"""Tests for angle-aware detection vs the signal-aligning liar."""
+
+import math
+
+import pytest
+
+from repro.attacks.aligned import SignalAligningLiar
+from repro.attacks.strategy import AdversaryStrategy
+from repro.core.detecting import DetectingBeacon
+from repro.core.detecting_aoa import AngleDetectingBeacon
+from repro.core.replay_filter import ReplayFilterCascade
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.core.rtt import LocalReplayDetector, calibrate_rtt
+from repro.core.signal_detector import MaliciousSignalDetector
+from repro.crypto.manager import KeyManager
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.utils.geometry import Point
+from repro.wormhole.detector import ProbabilisticWormholeDetector
+
+
+class World:
+    def __init__(self, seed=17):
+        self.engine = Engine()
+        self.rngs = RngRegistry(seed)
+        self.net = Network(self.engine, rngs=self.rngs)
+        self.net.ranging_error = lambda d, rng: 0.0  # isolate the attack
+        self.km = KeyManager()
+        self.bs = BaseStation(
+            self.km, RevocationConfig(tau_report=5, tau_alert=0)
+        )
+        self.cal = calibrate_rtt(
+            self.net.rtt_model, self.rngs.stream("cal"), samples=800
+        )
+
+    def cascade(self, name):
+        return ReplayFilterCascade(
+            wormhole_detector=ProbabilisticWormholeDetector(
+                1.0, self.rngs.stream(f"wd{name}")
+            ),
+            local_replay_detector=LocalReplayDetector(self.cal),
+            comm_range_ft=self.net.radio.comm_range_ft,
+        )
+
+    def add_detector(self, node_id, pos, *, angle_aware):
+        self.km.enroll(node_id, is_beacon=True)
+        cls = AngleDetectingBeacon if angle_aware else DetectingBeacon
+        beacon = cls(
+            node_id,
+            pos,
+            self.km,
+            signal_detector=MaliciousSignalDetector(max_error_ft=10.0),
+            filter_cascade=self.cascade(node_id),
+            base_station=self.bs,
+            detecting_ids=self.km.allocate_detecting_ids(node_id, 4),
+        )
+        self.net.add_node(beacon)
+        for did in beacon.detecting_ids:
+            self.net.add_alias(did, node_id)
+        return beacon
+
+    def add_aligned_liar(self, node_id, pos, requester_positions):
+        self.km.enroll(node_id, is_beacon=True)
+        liar = SignalAligningLiar(
+            node_id,
+            pos,
+            self.km,
+            AdversaryStrategy(p_n=0.0),
+            known_requester_positions=requester_positions,
+        )
+        self.net.add_node(liar)
+        return liar
+
+
+class TestAlignedLiar:
+    def test_distance_only_detector_fooled(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=False)
+        positions = {}
+        liar = world.add_aligned_liar(2, Point(100, 0), positions)
+        # The attacker knows every detecting ID's physical origin (all are
+        # the detector's own position).
+        for did in detector.detecting_ids:
+            positions[did] = detector.position
+        liar.known_requester_positions.update(positions)
+        detector.probe_all_ids(2)
+        world.engine.run()
+        # The lie is distance-consistent: every probe reads "consistent".
+        assert all(
+            o.decision == "consistent" for o in detector.probe_outcomes
+        )
+        assert not world.bs.revoked
+
+    def test_angle_aware_detector_catches_it(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=True)
+        positions = {did: detector.position for did in detector.detecting_ids}
+        world.add_aligned_liar(2, Point(100, 0), positions)
+        detector.probe_all_ids(2)
+        world.engine.run()
+        assert any(o.decision == "alert" for o in detector.probe_outcomes)
+        assert detector.angle_only_catches >= 1
+        assert world.bs.is_revoked(2)
+
+    def test_lie_really_is_distance_consistent(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=True)
+        positions = {did: detector.position for did in detector.detecting_ids}
+        liar = world.add_aligned_liar(2, Point(100, 0), positions)
+        detector.probe_all_ids(2)
+        world.engine.run()
+        # The angle fired, the distance check did not (pure angle catch).
+        assert detector.angle_only_catches == len(detector.detecting_ids)
+
+    def test_lie_displaced_by_expected_angle(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=False)
+        positions = {did: detector.position for did in detector.detecting_ids}
+        liar = world.add_aligned_liar(2, Point(100, 0), positions)
+        did = detector.detecting_ids[0]
+        from repro.sim.messages import BeaconRequest
+
+        lie_capture = []
+        original_reply = liar._reply
+
+        def spy(request, declared, **kwargs):
+            lie_capture.append(declared)
+            original_reply(request, declared, **kwargs)
+
+        liar._reply = spy
+        detector.probe(2, did)
+        world.engine.run()
+        (lie,) = lie_capture
+        # Same radius from the requester, ~60 degrees off the true ray.
+        assert lie.distance_to(detector.position) == pytest.approx(100.0)
+        angle = math.atan2(lie.y, lie.x)
+        assert abs(abs(angle) - math.radians(60.0)) < 1e-6
+
+    def test_honest_beacon_passes_angle_check(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=True)
+        from repro.localization.beacon import BeaconService
+
+        world.km.enroll(3, is_beacon=True)
+        world.net.add_node(BeaconService(3, Point(0, 120), world.km))
+        detector.probe_all_ids(3)
+        world.engine.run()
+        assert all(
+            o.decision == "consistent" for o in detector.probe_outcomes
+        )
+        assert not world.bs.revoked
+
+    def test_unknown_requester_falls_back_to_plain_lie(self):
+        world = World()
+        detector = world.add_detector(1, Point(0, 0), angle_aware=False)
+        # Attacker has no position intel: plain (inconsistent) lie, which
+        # even the distance-only detector catches.
+        world.add_aligned_liar(2, Point(100, 0), {})
+        detector.probe_all_ids(2)
+        world.engine.run()
+        assert any(o.decision == "alert" for o in detector.probe_outcomes)

@@ -1,0 +1,160 @@
+"""Tests for the base-station revocation protocol (Section 3.1)."""
+
+import pytest
+
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture
+def station(key_manager):
+    for i in range(1, 11):
+        key_manager.enroll(i, is_beacon=True)
+    return BaseStation(
+        key_manager,
+        RevocationConfig(tau_report=2, tau_alert=2),
+        trace=TraceRecorder(),
+    )
+
+
+def submit(station, detector, target, **kwargs):
+    payload = BaseStation.alert_payload(detector, target)
+    tag = station.key_manager.sign_alert_payload(detector, payload)
+    return station.submit_alert(detector, target, tag=tag, **kwargs)
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = RevocationConfig()
+        assert cfg.tau_report == 2
+        assert cfg.tau_alert == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RevocationConfig(tau_report=-1)
+        with pytest.raises(ConfigurationError):
+            RevocationConfig(tau_alert=-1)
+
+
+class TestAlertIntake:
+    def test_accepts_valid_alert(self, station):
+        assert submit(station, 1, 5)
+        assert station.suspiciousness(5) == 1
+
+    def test_rejects_bad_tag(self, station):
+        assert not station.submit_alert(1, 5, tag=b"garbage!")
+        assert station.suspiciousness(5) == 0
+
+    def test_rejects_missing_tag(self, station):
+        assert not station.submit_alert(1, 5)
+
+    def test_skip_verification_mode(self, station):
+        assert station.submit_alert(1, 5, verify=False)
+
+    def test_revocation_at_threshold_crossing(self, station):
+        # tau_alert=2: the third accepted alert revokes.
+        submit(station, 1, 5)
+        submit(station, 2, 5)
+        assert not station.is_revoked(5)
+        submit(station, 3, 5)
+        assert station.is_revoked(5)
+
+    def test_alerts_on_revoked_target_ignored(self, station):
+        for d in (1, 2, 3):
+            submit(station, d, 5)
+        assert not submit(station, 4, 5)
+        assert station.suspiciousness(5) == 3
+
+    def test_report_quota(self, station):
+        # tau_report=2: alerts accepted while counter <= 2 => 3 accepted.
+        results = [submit(station, 1, target) for target in (5, 6, 7, 8, 9)]
+        assert results == [True, True, True, False, False]
+
+    def test_quota_is_per_detector(self, station):
+        for target in (5, 6, 7, 8):
+            submit(station, 1, target)
+        assert submit(station, 2, 8)  # detector 2 unaffected
+
+    def test_revoked_detector_can_still_report(self, station):
+        # Revoke detector 1 (three alerts against it).
+        for d in (2, 3, 4):
+            submit(station, d, 1)
+        assert station.is_revoked(1)
+        # Its own alerts still count (paper: prevents pre-emptive silencing).
+        assert submit(station, 1, 9)
+
+    def test_audit_log_reasons(self, station):
+        submit(station, 1, 5)
+        station.submit_alert(1, 5, tag=b"badbadba")
+        for t in (6, 7, 8):
+            submit(station, 1, t)
+        reasons = [r.reason for r in station.log]
+        assert reasons == [
+            "accepted",
+            "bad-auth",
+            "accepted",
+            "accepted",
+            "quota-exceeded",
+        ]
+
+
+class TestMetrics:
+    def test_detection_and_fp_rates(self, station):
+        malicious = {9, 10}
+        benign = {1, 2, 3, 4, 5}
+        for d in (1, 2, 3):
+            submit(station, d, 9)
+        for d in (1, 2, 3):
+            submit(station, d, 5)
+        assert station.detection_rate(malicious) == 0.5
+        assert station.false_positive_rate(benign) == pytest.approx(0.2)
+
+    def test_rates_with_empty_sets(self, station):
+        assert station.detection_rate(set()) == 0.0
+        assert station.false_positive_rate(set()) == 0.0
+
+    def test_accepted_alert_count(self, station):
+        submit(station, 1, 5)
+        station.submit_alert(1, 5, tag=b"garbage!")
+        assert station.accepted_alert_count() == 1
+
+    def test_on_revoke_callback(self, key_manager):
+        for i in range(1, 5):
+            key_manager.enroll(i, is_beacon=True)
+        revoked = []
+        station = BaseStation(
+            key_manager,
+            RevocationConfig(tau_report=5, tau_alert=0),
+            on_revoke=revoked.append,
+        )
+        submit(station, 1, 2)
+        assert revoked == [2]
+
+    def test_trace_records_revocation(self, station):
+        for d in (1, 2, 3):
+            submit(station, d, 5)
+        assert station.trace.count("revoke") == 1
+
+
+class TestCollusionBound:
+    def test_colluders_capped_by_quota(self, key_manager):
+        """N_a colluders revoke at most N_a (tau'+1)/(tau+1) benign beacons."""
+        for i in range(1, 31):
+            key_manager.enroll(i, is_beacon=True)
+        station = BaseStation(
+            key_manager, RevocationConfig(tau_report=2, tau_alert=2)
+        )
+        colluders = [1, 2, 3]
+        benign = list(range(10, 30))
+        # Colluders dump alerts target-by-target (optimal strategy).
+        alerts = []
+        for c in colluders:
+            alerts.extend((c, t) for t in benign)
+        for c, t in alerts:
+            payload = BaseStation.alert_payload(c, t)
+            tag = key_manager.sign_alert_payload(c, payload)
+            station.submit_alert(c, t, tag=tag)
+        # Budget: 3 colluders * 3 accepted alerts = 9; 3 alerts per
+        # revocation => at most 3 benign beacons revoked.
+        assert len(station.revoked) <= 3

@@ -1,0 +1,96 @@
+"""Stateful property tests for the base-station revocation protocol.
+
+Hypothesis drives random alert streams against the BaseStation and checks
+the protocol's safety invariants after every step:
+
+- a detector never gets more than ``tau_report + 1`` alerts accepted;
+- a target is revoked exactly when its alert counter exceeds ``tau_alert``;
+- counters never decrease and the revoked set never shrinks;
+- a revoked target's counter freezes.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.crypto.manager import KeyManager
+
+TAU_REPORT = 2
+TAU_ALERT = 2
+BEACONS = list(range(1, 13))
+
+
+class RevocationMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.km = KeyManager()
+        for beacon_id in BEACONS:
+            self.km.enroll(beacon_id, is_beacon=True)
+        self.station = BaseStation(
+            self.km,
+            RevocationConfig(tau_report=TAU_REPORT, tau_alert=TAU_ALERT),
+        )
+        self.prev_alert_counters = {}
+        self.prev_revoked = set()
+
+    @rule(
+        detector=st.sampled_from(BEACONS),
+        accused=st.sampled_from(BEACONS),
+        forge=st.booleans(),
+    )
+    def submit(self, detector, accused, forge):
+        payload = BaseStation.alert_payload(detector, accused)
+        if forge:
+            tag = b"\x00" * 8
+        else:
+            tag = self.km.sign_alert_payload(detector, payload)
+        accepted = self.station.submit_alert(detector, accused, tag=tag)
+        if forge:
+            assert not accepted
+
+    @invariant()
+    def report_quota_never_exceeded(self):
+        for detector, count in self.station.report_counters.items():
+            assert count <= TAU_REPORT + 1
+
+    @invariant()
+    def revocation_matches_counter(self):
+        for target, count in self.station.alert_counters.items():
+            if count > TAU_ALERT:
+                assert target in self.station.revoked
+            else:
+                assert target not in self.station.revoked
+
+    @invariant()
+    def counters_monotone(self):
+        for target, count in self.prev_alert_counters.items():
+            assert self.station.alert_counters.get(target, 0) >= count
+        self.prev_alert_counters = dict(self.station.alert_counters)
+
+    @invariant()
+    def revoked_set_monotone(self):
+        assert self.prev_revoked <= self.station.revoked
+        self.prev_revoked = set(self.station.revoked)
+
+    @invariant()
+    def revoked_counter_frozen_at_threshold_plus_one(self):
+        for target in self.station.revoked:
+            assert self.station.alert_counters[target] == TAU_ALERT + 1
+
+    @invariant()
+    def log_accounts_for_everything(self):
+        accepted = sum(1 for r in self.station.log if r.accepted)
+        assert accepted == sum(self.station.report_counters.values())
+        assert accepted == sum(self.station.alert_counters.values())
+
+
+TestRevocationMachine = RevocationMachine.TestCase
+TestRevocationMachine.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)

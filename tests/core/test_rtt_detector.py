@@ -1,0 +1,107 @@
+"""Tests for RTT calibration and the local-replay detector."""
+
+import random
+
+import pytest
+
+from repro.core.rtt import (
+    LocalReplayDetector,
+    RttCalibration,
+    calibrate_rtt,
+    calibration_from_samples,
+)
+from repro.errors import CalibrationError, ConfigurationError
+from repro.sim.timing import BIT_TIME_CYCLES, RttModel, packet_transmission_cycles
+
+
+class TestCalibration:
+    def test_window_from_model(self, rng):
+        model = RttModel()
+        cal = calibrate_rtt(model, rng, samples=5000)
+        assert model.min_rtt() <= cal.x_min < cal.x_max <= model.max_rtt()
+        assert cal.samples == 5000
+
+    def test_window_bits_near_paper_margin(self, rng):
+        cal = calibrate_rtt(RttModel(), rng, samples=20000)
+        assert 3.5 < cal.window_bits <= 4.5
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(CalibrationError):
+            RttCalibration(x_min=10.0, x_max=5.0, samples=10)
+
+    def test_nonpositive_samples_rejected(self):
+        with pytest.raises(CalibrationError):
+            RttCalibration(x_min=1.0, x_max=2.0, samples=0)
+        with pytest.raises(ConfigurationError):
+            calibrate_rtt(RttModel(), random.Random(0), samples=0)
+
+    def test_from_external_samples(self):
+        cal = calibration_from_samples([100.0, 150.0, 120.0])
+        assert cal.x_min == 100.0
+        assert cal.x_max == 150.0
+        assert cal.samples == 3
+
+
+class TestLocalReplayDetector:
+    def _detector(self, seed=0):
+        cal = calibrate_rtt(RttModel(), random.Random(seed), samples=5000)
+        return LocalReplayDetector(cal), cal
+
+    def test_honest_rtts_pass(self):
+        det, cal = self._detector()
+        model = RttModel()
+        rng = random.Random(77)
+        flags = sum(
+            1 for _ in range(500) if det.is_replayed(model.sample(rng).rtt)
+        )
+        # A fresh honest sample can exceed the calibrated max only in the
+        # extreme tail; with 5000 calibration samples this is rare.
+        assert flags <= 5
+
+    def test_full_packet_replay_always_caught(self):
+        det, cal = self._detector()
+        model = RttModel()
+        rng = random.Random(78)
+        delay = packet_transmission_cycles(288)
+        for _ in range(200):
+            rtt = model.sample(rng, extra_delay_cycles=delay).rtt
+            assert det.is_replayed(rtt)
+
+    def test_sub_window_delay_undetectable(self):
+        # Delays below the window width can slip through — the paper's
+        # 4.5-bit blind spot.
+        det, cal = self._detector()
+        model = RttModel()
+        rng = random.Random(79)
+        tiny = BIT_TIME_CYCLES  # one bit-time of delay
+        caught = sum(
+            1
+            for _ in range(500)
+            if det.is_replayed(model.sample(rng, extra_delay_cycles=tiny).rtt)
+        )
+        assert caught < 500  # not always detected
+
+    def test_margin_reporting(self):
+        det, cal = self._detector()
+        assert det.detection_margin_cycles(cal.x_max + 100.0) == pytest.approx(
+            100.0
+        )
+        assert det.detection_margin_cycles(cal.x_max - 100.0) == pytest.approx(
+            -100.0
+        )
+
+    def test_uncalibrated_use_raises(self):
+        det = LocalReplayDetector(None)
+        with pytest.raises(CalibrationError):
+            det.is_replayed(1000.0)
+
+    def test_counters(self):
+        det, cal = self._detector()
+        det.is_replayed(cal.x_max + 1)
+        det.is_replayed(cal.x_min)
+        assert det.checks == 2
+        assert det.flagged == 1
+
+    def test_boundary_value_passes(self):
+        det, cal = self._detector()
+        assert not det.is_replayed(cal.x_max)

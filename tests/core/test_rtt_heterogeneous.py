@@ -1,0 +1,140 @@
+"""Tests for per-hardware-pair RTT calibration (paper §2.2.2 extension)."""
+
+import random
+
+import pytest
+
+from repro.core.rtt import RttCalibrationTable
+from repro.errors import CalibrationError
+from repro.sim.timing import RttModel, packet_transmission_cycles, sample_mixed_rtt
+
+#: Fast hardware: small register delays and jitter.
+FAST = RttModel(base_delay_cycles=2_000.0, jitter_cycles=200.0)
+#: Slow hardware: large register delays and jitter.
+SLOW = RttModel(base_delay_cycles=8_000.0, jitter_cycles=800.0)
+
+
+class TestMixedSampling:
+    def test_mixed_between_pure_extremes(self, rng):
+        fast = [sample_mixed_rtt(FAST, FAST, rng) for _ in range(500)]
+        slow = [sample_mixed_rtt(SLOW, SLOW, rng) for _ in range(500)]
+        mixed = [sample_mixed_rtt(FAST, SLOW, rng) for _ in range(500)]
+        assert max(fast) < min(mixed)
+        assert max(mixed) < min(slow)
+
+    def test_role_symmetry_for_identical_delay_models(self, rng):
+        ab = [sample_mixed_rtt(FAST, SLOW, rng) for _ in range(2000)]
+        ba = [sample_mixed_rtt(SLOW, FAST, rng) for _ in range(2000)]
+        assert sum(ab) / len(ab) == pytest.approx(
+            sum(ba) / len(ba), rel=0.02
+        )
+
+    def test_extra_delay_propagates(self, rng):
+        clean = sample_mixed_rtt(FAST, SLOW, rng)
+        delayed = sample_mixed_rtt(
+            FAST, SLOW, rng, extra_delay_cycles=50_000.0
+        )
+        assert delayed > clean + 40_000.0
+
+    def test_negative_inputs_rejected(self, rng):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            sample_mixed_rtt(FAST, SLOW, rng, distance_ft=-1.0)
+        with pytest.raises(ConfigurationError):
+            sample_mixed_rtt(FAST, SLOW, rng, extra_delay_cycles=-1.0)
+
+
+class TestCalibrationTable:
+    def make_table(self, seed=0):
+        table = RttCalibrationTable()
+        table.register_type("fast", FAST)
+        table.register_type("slow", SLOW)
+        table.calibrate_all(random.Random(seed), samples=3000)
+        return table
+
+    def test_windows_are_pair_specific(self):
+        table = self.make_table()
+        ff = table.window("fast", "fast")
+        ss = table.window("slow", "slow")
+        fs = table.window("fast", "slow")
+        assert ff.x_max < fs.x_min or ff.x_max < fs.x_max
+        assert fs.x_max < ss.x_max
+        assert ff.x_max < ss.x_min  # fully disjoint hardware profiles
+
+    def test_uncalibrated_pair_raises(self):
+        table = RttCalibrationTable()
+        table.register_type("fast", FAST)
+        with pytest.raises(CalibrationError):
+            table.window("fast", "fast")
+
+    def test_unknown_type_raises(self):
+        table = RttCalibrationTable()
+        with pytest.raises(CalibrationError):
+            table.calibrate_pair("alien", "alien", random.Random(0))
+
+    def test_pairwise_detector_accepts_honest_mixed_exchange(self):
+        table = self.make_table()
+        detector = table.detector_for("fast", "slow")
+        rng = random.Random(5)
+        flags = sum(
+            1
+            for _ in range(500)
+            if detector.is_replayed(sample_mixed_rtt(FAST, SLOW, rng))
+        )
+        assert flags <= 5
+
+    def test_pairwise_detector_catches_replay(self):
+        table = self.make_table()
+        detector = table.detector_for("fast", "slow")
+        rng = random.Random(6)
+        delay = packet_transmission_cycles(288)
+        assert all(
+            detector.is_replayed(
+                sample_mixed_rtt(FAST, SLOW, rng, extra_delay_cycles=delay)
+            )
+            for _ in range(200)
+        )
+
+    def test_global_window_misses_fast_pair_replays(self):
+        """Failure mode 1: calibrating on slow hardware lets a replay on a
+        fast pair hide inside the (too-wide) window."""
+        table = self.make_table()
+        slow_window_detector = table.detector_for("slow", "slow")
+        rng = random.Random(7)
+        # A replay between fast nodes delayed by much less than the gap
+        # between fast and slow profiles:
+        sneaky_delay = 8_000.0
+        caught = sum(
+            1
+            for _ in range(300)
+            if slow_window_detector.is_replayed(
+                sample_mixed_rtt(FAST, FAST, rng, extra_delay_cycles=sneaky_delay)
+            )
+        )
+        assert caught == 0  # invisible to the slow-calibrated window
+        # The correct per-pair window sees it every time.
+        fast_detector = table.detector_for("fast", "fast")
+        caught_correct = sum(
+            1
+            for _ in range(300)
+            if fast_detector.is_replayed(
+                sample_mixed_rtt(FAST, FAST, rng, extra_delay_cycles=sneaky_delay)
+            )
+        )
+        assert caught_correct == 300
+
+    def test_global_window_false_flags_slow_pairs(self):
+        """Failure mode 2: calibrating on fast hardware flags every honest
+        exchange between slow nodes as a replay."""
+        table = self.make_table()
+        fast_window_detector = table.detector_for("fast", "fast")
+        rng = random.Random(8)
+        flagged = sum(
+            1
+            for _ in range(300)
+            if fast_window_detector.is_replayed(
+                sample_mixed_rtt(SLOW, SLOW, rng)
+            )
+        )
+        assert flagged == 300

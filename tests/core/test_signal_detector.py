@@ -1,0 +1,84 @@
+"""Tests for the Section 2.1 distance-consistency detector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signal_detector import MaliciousSignalDetector, SignalVerdict
+from repro.errors import ConfigurationError
+from repro.utils.geometry import Point
+
+coords = st.floats(min_value=0, max_value=1000, allow_nan=False)
+
+
+class TestCheck:
+    def test_consistent_signal(self):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        check = d.check(Point(0, 0), Point(100, 0), measured_distance_ft=95.0)
+        assert check.verdict is SignalVerdict.CONSISTENT
+        assert not check.is_malicious
+        assert check.discrepancy_ft == pytest.approx(5.0)
+
+    def test_exactly_at_threshold_passes(self):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        check = d.check(Point(0, 0), Point(100, 0), measured_distance_ft=110.0)
+        assert check.verdict is SignalVerdict.CONSISTENT
+
+    def test_beyond_threshold_flagged(self):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        check = d.check(Point(0, 0), Point(100, 0), measured_distance_ft=111.0)
+        assert check.is_malicious
+
+    def test_short_measured_distance_flagged(self):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        assert d.is_malicious(Point(0, 0), Point(100, 0), 80.0)
+
+    def test_location_lie_detected(self):
+        # A beacon physically 100 ft away claims to be 300 ft away.
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        assert d.is_malicious(Point(0, 0), Point(300, 0), 100.0)
+
+    def test_diagnostics_fields(self):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        check = d.check(Point(0, 0), Point(3, 4), 5.0)
+        assert check.calculated_distance_ft == pytest.approx(5.0)
+        assert check.measured_distance_ft == 5.0
+        assert check.threshold_ft == 10.0
+
+    def test_zero_error_bound(self):
+        d = MaliciousSignalDetector(max_error_ft=0.0)
+        assert not d.is_malicious(Point(0, 0), Point(3, 4), 5.0)
+        assert d.is_malicious(Point(0, 0), Point(3, 4), 5.0001)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MaliciousSignalDetector(max_error_ft=-1.0)
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=60)
+    def test_truthful_beacon_never_flagged(self, x1, y1, x2, y2):
+        """A beacon at its declared location with exact ranging passes."""
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        own = Point(x1, y1)
+        declared = Point(x2, y2)
+        true_distance = own.distance_to(declared)
+        assert not d.is_malicious(own, declared, true_distance)
+
+    @given(coords, coords, st.floats(min_value=10.001, max_value=500))
+    @settings(max_examples=60)
+    def test_excess_discrepancy_always_flagged(self, x, y, excess):
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        own = Point(0, 0)
+        declared = Point(x, y)
+        measured = own.distance_to(declared) + excess
+        assert d.is_malicious(own, declared, measured)
+
+    def test_consistent_lie_passes_but_is_harmless(self):
+        """The paper's equivalence argument: a lie consistent with the
+        measurement is indistinguishable from a beacon actually at the
+        declared spot, hence harmless to localization."""
+        d = MaliciousSignalDetector(max_error_ft=10.0)
+        own = Point(0, 0)
+        lie = Point(60, 80)  # 100 ft away
+        # Attacker manipulates ranging to match the lie exactly.
+        assert not d.is_malicious(own, lie, 100.0)

@@ -1,0 +1,59 @@
+"""Tests for HMAC packet tags."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.mac import TAG_LENGTH, compute_tag, verify_tag
+from repro.errors import AuthenticationError
+
+
+class TestComputeTag:
+    def test_deterministic(self):
+        assert compute_tag(b"k", b"msg") == compute_tag(b"k", b"msg")
+
+    def test_default_length(self):
+        assert len(compute_tag(b"k", b"msg")) == TAG_LENGTH
+
+    def test_custom_length(self):
+        assert len(compute_tag(b"k", b"msg", length=16)) == 16
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(AuthenticationError):
+            compute_tag(b"", b"msg")
+
+    @pytest.mark.parametrize("length", [0, 33, -1])
+    def test_bad_length_rejected(self, length):
+        with pytest.raises(AuthenticationError):
+            compute_tag(b"k", b"msg", length=length)
+
+    def test_key_sensitivity(self):
+        assert compute_tag(b"k1", b"msg") != compute_tag(b"k2", b"msg")
+
+    def test_message_sensitivity(self):
+        assert compute_tag(b"k", b"a") != compute_tag(b"k", b"b")
+
+
+class TestVerifyTag:
+    def test_roundtrip(self):
+        tag = compute_tag(b"key", b"payload")
+        assert verify_tag(b"key", b"payload", tag)
+
+    def test_wrong_key_fails(self):
+        tag = compute_tag(b"key", b"payload")
+        assert not verify_tag(b"other", b"payload", tag)
+
+    def test_tampered_message_fails(self):
+        tag = compute_tag(b"key", b"payload")
+        assert not verify_tag(b"key", b"payload!", tag)
+
+    def test_none_tag_fails(self):
+        assert not verify_tag(b"key", b"payload", None)
+
+    def test_truncated_tag_fails(self):
+        tag = compute_tag(b"key", b"payload")
+        assert not verify_tag(b"key", b"payload", tag[:-1])
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=256))
+    def test_roundtrip_property(self, key, msg):
+        assert verify_tag(key, msg, compute_tag(key, msg))

@@ -1,0 +1,162 @@
+"""Tests for µTESLA broadcast authentication."""
+
+import pytest
+
+from repro.crypto.mutesla import (
+    KeyChain,
+    MuTeslaBroadcaster,
+    MuTeslaTag,
+    MuTeslaVerifier,
+)
+from repro.errors import AuthenticationError, ConfigurationError
+
+INTERVAL = 1000.0
+
+
+def make_pair(length=50, lag=2, start=0.0):
+    chain = KeyChain(
+        b"seed", length, interval_cycles=INTERVAL, start_time=start,
+        disclosure_lag=lag,
+    )
+    sender = MuTeslaBroadcaster(1, chain)
+    receiver = MuTeslaVerifier(
+        chain.commitment,
+        interval_cycles=INTERVAL,
+        start_time=start,
+        disclosure_lag=lag,
+    )
+    return chain, sender, receiver
+
+
+class TestKeyChain:
+    def test_one_way_property(self):
+        chain = KeyChain(b"s", 10, interval_cycles=INTERVAL)
+        from repro.crypto.mutesla import _chain_step
+
+        for i in range(1, 11):
+            assert _chain_step(chain.key_for_interval(i)) == (
+                chain.commitment
+                if i == 1
+                else chain.key_for_interval(i - 1)
+            )
+
+    def test_interval_at(self):
+        chain = KeyChain(b"s", 10, interval_cycles=INTERVAL, start_time=500.0)
+        assert chain.interval_at(500.0) == 0
+        assert chain.interval_at(1499.9) == 0
+        assert chain.interval_at(1500.0) == 1
+
+    def test_time_before_start_rejected(self):
+        chain = KeyChain(b"s", 10, interval_cycles=INTERVAL, start_time=500.0)
+        with pytest.raises(ConfigurationError):
+            chain.interval_at(100.0)
+
+    def test_interval_bounds(self):
+        chain = KeyChain(b"s", 10, interval_cycles=INTERVAL)
+        with pytest.raises(ConfigurationError):
+            chain.key_for_interval(0)
+        with pytest.raises(ConfigurationError):
+            chain.key_for_interval(11)
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            KeyChain(b"s", 0, interval_cycles=INTERVAL)
+        with pytest.raises(ConfigurationError):
+            KeyChain(b"s", 5, interval_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            KeyChain(b"s", 5, interval_cycles=INTERVAL, disclosure_lag=0)
+
+    def test_different_seeds_different_chains(self):
+        a = KeyChain(b"a", 5, interval_cycles=INTERVAL)
+        b = KeyChain(b"b", 5, interval_cycles=INTERVAL)
+        assert a.commitment != b.commitment
+
+
+class TestBroadcaster:
+    def test_interval_zero_cannot_authenticate(self):
+        _, sender, _ = make_pair()
+        with pytest.raises(AuthenticationError):
+            sender.authenticate(b"msg", now=100.0)
+
+    def test_exhausted_chain_rejected(self):
+        _, sender, _ = make_pair(length=3)
+        with pytest.raises(AuthenticationError):
+            sender.authenticate(b"msg", now=10 * INTERVAL)
+
+    def test_disclosure_respects_lag(self):
+        _, sender, _ = make_pair(lag=2)
+        assert sender.disclose(now=INTERVAL) is None  # interval 1, nothing old
+        disclosed = sender.disclose(now=3 * INTERVAL)  # interval 3 -> key 1
+        assert disclosed is not None
+        assert disclosed[0] == 1
+
+    def test_disclosure_caps_at_chain_length(self):
+        _, sender, _ = make_pair(length=3, lag=1)
+        interval, _key = sender.disclose(now=50 * INTERVAL)
+        assert interval == 3
+
+
+class TestEndToEnd:
+    def test_authenticate_then_verify(self):
+        _, sender, receiver = make_pair()
+        tag = sender.authenticate(b"alert", now=1.5 * INTERVAL)
+        assert receiver.buffer(b"alert", tag, arrival_time=1.6 * INTERVAL)
+        assert receiver.release_verified() == []  # key not yet known
+        interval, key = sender.disclose(now=3.5 * INTERVAL)
+        assert receiver.accept_key(interval, key)
+        released = receiver.release_verified()
+        assert released == [(b"alert", tag)]
+        assert receiver.pending == 0
+
+    def test_security_condition_rejects_late_packets(self):
+        _, sender, receiver = make_pair(lag=2)
+        tag = sender.authenticate(b"alert", now=1.5 * INTERVAL)
+        # Arrives after interval 1's key could be public (interval >= 3).
+        assert not receiver.buffer(b"alert", tag, arrival_time=3.1 * INTERVAL)
+        assert receiver.rejected_unsafe == 1
+
+    def test_forged_mac_rejected_after_disclosure(self):
+        _, sender, receiver = make_pair()
+        tag = sender.authenticate(b"alert", now=1.5 * INTERVAL)
+        forged = MuTeslaTag(sender_id=1, interval=tag.interval, mac=b"12345678")
+        receiver.buffer(b"forged", forged, arrival_time=1.6 * INTERVAL)
+        interval, key = sender.disclose(now=3.5 * INTERVAL)
+        receiver.accept_key(interval, key)
+        assert receiver.release_verified() == []
+        assert receiver.rejected_bad_mac == 1
+
+    def test_bogus_disclosed_key_rejected(self):
+        _, sender, receiver = make_pair()
+        assert not receiver.accept_key(1, b"x" * 16)
+
+    def test_key_reacceptance_consistent(self):
+        _, sender, receiver = make_pair()
+        interval, key = sender.disclose(now=4.5 * INTERVAL)
+        assert receiver.accept_key(interval, key)
+        assert receiver.accept_key(interval, key)  # idempotent
+        assert not receiver.accept_key(interval, b"y" * 16)
+
+    def test_skipped_disclosures_recovered(self):
+        # Receiver misses intermediate keys; a later key authenticates the
+        # whole prefix via repeated hashing.
+        _, sender, receiver = make_pair(length=20, lag=1)
+        tags = [
+            sender.authenticate(b"m%d" % i, now=(i + 0.5) * INTERVAL)
+            for i in range(1, 6)
+        ]
+        for i, tag in enumerate(tags, start=1):
+            receiver.buffer(b"m%d" % i, tag, arrival_time=(i + 0.6) * INTERVAL)
+        interval, key = sender.disclose(now=7 * INTERVAL)  # disclose K_6... -> K_5
+        assert interval >= 5
+        assert receiver.accept_key(interval, key)
+        assert len(receiver.release_verified()) == 5
+
+    def test_multiple_packets_same_interval(self):
+        _, sender, receiver = make_pair()
+        t1 = sender.authenticate(b"a", now=1.2 * INTERVAL)
+        t2 = sender.authenticate(b"b", now=1.8 * INTERVAL)
+        receiver.buffer(b"a", t1, arrival_time=1.3 * INTERVAL)
+        receiver.buffer(b"b", t2, arrival_time=1.9 * INTERVAL)
+        interval, key = sender.disclose(now=3.5 * INTERVAL)
+        receiver.accept_key(interval, key)
+        assert len(receiver.release_verified()) == 2

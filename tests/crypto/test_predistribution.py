@@ -1,0 +1,172 @@
+"""Tests for key predistribution schemes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.predistribution import (
+    BlomScheme,
+    EschenauerGligorScheme,
+    FullPairwiseScheme,
+    QCompositeScheme,
+)
+from repro.errors import ConfigurationError, KeyAgreementError
+
+
+class TestEschenauerGligor:
+    def make(self, pool=100, ring=30, seed=0):
+        return EschenauerGligorScheme(pool, ring, random.Random(seed))
+
+    def test_issue_idempotent(self):
+        s = self.make()
+        assert s.issue(1).key_ids == s.issue(1).key_ids
+
+    def test_ring_size(self):
+        s = self.make(pool=50, ring=10)
+        assert len(s.issue(1).key_ids) == 10
+
+    def test_pairwise_key_symmetric(self):
+        s = self.make()
+        s.issue(1)
+        s.issue(2)
+        if s.can_communicate(1, 2):
+            assert s.pairwise_key(1, 2) == s.pairwise_key(2, 1)
+
+    def test_disjoint_rings_fail(self):
+        # Pool 20, ring 10: force two disjoint rings by construction.
+        s = self.make(pool=20, ring=10)
+        s._rings[1] = type(s.issue(99))(node_id=1, key_ids=frozenset(range(10)))
+        s._rings[2] = type(s.issue(98))(node_id=2, key_ids=frozenset(range(10, 20)))
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(1, 2)
+
+    def test_unissued_node_fails(self):
+        s = self.make()
+        s.issue(1)
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(1, 42)
+
+    def test_full_ring_always_connects(self):
+        s = self.make(pool=10, ring=10)
+        s.issue(1)
+        s.issue(2)
+        assert s.can_communicate(1, 2)
+        assert s.connectivity_probability() == pytest.approx(1.0)
+
+    def test_connectivity_formula_matches_empirical(self):
+        s = self.make(pool=100, ring=15, seed=3)
+        for node_id in range(200):
+            s.issue(node_id)
+        pairs = 0
+        connected = 0
+        for a in range(0, 200, 2):
+            b = a + 1
+            pairs += 1
+            if s.can_communicate(a, b):
+                connected += 1
+        predicted = s.connectivity_probability()
+        assert connected / pairs == pytest.approx(predicted, abs=0.12)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self.make(pool=0, ring=0)
+        with pytest.raises(ConfigurationError):
+            self.make(pool=10, ring=11)
+
+    def test_distinct_pairs_distinct_keys(self):
+        s = self.make(pool=10, ring=10)
+        for i in (1, 2, 3):
+            s.issue(i)
+        assert s.pairwise_key(1, 2) != s.pairwise_key(1, 3)
+
+
+class TestQComposite:
+    def test_requires_q_shared(self):
+        s = QCompositeScheme(20, 10, 3, random.Random(0))
+        ring_cls = type(s.issue(99))
+        s._rings[1] = ring_cls(node_id=1, key_ids=frozenset({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}))
+        s._rings[2] = ring_cls(node_id=2, key_ids=frozenset({0, 1, 10, 11, 12, 13, 14, 15, 16, 17}))
+        # Only 2 shared keys < q=3.
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(1, 2)
+
+    def test_enough_overlap_succeeds(self):
+        s = QCompositeScheme(10, 10, 3, random.Random(0))
+        s.issue(1)
+        s.issue(2)
+        assert s.can_communicate(1, 2)
+
+    def test_q_exceeding_ring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QCompositeScheme(20, 5, 6, random.Random(0))
+
+    def test_q_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QCompositeScheme(20, 5, 0, random.Random(0))
+
+
+class TestBlom:
+    def test_every_pair_agrees(self):
+        s = BlomScheme(4, random.Random(1))
+        for i in range(10):
+            s.issue(i)
+        for a in range(10):
+            for b in range(a + 1, 10):
+                assert s.pairwise_key(a, b) == s.pairwise_key(b, a)
+
+    def test_scalar_symmetric(self):
+        s = BlomScheme(4, random.Random(1))
+        s.issue(3)
+        s.issue(7)
+        assert s.key_scalar(3, 7) == s.key_scalar(7, 3)
+
+    def test_distinct_pairs_distinct_scalars(self):
+        s = BlomScheme(6, random.Random(2))
+        for i in (1, 2, 3):
+            s.issue(i)
+        assert s.key_scalar(1, 2) != s.key_scalar(1, 3)
+
+    def test_unissued_fails(self):
+        s = BlomScheme(2, random.Random(0))
+        s.issue(1)
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(1, 2)
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(2, 1)
+
+    def test_lambda_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            BlomScheme(0, random.Random(0))
+
+    @given(st.integers(min_value=1, max_value=500), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=25)
+    def test_symmetry_property(self, a, b):
+        s = BlomScheme(3, random.Random(7))
+        s.issue(a)
+        s.issue(b)
+        assert s.key_scalar(a, b) == s.key_scalar(b, a)
+
+
+class TestFullPairwise:
+    def test_always_connects_issued(self):
+        s = FullPairwiseScheme()
+        s.issue(1)
+        s.issue(2)
+        assert s.can_communicate(1, 2)
+        assert s.pairwise_key(1, 2) == s.pairwise_key(2, 1)
+
+    def test_unissued_fails(self):
+        s = FullPairwiseScheme()
+        s.issue(1)
+        with pytest.raises(KeyAgreementError):
+            s.pairwise_key(1, 2)
+
+    def test_master_secret_matters(self):
+        a = FullPairwiseScheme(b"secret-a")
+        b = FullPairwiseScheme(b"secret-b")
+        for s in (a, b):
+            s.issue(1)
+            s.issue(2)
+        assert a.pairwise_key(1, 2) != b.pairwise_key(1, 2)

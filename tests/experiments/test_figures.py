@@ -1,0 +1,157 @@
+"""Tests for the per-figure generators.
+
+Shape assertions mirror what the paper's figures show (monotonicity,
+ordering of curves, peaks) rather than absolute values — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.sim.timing import BIT_TIME_CYCLES
+
+
+class TestFigure04:
+    def test_cdf_monotone_and_normalized(self):
+        fig = figures.figure04_rtt_cdf(samples=4000, seed=1)
+        cdf = fig.series["cdf"]
+        assert all(a <= b for a, b in zip(cdf.y, cdf.y[1:]))
+        assert cdf.y[-1] == pytest.approx(1.0)
+        assert cdf.y[0] <= 0.01
+
+    def test_narrow_support(self):
+        fig = figures.figure04_rtt_cdf(samples=4000, seed=1)
+        cdf = fig.series["cdf"]
+        width_bits = (cdf.x[-1] - cdf.x[0]) / BIT_TIME_CYCLES
+        assert width_bits <= 4.5
+
+    def test_notes_report_window(self):
+        fig = figures.figure04_rtt_cdf(samples=1000, seed=2)
+        assert "x_min" in fig.notes and "x_max" in fig.notes
+
+
+class TestFigure05:
+    def test_curve_ordering_by_m(self):
+        fig = figures.figure05_detection_vs_pprime()
+        at = lambda m: fig.series[f"m={m}"].y_at(0.2)  # noqa: E731
+        assert at(1) < at(2) < at(4) < at(8)
+
+    def test_monotone_in_pprime(self):
+        fig = figures.figure05_detection_vs_pprime()
+        for s in fig.series.values():
+            assert s.y == sorted(s.y)
+
+
+class TestFigure06:
+    def test_tau_ordering(self):
+        fig = figures.figure06_detection_rate()
+        at = lambda tau: fig.series[f"(a) tau={tau}, m=8"].y_at(0.1)  # noqa: E731
+        assert at(1) > at(2) > at(3) > at(4)
+
+    def test_m_ordering(self):
+        fig = figures.figure06_detection_rate()
+        at = lambda m: fig.series[f"(b) m={m}, tau=4"].y_at(0.1)  # noqa: E731
+        assert at(1) < at(2) < at(4) < at(8)
+
+    def test_rises_quickly_with_pprime(self):
+        fig = figures.figure06_detection_rate()
+        s = fig.series["(a) tau=2, m=8"]
+        assert s.y_at(0.02) < 0.5
+        assert s.y_at(0.5) > 0.95
+
+
+class TestFigure07:
+    def test_monotone_in_nc(self):
+        fig = figures.figure07_detection_vs_nc()
+        for s in fig.series.values():
+            assert s.y == sorted(s.y)
+
+    def test_larger_pprime_detected_sooner(self):
+        fig = figures.figure07_detection_vs_nc()
+        assert fig.series["P'=0.4"].y_at(50) > fig.series["P'=0.1"].y_at(50)
+
+
+class TestFigure08:
+    def test_larger_tau_more_affected_at_peak(self):
+        fig = figures.figure08_affected_vs_pprime()
+        peak = lambda tau, m: max(  # noqa: E731
+            fig.series[f"tau={tau}, m={m}"].y
+        )
+        assert peak(4, 8) > peak(2, 8)
+
+    def test_larger_m_fewer_affected_at_peak(self):
+        fig = figures.figure08_affected_vs_pprime()
+        peak = lambda tau, m: max(  # noqa: E731
+            fig.series[f"tau={tau}, m={m}"].y
+        )
+        assert peak(2, 8) < peak(2, 4)
+
+    def test_only_a_few_nodes_affected(self):
+        """The paper: 'in practice, there are only a few non-beacon nodes
+        accepting the malicious beacon signals'."""
+        fig = figures.figure08_affected_vs_pprime()
+        assert max(max(s.y) for s in fig.series.values()) < 15
+
+
+class TestFigure09:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.figure09_worstcase_affected(
+            nc_grid=tuple(range(0, 255, 15)), grid=80
+        )
+
+    def test_rises_then_drops(self, fig):
+        s = fig.series["m=8, tau=1"]
+        peak_idx = s.y.index(max(s.y))
+        assert 0 < peak_idx < len(s.y) - 1
+        assert s.y[-1] < max(s.y)
+
+    def test_smaller_tau_caps_damage(self, fig):
+        assert max(fig.series["m=8, tau=1"].y) < max(fig.series["m=8, tau=2"].y)
+
+
+class TestFigure10:
+    def test_overflow_probability_drops_with_quota(self):
+        fig = figures.figure10_report_counter()
+        for s in fig.series.values():
+            # Non-increasing up to floating-point dust near zero.
+            assert all(a >= b - 1e-12 for a, b in zip(s.y, s.y[1:]))
+
+    def test_near_zero_at_tau_two(self):
+        fig = figures.figure10_report_counter()
+        for s in fig.series.values():
+            assert s.y_at(2) < 0.05
+
+
+class TestFigure11:
+    def test_deployment_counts(self):
+        fig = figures.figure11_deployment(seed=0)
+        assert len(fig.series["benign beacons"].x) == 100
+        assert len(fig.series["malicious beacons"].x) == 10
+
+
+@pytest.mark.slow
+class TestSimulationFigures:
+    def test_figure12_sim_tracks_theory(self):
+        fig = figures.figure12_sim_detection_rate(p_grid=(0.1, 0.4), trials=1)
+        sim = fig.series["simulation"]
+        theory = fig.series["theory"]
+        for p in (0.1, 0.4):
+            assert abs(sim.y_at(p) - theory.y_at(p)) < 0.35
+
+    def test_figure13_affected_small(self):
+        fig = figures.figure13_sim_affected(p_grid=(0.2,), trials=1)
+        assert fig.series["simulation"].y_at(0.2) < 15
+
+    def test_figure14_roc_point(self):
+        fig = figures.figure14_roc(
+            n_as=(5,), tau_reports=(2,), tau_alerts=(2,), trials=1
+        )
+        (series,) = fig.series.values()
+        fp, det = series.x[0], series.y[0]
+        assert 0.0 <= fp <= 0.5
+        assert 0.0 <= det <= 1.0
+
+    def test_registry_complete(self):
+        assert set(figures.ALL_FIGURES) == {
+            f"figure{i:02d}" for i in range(4, 15)
+        }

@@ -1,0 +1,90 @@
+"""Tests for FigureData/Series containers and deployments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.deployment import generate_deployment
+from repro.experiments.series import FigureData, Series
+
+
+class TestSeries:
+    def test_append_and_points(self):
+        s = Series("test")
+        s.append(1, 2)
+        s.append(3, 4)
+        assert s.points() == [(1.0, 2.0), (3.0, 4.0)]
+
+    def test_y_at(self):
+        s = Series("test")
+        s.append(1, 2)
+        assert s.y_at(1) == 2.0
+        with pytest.raises(KeyError):
+            s.y_at(9)
+
+
+class TestFigureData:
+    def make(self):
+        fig = FigureData(
+            figure_id="figX", title="t", x_label="x", y_label="y"
+        )
+        s = fig.new_series("a")
+        s.append(1, 10)
+        return fig
+
+    def test_new_series_registers(self):
+        fig = self.make()
+        assert "a" in fig.series
+
+    def test_duplicate_series_rejected(self):
+        fig = self.make()
+        with pytest.raises(ValueError):
+            fig.new_series("a")
+
+    def test_to_rows(self):
+        fig = self.make()
+        assert fig.to_rows() == [("a", 1.0, 10.0)]
+
+    def test_format_table_contains_data(self):
+        fig = self.make()
+        fig.notes = "hello-note"
+        table = fig.format_table()
+        assert "figX" in table
+        assert "hello-note" in table
+        assert "1.0000" in table
+
+
+class TestDeployment:
+    def test_counts(self):
+        d = generate_deployment(
+            n_total=100, n_beacons=20, n_malicious=5, seed=1
+        )
+        assert len(d.benign_beacons) == 15
+        assert len(d.malicious_beacons) == 5
+        assert len(d.non_beacons) == 80
+        assert d.n_total == 100
+
+    def test_within_field(self):
+        d = generate_deployment(seed=2)
+        for p in d.benign_beacons + d.malicious_beacons + d.non_beacons:
+            assert 0 <= p.x <= d.field_width_ft
+            assert 0 <= p.y <= d.field_height_ft
+
+    def test_deterministic(self):
+        a = generate_deployment(seed=3)
+        b = generate_deployment(seed=3)
+        assert a.benign_beacons == b.benign_beacons
+
+    def test_seed_changes_layout(self):
+        a = generate_deployment(seed=3)
+        b = generate_deployment(seed=4)
+        assert a.benign_beacons != b.benign_beacons
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_deployment(n_total=10, n_beacons=20)
+
+    def test_density_and_neighbors(self):
+        d = generate_deployment(seed=5)
+        assert d.beacon_density_per_sqft() == pytest.approx(110 / 1e6)
+        # 1000 nodes, range 150: ~70 expected neighbours.
+        assert 60 < d.expected_neighbors(150.0) < 80

@@ -1,0 +1,86 @@
+"""Tests for the generic pipeline parameter sweep."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweeps import SUPPORTED_METRICS, sweep_config_field
+
+SMALL = dict(
+    n_total=120,
+    n_beacons=20,
+    n_malicious=2,
+    field_width_ft=400.0,
+    field_height_ft=400.0,
+    m_detecting_ids=2,
+    rtt_calibration_samples=200,
+    wormhole_endpoints=None,
+)
+
+
+class TestValidation:
+    def test_unknown_field(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config_field("no_such_field", (1,), base=SMALL)
+
+    def test_empty_grid(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config_field("p_prime", (), base=SMALL)
+
+    def test_bad_metric(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config_field(
+                "p_prime", (0.1,), metrics=("nope",), base=SMALL
+            )
+
+    def test_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            sweep_config_field("p_prime", (0.1,), trials=0, base=SMALL)
+
+
+class TestSweep:
+    def test_series_structure(self):
+        fig = sweep_config_field(
+            "p_prime",
+            (0.2, 0.8),
+            metrics=("detection_rate", "alerts_accepted"),
+            base=SMALL,
+        )
+        assert set(fig.series) == {"detection_rate", "alerts_accepted"}
+        assert fig.series["detection_rate"].x == [0.2, 0.8]
+        assert fig.x_label == "p_prime"
+
+    def test_detection_rises_with_p_prime(self):
+        fig = sweep_config_field(
+            "p_prime", (0.0, 1.0), base={**SMALL, "tau_alert": 0}
+        )
+        s = fig.series["detection_rate"]
+        assert s.y_at(1.0) >= s.y_at(0.0)
+
+    def test_deterministic(self):
+        a = sweep_config_field("p_prime", (0.5,), base=SMALL, base_seed=7)
+        b = sweep_config_field("p_prime", (0.5,), base=SMALL, base_seed=7)
+        assert a.series["detection_rate"].y == b.series["detection_rate"].y
+
+    def test_trials_average(self):
+        fig = sweep_config_field(
+            "p_prime", (0.5,), base=SMALL, trials=3, base_seed=11
+        )
+        value = fig.series["detection_rate"].y[0]
+        assert 0.0 <= value <= 1.0
+
+    def test_base_overrides_cannot_shadow_swept_field(self):
+        fig = sweep_config_field(
+            "p_prime",
+            (0.3,),
+            base={**SMALL, "p_prime": 0.9},  # silently dropped
+        )
+        assert fig.series["detection_rate"].x == [0.3]
+
+    def test_supported_metrics_exist_on_result(self):
+        from repro.core.pipeline import PipelineResult
+
+        import dataclasses
+
+        result_fields = {f.name for f in dataclasses.fields(PipelineResult)}
+        for metric in SUPPORTED_METRICS:
+            assert metric in result_fields or hasattr(PipelineResult, metric)

@@ -1,0 +1,186 @@
+"""Tests for the cited localization baselines: centroid, DV-Hop, AHLoS."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import InsufficientReferencesError, LocalizationError
+from repro.localization.atomic import iterative_multilateration
+from repro.localization.centroid import centroid_localize
+from repro.localization.dvhop import DvHopLocalizer
+from repro.localization.references import LocationReference
+from repro.sim.engine import Engine
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.rng import RngRegistry
+from repro.utils.geometry import Point
+
+
+def ref(beacon_id, loc, dist=0.0):
+    return LocationReference(
+        beacon_id=beacon_id, beacon_location=loc, measured_distance_ft=dist
+    )
+
+
+class TestCentroid:
+    def test_center_of_square(self):
+        refs = [
+            ref(1, Point(0, 0)),
+            ref(2, Point(10, 0)),
+            ref(3, Point(10, 10)),
+            ref(4, Point(0, 10)),
+        ]
+        assert centroid_localize(refs) == Point(5, 5)
+
+    def test_single_reference(self):
+        assert centroid_localize([ref(1, Point(3, 4))]) == Point(3, 4)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientReferencesError):
+            centroid_localize([])
+
+    def test_lying_beacon_shifts_estimate(self):
+        honest = [ref(i, Point(0, 0)) for i in range(1, 4)]
+        with_liar = honest + [ref(9, Point(400, 0))]
+        assert centroid_localize(with_liar).x == pytest.approx(100.0)
+
+
+def grid_network(side=10, spacing=80.0, beacon_every=3, seed=2):
+    engine = Engine()
+    net = Network(engine, rngs=RngRegistry(seed))
+    rng = random.Random(seed)
+    nid = 0
+    for i in range(side):
+        for j in range(side):
+            nid += 1
+            is_beacon = i % beacon_every == 0 and j % beacon_every == 0
+            jitter = rng.uniform(-5, 5)
+            net.add_node(
+                Node(
+                    nid,
+                    Point(i * spacing + jitter, j * spacing + jitter),
+                    is_beacon=is_beacon,
+                )
+            )
+    return net
+
+
+class TestDvHop:
+    def test_localizes_most_nodes(self):
+        net = grid_network()
+        loc = DvHopLocalizer(net)
+        estimates = loc.localize_all()
+        assert len(estimates) > 0.8 * len(net.non_beacon_nodes())
+
+    def test_median_error_below_two_hops(self):
+        net = grid_network()
+        loc = DvHopLocalizer(net)
+        estimates = loc.localize_all()
+        errors = [net.node(k).position.distance_to(v) for k, v in estimates.items()]
+        assert statistics.median(errors) < 160.0  # roughly one radio range
+
+    def test_hop_size_near_spacing(self):
+        net = grid_network()
+        loc = DvHopLocalizer(net)
+        beacon_id = net.beacon_nodes()[0].node_id
+        # Grid spacing 80 ft and range 150 ft: 1 hop covers 1-2 cells.
+        assert 60.0 < loc.hop_size_of(beacon_id) < 200.0
+
+    def test_declared_location_override(self):
+        net = grid_network()
+        liar = net.beacon_nodes()[0]
+        lie = Point(liar.position.x + 500, liar.position.y)
+        honest_loc = DvHopLocalizer(net)
+        lying_loc = DvHopLocalizer(net, beacon_locations={liar.node_id: lie})
+        victim = net.non_beacon_nodes()[0]
+        honest_est = honest_loc.localize(victim)
+        lying_est = lying_loc.localize(victim)
+        assert honest_est.distance_to(lying_est) > 1.0
+
+    def test_isolated_node_insufficient(self):
+        net = grid_network()
+        lonely = Node(9999, Point(50_000, 50_000))
+        net.add_node(lonely)
+        loc = DvHopLocalizer(net)
+        with pytest.raises(InsufficientReferencesError):
+            loc.localize(lonely)
+
+    def test_disconnected_beacons_raise(self):
+        engine = Engine()
+        net = Network(engine, rngs=RngRegistry(0))
+        net.add_node(Node(1, Point(0, 0), is_beacon=True))
+        net.add_node(Node(2, Point(10_000, 0), is_beacon=True))
+        with pytest.raises(LocalizationError):
+            DvHopLocalizer(net)
+
+
+def left_anchored_network(side=10, spacing=70.0, seed=2):
+    """Beacons only on the left edge: promotion must sweep rightward."""
+    engine = Engine()
+    net = Network(engine, rngs=RngRegistry(seed))
+    rng = random.Random(seed)
+    nid = 0
+    for i in range(side):
+        for j in range(side):
+            nid += 1
+            is_beacon = i < 2  # two dense beacon columns on the left
+            jitter = rng.uniform(-5, 5)
+            net.add_node(
+                Node(
+                    nid,
+                    Point(i * spacing + jitter, j * spacing + jitter),
+                    is_beacon=is_beacon,
+                )
+            )
+    return net
+
+
+class TestIterativeMultilateration:
+    def test_solves_beyond_direct_beacon_range(self):
+        net = left_anchored_network()
+        rng = random.Random(3)
+        result = iterative_multilateration(net, rng)
+        # Iterative promotion reaches nodes a single atomic pass cannot:
+        # rightmost columns are several radio ranges from any real beacon.
+        assert result.rounds >= 2
+        assert len(result.positions) > 0.5 * len(net.non_beacon_nodes())
+
+    def test_positions_reasonably_accurate(self):
+        net = grid_network(side=8, spacing=100.0, beacon_every=2)
+        rng = random.Random(3)
+        result = iterative_multilateration(net, rng)
+        errors = [
+            net.node(k).position.distance_to(v) for k, v in result.positions.items()
+        ]
+        assert statistics.median(errors) < 30.0
+
+    def test_residual_gate_reduces_promotions(self):
+        net = left_anchored_network()
+        free = iterative_multilateration(net, random.Random(5))
+        gated = iterative_multilateration(
+            net, random.Random(5), residual_gate_ft=1.0
+        )
+        assert len(gated.positions) <= len(free.positions)
+
+    def test_unsolved_tracked(self):
+        net = grid_network(side=4, spacing=100.0, beacon_every=4)
+        lonely = Node(7777, Point(90_000, 90_000))
+        net.add_node(lonely)
+        result = iterative_multilateration(net, random.Random(1))
+        assert 7777 in result.unsolved
+
+    def test_error_accumulates_over_rounds(self):
+        # The Section 2.3 warning: promoted anchors inject their estimation
+        # error into later rounds.
+        net = grid_network(side=9, spacing=100.0, beacon_every=8)
+        rng = random.Random(11)
+        result = iterative_multilateration(net, rng)
+        if result.rounds < 2:
+            pytest.skip("deployment solved in one round; nothing to compare")
+        first = result.promoted[0]
+        last = result.promoted[-1]
+        err = lambda ids: statistics.mean(  # noqa: E731
+            net.node(i).position.distance_to(result.positions[i]) for i in ids
+        )
+        assert err(last) >= err(first) * 0.5  # later rounds are no magic fix

@@ -1,0 +1,129 @@
+"""Tests for MMSE multilateration."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InsufficientReferencesError
+from repro.localization.multilateration import (
+    MIN_REFERENCES,
+    location_error_ft,
+    mmse_multilaterate,
+)
+from repro.localization.references import LocationReference
+from repro.utils.geometry import Point, distance
+
+
+def refs_from(truth, anchors, *, noise=None, rng=None):
+    out = []
+    for i, a in enumerate(anchors):
+        d = distance(truth, a)
+        if noise is not None:
+            d += rng.uniform(-noise, noise)
+        out.append(
+            LocationReference(
+                beacon_id=i + 1, beacon_location=a, measured_distance_ft=max(0.0, d)
+            )
+        )
+    return out
+
+
+SQUARE = [Point(0, 0), Point(100, 0), Point(0, 100), Point(100, 100)]
+
+
+class TestExactSolve:
+    def test_noise_free_recovery(self):
+        truth = Point(37.0, 61.0)
+        result = mmse_multilaterate(refs_from(truth, SQUARE))
+        assert distance(result.position, truth) < 1e-6
+        assert result.rms_residual_ft < 1e-6
+
+    def test_three_references_suffice(self):
+        truth = Point(20.0, 30.0)
+        result = mmse_multilaterate(refs_from(truth, SQUARE[:3]))
+        assert distance(result.position, truth) < 1e-6
+
+    def test_too_few_references(self):
+        truth = Point(20.0, 30.0)
+        with pytest.raises(InsufficientReferencesError):
+            mmse_multilaterate(refs_from(truth, SQUARE[:2]))
+
+    def test_collinear_anchors_rejected(self):
+        line = [Point(0, 0), Point(50, 0), Point(100, 0)]
+        with pytest.raises(InsufficientReferencesError):
+            mmse_multilaterate(refs_from(Point(10, 10), line))
+
+    def test_min_references_constant(self):
+        assert MIN_REFERENCES == 3
+
+
+class TestNoisySolve:
+    def test_error_commensurate_with_noise(self):
+        rng = random.Random(4)
+        truth = Point(42.0, 58.0)
+        errors = []
+        for _ in range(30):
+            refs = refs_from(truth, SQUARE, noise=10.0, rng=rng)
+            result = mmse_multilaterate(refs)
+            errors.append(distance(result.position, truth))
+        assert sum(errors) / len(errors) < 12.0
+
+    def test_more_anchors_reduce_error(self):
+        rng1 = random.Random(9)
+        rng2 = random.Random(9)
+        truth = Point(500.0, 500.0)
+        ring = [
+            Point(500 + 300 * math.cos(t), 500 + 300 * math.sin(t))
+            for t in [i * math.pi / 6 for i in range(12)]
+        ]
+        few = [
+            distance(
+                mmse_multilaterate(refs_from(truth, ring[:3], noise=10, rng=rng1)).position,
+                truth,
+            )
+            for _ in range(25)
+        ]
+        many = [
+            distance(
+                mmse_multilaterate(refs_from(truth, ring, noise=10, rng=rng2)).position,
+                truth,
+            )
+            for _ in range(25)
+        ]
+        assert sum(many) / len(many) < sum(few) / len(few)
+
+    def test_rms_residual_flags_lying_beacon(self):
+        truth = Point(50.0, 50.0)
+        refs = refs_from(truth, SQUARE)
+        honest = mmse_multilaterate(refs).rms_residual_ft
+        # Replace one reference with a location lie that is geometrically
+        # inconsistent with the measured range (not on the same circle).
+        lied = list(refs)
+        lied[0] = LocationReference(
+            beacon_id=1,
+            beacon_location=Point(300, 0),
+            measured_distance_ft=refs[0].measured_distance_ft,
+        )
+        assert mmse_multilaterate(lied).rms_residual_ft > honest + 5.0
+
+    @given(
+        st.floats(min_value=5, max_value=95),
+        st.floats(min_value=5, max_value=95),
+    )
+    @settings(max_examples=40)
+    def test_recovery_property(self, x, y):
+        truth = Point(x, y)
+        result = mmse_multilaterate(refs_from(truth, SQUARE))
+        assert distance(result.position, truth) < 1e-4
+
+
+class TestHelpers:
+    def test_location_error(self):
+        assert location_error_ft(Point(0, 0), Point(3, 4)) == pytest.approx(5.0)
+
+    def test_result_reports_iterations(self):
+        result = mmse_multilaterate(refs_from(Point(10, 10), SQUARE))
+        assert result.iterations >= 1

@@ -1,0 +1,174 @@
+"""Tests for the SeRLoc range-free baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, InsufficientReferencesError
+from repro.localization.serloc import (
+    Sector,
+    SerLocLocator,
+    localize_with,
+    serloc_localize,
+)
+from repro.utils.geometry import Point
+
+
+class TestSector:
+    def test_contains_in_wedge(self):
+        s = Sector(
+            origin=Point(0, 0),
+            bearing_rad=0.0,
+            width_rad=math.pi / 2,
+            range_ft=100.0,
+        )
+        assert s.contains(Point(50, 0))
+        assert s.contains(Point(50, 20))
+        assert not s.contains(Point(-50, 0))  # behind
+        assert not s.contains(Point(0, 50))  # outside the wedge
+        assert not s.contains(Point(150, 0))  # beyond range
+
+    def test_full_circle_sector(self):
+        s = Sector(
+            origin=Point(0, 0),
+            bearing_rad=0.0,
+            width_rad=2 * math.pi,
+            range_ft=100.0,
+        )
+        assert s.contains(Point(-50, -50))
+
+    def test_wraparound_bearing(self):
+        s = Sector(
+            origin=Point(0, 0),
+            bearing_rad=math.pi,  # pointing west
+            width_rad=math.pi / 2,
+            range_ft=100.0,
+        )
+        assert s.contains(Point(-50, 1))
+        assert s.contains(Point(-50, -1))
+
+    def test_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            Sector(Point(0, 0), 0.0, 0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            Sector(Point(0, 0), 0.0, 1.0, 0.0)
+
+
+class TestLocator:
+    def test_sector_index_partitions_circle(self):
+        locator = SerLocLocator(1, Point(0, 0), n_sectors=4)
+        assert locator.sector_index_for(Point(10, 1)) == 0
+        assert locator.sector_index_for(Point(-1, 10)) == 1
+        assert locator.sector_index_for(Point(-10, -1)) == 2
+        assert locator.sector_index_for(Point(1, -10)) == 3
+
+    def test_heard_sector_contains_receiver(self):
+        rng = random.Random(0)
+        locator = SerLocLocator(1, Point(100, 100), n_sectors=8)
+        for _ in range(50):
+            receiver = Point(rng.uniform(0, 200), rng.uniform(0, 200))
+            sector = locator.heard_sector(receiver)
+            if sector is not None:
+                assert sector.contains(receiver)
+
+    def test_out_of_range_hears_nothing(self):
+        locator = SerLocLocator(1, Point(0, 0), range_ft=100.0)
+        assert locator.heard_sector(Point(500, 0)) is None
+
+    def test_invalid_sector_count(self):
+        with pytest.raises(ConfigurationError):
+            SerLocLocator(1, Point(0, 0), n_sectors=0)
+
+
+class TestLocalization:
+    def grid_locators(self, n_sectors=8):
+        positions = [
+            Point(x, y)
+            for x in (0.0, 100.0, 200.0)
+            for y in (0.0, 100.0, 200.0)
+        ]
+        return [
+            SerLocLocator(i + 1, p, n_sectors=n_sectors, range_ft=160.0)
+            for i, p in enumerate(positions)
+        ]
+
+    def test_estimate_near_truth(self):
+        locators = self.grid_locators()
+        truth = Point(90.0, 110.0)
+        estimate = localize_with(locators, truth)
+        assert estimate.distance_to(truth) < 40.0
+
+    def test_more_sectors_tighter_estimate(self):
+        rng = random.Random(1)
+        coarse_err = []
+        fine_err = []
+        for _ in range(15):
+            truth = Point(rng.uniform(50, 150), rng.uniform(50, 150))
+            coarse_err.append(
+                localize_with(self.grid_locators(4), truth).distance_to(truth)
+            )
+            fine_err.append(
+                localize_with(self.grid_locators(16), truth).distance_to(truth)
+            )
+        assert sum(fine_err) < sum(coarse_err)
+
+    def test_no_sectors_raises(self):
+        with pytest.raises(InsufficientReferencesError):
+            serloc_localize([])
+
+    def test_unheard_receiver_raises(self):
+        locators = self.grid_locators()
+        with pytest.raises(InsufficientReferencesError):
+            localize_with(locators, Point(5_000, 5_000))
+
+    def test_disjoint_sectors_raise(self):
+        a = Sector(Point(0, 0), 0.0, math.pi / 4, 50.0)
+        b = Sector(Point(10_000, 0), 0.0, math.pi / 4, 50.0)
+        with pytest.raises(InsufficientReferencesError):
+            serloc_localize([a, b])
+
+    def test_lying_locator_shifts_estimate_undetected(self):
+        """The paper's criticism: SeRLoc has no defence against a
+        compromised locator — the lie just silently shifts the region."""
+        honest = self.grid_locators()
+        truth = Point(90.0, 110.0)
+        baseline = localize_with(honest, truth)
+
+        lying = list(honest)
+        lying[4] = SerLocLocator(
+            5,
+            honest[4].position,
+            n_sectors=8,
+            range_ft=160.0,
+            declared_position=Point(
+                honest[4].position.x + 120.0, honest[4].position.y
+            ),
+        )
+        shifted = localize_with(lying, truth)
+        # The estimate moved and no exception/detection fired. The shift
+        # is bounded by the other locators' sector constraints (SeRLoc's
+        # redundancy is real), but nothing flags the liar — the paper's
+        # criticism.
+        assert shifted.distance_to(baseline) > 2.0
+
+    def test_lying_locator_dominates_sparse_coverage(self):
+        """With few locators the lie moves the estimate substantially."""
+        truth = Point(90.0, 110.0)
+        honest = [
+            SerLocLocator(1, Point(0.0, 100.0), n_sectors=4, range_ft=200.0),
+            SerLocLocator(2, Point(100.0, 0.0), n_sectors=4, range_ft=200.0),
+        ]
+        baseline = localize_with(honest, truth)
+        lying = [
+            honest[0],
+            SerLocLocator(
+                2,
+                Point(100.0, 0.0),
+                n_sectors=4,
+                range_ft=200.0,
+                declared_position=Point(140.0, -40.0),
+            ),
+        ]
+        shifted = localize_with(lying, truth)
+        assert shifted.distance_to(baseline) > 15.0

@@ -1,0 +1,97 @@
+"""Stateful property tests for the discrete-event engine.
+
+Invariants under random schedule/step/cancel interleavings:
+
+- the clock never goes backwards;
+- events fire in (time, priority, seq) order;
+- cancelled events never fire;
+- every non-cancelled event scheduled in the past of the final drain fires
+  exactly once.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+class EngineMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.engine = Engine()
+        self.fired = []
+        self.expected_live = {}
+        self.cancelled_ids = set()
+        self.handles = {}
+        self.counter = 0
+        self.last_seen_clock = 0.0
+
+    def _make_action(self, event_id):
+        def action():
+            self.fired.append((self.engine.now(), event_id))
+
+        return action
+
+    @rule(delay=st.floats(min_value=0.0, max_value=1000.0))
+    def schedule(self, delay):
+        event_id = self.counter
+        self.counter += 1
+        handle = self.engine.schedule_in(delay, self._make_action(event_id))
+        self.handles[event_id] = handle
+        self.expected_live[event_id] = handle.time
+
+    @rule(data=st.data())
+    def cancel_something(self, data):
+        live = [e for e in self.expected_live if e not in self.cancelled_ids]
+        if not live:
+            return
+        victim = data.draw(st.sampled_from(live))
+        fired_ids = {eid for _, eid in self.fired}
+        self.handles[victim].cancel()
+        if victim not in fired_ids:
+            self.cancelled_ids.add(victim)
+            del self.expected_live[victim]
+
+    @rule(steps=st.integers(min_value=1, max_value=5))
+    def step(self, steps):
+        for _ in range(steps):
+            if not self.engine.step():
+                break
+
+    @invariant()
+    def clock_monotone(self):
+        assert self.engine.now() >= self.last_seen_clock
+        self.last_seen_clock = self.engine.now()
+
+    @invariant()
+    def fired_in_time_order(self):
+        times = [t for t, _ in self.fired]
+        assert times == sorted(times)
+
+    @invariant()
+    def cancelled_never_fire(self):
+        fired_ids = {eid for _, eid in self.fired}
+        assert not (fired_ids & self.cancelled_ids)
+
+    @invariant()
+    def no_double_fire(self):
+        fired_ids = [eid for _, eid in self.fired]
+        assert len(fired_ids) == len(set(fired_ids))
+
+    def teardown(self):
+        # Drain everything; every live event must fire exactly once.
+        self.engine.run()
+        fired_ids = {eid for _, eid in self.fired}
+        assert fired_ids == set(self.expected_live)
+
+
+TestEngineMachine = EngineMachine.TestCase
+TestEngineMachine.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)

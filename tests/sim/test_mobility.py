@@ -1,0 +1,111 @@
+"""Tests for the random-waypoint mobility model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import seconds_to_cycles
+from repro.sim.engine import Engine
+from repro.sim.mobility import RandomWaypointWalker, WaypointConfig, start_walkers
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.rng import RngRegistry
+from repro.utils.geometry import Point
+
+
+def make_world():
+    engine = Engine()
+    net = Network(engine, rngs=RngRegistry(6))
+    node = net.add_node(Node(1, Point(500.0, 500.0)))
+    return engine, net, node
+
+
+CFG = WaypointConfig(
+    field_width_ft=1000.0,
+    field_height_ft=1000.0,
+    speed_min_ft_s=10.0,
+    speed_max_ft_s=20.0,
+    step_s=1.0,
+)
+
+
+class TestWaypointConfig:
+    def test_bad_speeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaypointConfig(speed_min_ft_s=0.0)
+        with pytest.raises(ConfigurationError):
+            WaypointConfig(speed_min_ft_s=5.0, speed_max_ft_s=1.0)
+
+    def test_bad_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WaypointConfig(field_width_ft=0.0)
+
+
+class TestWalker:
+    def test_node_moves(self):
+        engine, net, node = make_world()
+        start = node.position
+        walker = RandomWaypointWalker(net, node, CFG, random.Random(1))
+        walker.start()
+        engine.run_until(seconds_to_cycles(30.0))
+        assert node.position.distance_to(start) > 50.0
+
+    def test_speed_respected(self):
+        engine, net, node = make_world()
+        walker = RandomWaypointWalker(net, node, CFG, random.Random(2))
+        walker.start()
+        previous = node.position
+        engine.run_until(seconds_to_cycles(1.5))
+        moved = node.position.distance_to(previous)
+        # One 1-second step at <= 20 ft/s.
+        assert moved <= 20.0 + 1e-6
+
+    def test_stays_in_field(self):
+        engine, net, node = make_world()
+        walker = RandomWaypointWalker(net, node, CFG, random.Random(3))
+        walker.start()
+        for _ in range(60):
+            engine.run_until(engine.now() + seconds_to_cycles(1.0))
+            assert 0.0 <= node.position.x <= 1000.0
+            assert 0.0 <= node.position.y <= 1000.0
+
+    def test_visits_waypoints(self):
+        engine, net, node = make_world()
+        fast = WaypointConfig(
+            field_width_ft=100.0,
+            field_height_ft=100.0,
+            speed_min_ft_s=50.0,
+            speed_max_ft_s=50.0,
+        )
+        walker = RandomWaypointWalker(net, node, fast, random.Random(4))
+        walker.start()
+        engine.run_until(seconds_to_cycles(60.0))
+        assert walker.waypoints_visited >= 3
+
+    def test_stop_freezes(self):
+        engine, net, node = make_world()
+        walker = RandomWaypointWalker(net, node, CFG, random.Random(5))
+        walker.start()
+        engine.run_until(seconds_to_cycles(5.0))
+        walker.stop()
+        frozen = node.position
+        engine.run_until(seconds_to_cycles(30.0))
+        assert node.position == frozen
+
+    def test_neighbor_index_follows_movement(self):
+        engine, net, node = make_world()
+        anchor = net.add_node(Node(2, Point(0.0, 0.0)))
+        # Drag the node next to the anchor manually via update_position.
+        net.update_position(node, Point(10.0, 0.0))
+        assert anchor in net.neighbors_of(node)
+        net.update_position(node, Point(900.0, 900.0))
+        assert anchor not in net.neighbors_of(node)
+
+    def test_start_walkers_helper(self):
+        engine, net, node = make_world()
+        other = net.add_node(Node(2, Point(100.0, 100.0)))
+        walkers = start_walkers(net, [node, other], CFG, random.Random(7))
+        assert len(walkers) == 2
+        engine.run_until(seconds_to_cycles(10.0))
+        assert all(w.waypoints_visited >= 0 for w in walkers)

@@ -1,0 +1,82 @@
+"""Tests for CSMA collisions wired into network delivery."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.mac import CsmaMedium
+from repro.sim.messages import DataPacket
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.rng import RngRegistry
+from repro.utils.geometry import Point
+
+
+def make_world(medium=None):
+    engine = Engine()
+    net = Network(engine, rngs=RngRegistry(9), medium=medium)
+    received = []
+    a = net.add_node(Node(1, Point(0, 0)))
+    b = net.add_node(Node(2, Point(0, 100)))
+    c = net.add_node(Node(3, Point(50, 50)))
+    c.on(DataPacket, lambda n, r: received.append(r.packet.src_id))
+    return engine, net, received
+
+
+class TestCollisions:
+    def test_simultaneous_transmissions_collide(self):
+        engine, net, received = make_world(medium=CsmaMedium())
+        net.unicast(net.node(1), DataPacket(src_id=1, dst_id=3))
+        net.unicast(net.node(2), DataPacket(src_id=2, dst_id=3))
+        engine.run()
+        # All-or-nothing: the receiver gets neither overlapping frame.
+        assert received == []
+        assert net.trace.count("drop.collision") == 0  # trace disabled
+
+    def test_staggered_transmissions_deliver(self):
+        engine, net, received = make_world(medium=CsmaMedium())
+        net.unicast(net.node(1), DataPacket(src_id=1, dst_id=3))
+        # Send the second one well after the first lands.
+        engine.run()
+        net.unicast(net.node(2), DataPacket(src_id=2, dst_id=3))
+        engine.run()
+        assert received == [1, 2]
+
+    def test_no_medium_means_no_collisions(self):
+        engine, net, received = make_world(medium=None)
+        net.unicast(net.node(1), DataPacket(src_id=1, dst_id=3))
+        net.unicast(net.node(2), DataPacket(src_id=2, dst_id=3))
+        engine.run()
+        assert sorted(received) == [1, 2]
+
+    def test_different_receivers_unaffected(self):
+        engine = Engine()
+        net = Network(engine, rngs=RngRegistry(9), medium=CsmaMedium())
+        got_b, got_d = [], []
+        a = net.add_node(Node(1, Point(0, 0)))
+        b = net.add_node(Node(2, Point(100, 0)))
+        c = net.add_node(Node(3, Point(0, 100)))
+        d = net.add_node(Node(4, Point(100, 100)))
+        b.on(DataPacket, lambda n, r: got_b.append(1))
+        d.on(DataPacket, lambda n, r: got_d.append(1))
+        net.unicast(a, DataPacket(src_id=1, dst_id=2))
+        net.unicast(c, DataPacket(src_id=3, dst_id=4))
+        engine.run()
+        assert got_b == [1]
+        assert got_d == [1]
+
+    def test_collision_traced_when_enabled(self):
+        from repro.sim.trace import TraceRecorder
+
+        engine = Engine()
+        trace = TraceRecorder(enabled=True)
+        net = Network(
+            engine, rngs=RngRegistry(9), medium=CsmaMedium(), trace=trace
+        )
+        net.add_node(Node(1, Point(0, 0)))
+        net.add_node(Node(2, Point(0, 100)))
+        victim = net.add_node(Node(3, Point(50, 50)))
+        net.unicast(net.node(1), DataPacket(src_id=1, dst_id=3))
+        net.unicast(net.node(2), DataPacket(src_id=2, dst_id=3))
+        engine.run()
+        assert trace.count("drop.collision") == 2
+        assert victim.received_count == 0

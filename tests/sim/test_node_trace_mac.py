@@ -1,0 +1,156 @@
+"""Tests for Node dispatch, TraceRecorder, and the CSMA medium."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.mac import CsmaMedium
+from repro.sim.messages import BeaconPacket, BeaconRequest, Packet
+from repro.sim.node import Node
+from repro.sim.radio import Reception, Transmission
+from repro.sim.trace import TraceRecorder
+from repro.utils.geometry import Point
+
+
+def make_reception(packet):
+    tx = Transmission(packet=packet, tx_origin=Point(0, 0), departure_time=0.0)
+    return Reception(
+        packet=packet, arrival_time=1.0, measured_distance_ft=10.0, transmission=tx
+    )
+
+
+class TestNodeDispatch:
+    def test_handler_called(self):
+        node = Node(1, Point(0, 0))
+        seen = []
+        node.on(BeaconRequest, lambda n, r: seen.append(r.packet))
+        node.handle(make_reception(BeaconRequest(src_id=9, dst_id=1)))
+        assert len(seen) == 1
+
+    def test_unhandled_type_counts_dropped(self):
+        node = Node(1, Point(0, 0))
+        node.handle(make_reception(BeaconPacket(src_id=9, dst_id=1)))
+        assert node.received_count == 1
+        assert node.dropped_count == 1
+
+    def test_subclass_dispatch(self):
+        node = Node(1, Point(0, 0))
+        seen = []
+        node.on(Packet, lambda n, r: seen.append(r.packet.kind()))
+        node.handle(make_reception(BeaconPacket(src_id=9, dst_id=1)))
+        assert seen == ["BeaconPacket"]
+
+    def test_exact_match_beats_subclass(self):
+        node = Node(1, Point(0, 0))
+        seen = []
+        node.on(Packet, lambda n, r: seen.append("base"))
+        node.on(BeaconPacket, lambda n, r: seen.append("exact"))
+        node.handle(make_reception(BeaconPacket(src_id=9, dst_id=1)))
+        assert seen == ["exact"]
+
+    def test_send_without_network_raises(self):
+        node = Node(1, Point(0, 0))
+        with pytest.raises(SimulationError):
+            node.send(BeaconRequest(src_id=1, dst_id=2))
+
+    def test_distance_to(self):
+        a = Node(1, Point(0, 0))
+        b = Node(2, Point(3, 4))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        t = TraceRecorder()
+        t.record(1.0, "alert", target=5)
+        t.record(2.0, "alert", target=6)
+        t.record(3.0, "revoke", target=5)
+        assert t.count("alert") == 2
+        assert len(t.where("alert", target=5)) == 1
+        assert t.of_kind("revoke")[0]["target"] == 5
+
+    def test_disabled_recorder_ignores(self):
+        t = TraceRecorder(enabled=False)
+        t.record(1.0, "x")
+        assert len(t) == 0
+
+    def test_capacity_cap(self):
+        t = TraceRecorder(capacity=2)
+        for i in range(5):
+            t.record(float(i), "e", i=i)
+        assert len(t) == 2
+
+    def test_clear(self):
+        t = TraceRecorder()
+        t.record(1.0, "x")
+        t.clear()
+        assert len(t) == 0
+
+    def test_event_get_default(self):
+        t = TraceRecorder()
+        t.record(1.0, "x", a=1)
+        event = t.of_kind("x")[0]
+        assert event.get("missing", 42) == 42
+
+
+class TestCsmaMedium:
+    def test_non_overlapping_windows_clear(self):
+        m = CsmaMedium()
+        assert m.try_receive(1, 0.0, 10.0, tx_id=100) is True
+        assert m.try_receive(1, 20.0, 30.0, tx_id=101) is True
+        assert m.is_clear(1, 100)
+        assert m.is_clear(1, 101)
+
+    def test_overlap_voids_both(self):
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        assert m.try_receive(1, 5.0, 15.0, tx_id=101) is False
+        assert not m.is_clear(1, 100)
+        assert not m.is_clear(1, 101)
+
+    def test_different_receivers_do_not_collide(self):
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        assert m.try_receive(2, 5.0, 15.0, tx_id=101) is True
+
+    def test_disabled_medium_always_clear(self):
+        m = CsmaMedium(enabled=False)
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        assert m.try_receive(1, 5.0, 15.0, tx_id=101) is True
+        assert m.is_clear(1, 100)
+
+    def test_busy_until(self):
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        assert m.busy_until(1, 5.0) == 10.0
+        assert m.busy_until(1, 10.0) is None
+
+    def test_prune(self):
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        m.try_receive(1, 20.0, 30.0, tx_id=101)
+        assert m.prune(15.0) == 1
+        assert m.is_clear(1, 101)
+
+    def test_stats(self):
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 10.0, tx_id=100)
+        m.try_receive(1, 5.0, 15.0, tx_id=101)
+        total, collided = m.stats()
+        assert total == 2
+        assert collided == 2
+
+    def test_bad_window_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CsmaMedium().try_receive(1, 10.0, 0.0, tx_id=1)
+
+    def test_all_or_nothing_implies_full_packet_delay(self):
+        # The Section 2.3 assumption this MAC encodes: an attacker cannot
+        # deliver a partial overlap; a replay must wait out the window.
+        m = CsmaMedium()
+        m.try_receive(1, 0.0, 100.0, tx_id=1)  # the original signal
+        # A replay attempted *during* the original window collides:
+        assert m.try_receive(1, 50.0, 150.0, tx_id=2) is False
+        # A replay after every active window is clean but >= one packet late:
+        assert m.try_receive(1, 150.5, 250.5, tx_id=3) is True

@@ -1,0 +1,80 @@
+"""Tests for the radio propagation/airtime model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.messages import BeaconPacket
+from repro.sim.radio import (
+    RadioModel,
+    SPEED_OF_LIGHT_FT_PER_CYCLE,
+    Transmission,
+)
+from repro.sim.timing import BIT_TIME_CYCLES
+from repro.utils.geometry import Point
+
+
+class TestRadioModel:
+    def test_in_range(self):
+        r = RadioModel(comm_range_ft=100.0)
+        assert r.in_range(Point(0, 0), Point(100, 0))
+        assert not r.in_range(Point(0, 0), Point(100.1, 0))
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(comm_range_ft=0.0)
+
+    def test_rejects_nonpositive_bit_time(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel(bit_time_cycles=0.0)
+
+    def test_airtime_scales_with_size(self):
+        r = RadioModel()
+        small = BeaconPacket(src_id=1, dst_id=2)
+        big = BeaconPacket(src_id=1, dst_id=2)
+        big.size_bits = small.size_bits * 2
+        assert r.airtime_cycles(big) > r.airtime_cycles(small)
+
+    def test_airtime_includes_preamble(self):
+        r = RadioModel(preamble_bits=24)
+        p = BeaconPacket(src_id=1, dst_id=2)
+        assert r.airtime_cycles(p) == (p.size_bits + 24) * BIT_TIME_CYCLES
+
+    def test_propagation_negligible_at_neighbor_range(self):
+        # The paper's D/c argument: propagation over 150 ft is ~1 cycle.
+        r = RadioModel()
+        assert r.propagation_cycles(150.0) < 2.0
+
+    def test_propagation_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            RadioModel().propagation_cycles(-1.0)
+
+    def test_packet_time_is_sum(self):
+        r = RadioModel()
+        p = BeaconPacket(src_id=1, dst_id=2)
+        assert r.packet_time_cycles(p, 100.0) == pytest.approx(
+            r.airtime_cycles(p) + 100.0 / SPEED_OF_LIGHT_FT_PER_CYCLE
+        )
+
+
+class TestTransmission:
+    def _tx(self, **kwargs):
+        defaults = dict(
+            packet=BeaconPacket(src_id=1, dst_id=2),
+            tx_origin=Point(0, 0),
+            departure_time=0.0,
+        )
+        defaults.update(kwargs)
+        return Transmission(**defaults)
+
+    def test_clean_is_not_replayed(self):
+        assert not self._tx().is_replayed()
+
+    def test_local_replay_flag(self):
+        assert self._tx(replayed_by=99).is_replayed()
+
+    def test_wormhole_flag(self):
+        assert self._tx(via_wormhole=True).is_replayed()
+
+    def test_fake_symptoms_do_not_mark_replayed(self):
+        # Faked symptoms are a lie by the sender, not an actual replay.
+        assert not self._tx(fake_wormhole_symptoms=True).is_replayed()

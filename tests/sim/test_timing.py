@@ -1,0 +1,104 @@
+"""Tests for the register-level RTT hardware model (paper Section 2.2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.timing import (
+    BIT_TIME_CYCLES,
+    RttModel,
+    RttSample,
+    packet_transmission_cycles,
+)
+
+
+class TestRttSample:
+    def test_rtt_formula(self):
+        s = RttSample(t1=0.0, t2=100.0, t3=500.0, t4=650.0)
+        # (650 - 0) - (500 - 100) = 250
+        assert s.rtt == pytest.approx(250.0)
+
+    def test_processing_time_cancels(self):
+        base = RttSample(t1=0.0, t2=100.0, t3=500.0, t4=650.0)
+        slow = RttSample(t1=0.0, t2=100.0, t3=5000.0, t4=5150.0)
+        assert base.rtt == pytest.approx(slow.rtt)
+
+
+class TestRttModel:
+    def test_support_bounds(self, rng):
+        model = RttModel()
+        rtts = model.sample_rtts(rng, 5000)
+        assert min(rtts) >= model.min_rtt()
+        assert max(rtts) <= model.max_rtt()
+
+    def test_support_width_matches_paper_margin(self, rng):
+        model = RttModel()
+        # Theoretical width: 4 * jitter = 4.5 bit times.
+        assert model.support_width_bits() == pytest.approx(4.5)
+        rtts = model.sample_rtts(rng, 20000)
+        measured_bits = (max(rtts) - min(rtts)) / BIT_TIME_CYCLES
+        assert measured_bits <= 4.5
+        assert measured_bits > 3.5  # empirical width approaches the bound
+
+    def test_replay_delay_visible_in_rtt(self, rng):
+        model = RttModel()
+        clean = model.sample(rng, distance_ft=50.0)
+        replayed = model.sample(
+            rng, distance_ft=50.0, extra_delay_cycles=1e5
+        )
+        assert replayed.rtt > clean.rtt + 9e4
+
+    def test_distance_term_negligible_for_neighbors(self, rng):
+        # 2 * 150 ft / c is ~2 cycles, far below the jitter.
+        model = RttModel(jitter_cycles=0.0)
+        near = model.sample(rng, distance_ft=0.0).rtt
+        far = model.sample(rng, distance_ft=150.0).rtt
+        assert abs(far - near) < 5.0
+
+    def test_negative_distance_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RttModel().sample(rng, distance_ft=-1.0)
+
+    def test_negative_extra_delay_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            RttModel().sample(rng, extra_delay_cycles=-1.0)
+
+    def test_bad_model_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RttModel(base_delay_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            RttModel(jitter_cycles=-1.0)
+
+    def test_sample_rtts_requires_positive_n(self, rng):
+        with pytest.raises(ConfigurationError):
+            RttModel().sample_rtts(rng, 0)
+
+    def test_timestamps_ordered(self, rng):
+        s = RttModel().sample(rng, distance_ft=100.0, start_time=123.0)
+        assert s.t1 == 123.0
+        assert s.t1 < s.t2 < s.t3 < s.t4
+
+    @given(st.integers(min_value=0, max_value=2**31), st.floats(0, 1000))
+    @settings(max_examples=30)
+    def test_rtt_always_at_least_min(self, seed, dist):
+        model = RttModel()
+        sample = model.sample(random.Random(seed), distance_ft=dist)
+        assert sample.rtt >= model.min_rtt()
+
+
+class TestPacketTransmission:
+    def test_proportional_to_bits(self):
+        assert packet_transmission_cycles(288) == 288 * BIT_TIME_CYCLES
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            packet_transmission_cycles(0)
+
+    def test_one_packet_exceeds_detection_window(self):
+        # Section 2.3's core claim: a full-packet replay delay is much
+        # larger than the ~4.5-bit honest window, so it is always caught.
+        window = 4.5 * BIT_TIME_CYCLES
+        assert packet_transmission_cycles(288) > window * 10

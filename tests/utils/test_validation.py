@@ -1,0 +1,69 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_int_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ConfigurationError, match="p must be"):
+            check_probability(value, "p")
+
+    def test_fraction_alias(self):
+        assert check_fraction(0.25, "f") == 0.25
+
+
+class TestCheckPositive:
+    def test_accepts(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    @pytest.mark.parametrize("value", [0, -1])
+    def test_rejects(self, value):
+        with pytest.raises(ConfigurationError):
+            check_positive(value, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(-0.5, "x")
+
+
+class TestCheckIntInRange:
+    def test_accepts(self):
+        assert check_int_in_range(3, "n", 0, 5) == 3
+
+    def test_rejects_below(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(-1, "n", 0)
+
+    def test_rejects_above(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(6, "n", 0, 5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(True, "n", 0, 5)
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            check_int_in_range(1.0, "n", 0)
+
+    def test_no_upper_bound(self):
+        assert check_int_in_range(10**9, "n", 0) == 10**9
