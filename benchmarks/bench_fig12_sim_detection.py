@@ -8,11 +8,12 @@ pipeline (1,000 nodes) across a P' sweep and prints both curves.
 from repro.experiments import figures
 
 
-def test_figure12_sim_detection(run_once, save_figure):
+def test_figure12_sim_detection(run_once, save_figure, bench_runner):
     fig = run_once(
         figures.figure12_sim_detection_rate,
         p_grid=(0.05, 0.1, 0.2, 0.4, 0.6, 0.8),
         trials=2,
+        runner=bench_runner,
     )
     save_figure(fig)
     sim = fig.series["simulation"]

@@ -8,11 +8,12 @@ malicious signals once revocation is active.
 from repro.experiments import figures
 
 
-def test_figure13_sim_affected(run_once, save_figure):
+def test_figure13_sim_affected(run_once, save_figure, bench_runner):
     fig = run_once(
         figures.figure13_sim_affected,
         p_grid=(0.05, 0.1, 0.2, 0.4, 0.6, 0.8),
         trials=2,
+        runner=bench_runner,
     )
     save_figure(fig)
     sim = fig.series["simulation"]

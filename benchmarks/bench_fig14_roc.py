@@ -8,13 +8,14 @@ N_a = 10 the cost rises (colluders get N_a (tau'+1) alerts accepted).
 from repro.experiments import figures
 
 
-def test_figure14_roc(run_once, save_figure):
+def test_figure14_roc(run_once, save_figure, bench_runner):
     fig = run_once(
         figures.figure14_roc,
         n_as=(5, 10),
         tau_reports=(2, 3),
         tau_alerts=(1, 2, 4, 8),
         trials=1,
+        runner=bench_runner,
     )
     save_figure(fig)
     # Shape: more colluders => more false positives at comparable detection.

@@ -4,12 +4,41 @@ Not a paper figure — capacity planning for users scaling the simulation
 beyond the paper's 1,000 nodes. Event count grows with the probe and
 localization traffic (~N * density); this bench records both so
 regressions in the engine or delivery path show up as timing outliers.
+
+Two runner workloads ride along:
+
+- ``test_parallel_speedup`` shards a multi-trial Monte-Carlo workload
+  across 4 worker processes and records the speedup vs the serial path
+  (asserted > 2x on machines with >= 4 CPUs; always asserted
+  bit-identical to serial);
+- ``test_cache_hit_skips_execution`` re-runs a figure workload against a
+  warm result cache and asserts — via the runner's timing hooks — that
+  the second invocation performs zero pipeline executions.
 """
 
+import os
 import time
 
 from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.experiments import figures
+from repro.experiments.montecarlo import run_trials
+from repro.experiments.runner import ExperimentRunner, PipelineExperiment
 from repro.experiments.series import FigureData
+
+#: A single trial of this config takes a few hundred ms — big enough that
+#: process overhead is amortized, small enough for a bench.
+SPEEDUP_OVERRIDES = dict(
+    n_total=400,
+    n_beacons=44,
+    n_malicious=4,
+    field_width_ft=650.0,
+    field_height_ft=650.0,
+    p_prime=0.2,
+    rtt_calibration_samples=500,
+    wormhole_endpoints=None,
+)
+SPEEDUP_TRIALS = 8
+SPEEDUP_WORKERS = 4
 
 
 def scaling_sweep(sizes=(250, 500, 1_000, 2_000), seed=103):
@@ -54,3 +83,102 @@ def test_perf_scaling(run_once, save_figure):
     assert events.y_at(2_000) > events.y_at(250)
     # 2,000 nodes stay comfortably laptop-scale.
     assert runtime.y_at(2_000) < 60.0
+
+
+def parallel_speedup_sweep(trials=SPEEDUP_TRIALS, workers=SPEEDUP_WORKERS):
+    """Serial vs sharded wall clock on the same Monte-Carlo workload."""
+    experiment = PipelineExperiment(overrides=SPEEDUP_OVERRIDES)
+
+    start = time.perf_counter()
+    serial = run_trials(experiment, trials=trials, base_seed=29)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_trials(
+        experiment,
+        trials=trials,
+        base_seed=29,
+        runner=ExperimentRunner(n_workers=workers),
+    )
+    parallel_s = time.perf_counter() - start
+
+    fig = FigureData(
+        figure_id="perf_parallel",
+        title="Monte-Carlo wall clock: serial vs sharded trials",
+        x_label="worker processes",
+        y_label="seconds",
+        notes=(
+            f"{trials} trials of a {SPEEDUP_OVERRIDES['n_total']}-node "
+            f"pipeline; speedup {serial_s / parallel_s:.2f}x at {workers} "
+            f"workers on {os.cpu_count()} CPU(s)"
+        ),
+    )
+    wall = fig.new_series("wall clock (s)")
+    wall.append(1, serial_s)
+    wall.append(workers, parallel_s)
+    return fig, serial, parallel
+
+
+def test_parallel_speedup(save_figure):
+    fig, serial, parallel = parallel_speedup_sweep()
+    save_figure(fig)
+    # Determinism first: sharding must not change a single aggregate.
+    assert set(serial) == set(parallel)
+    for name in serial:
+        assert serial[name].mean == parallel[name].mean
+        assert serial[name].half_width == parallel[name].half_width
+    # Speedup is only physically possible with enough cores; the figure
+    # records the measured ratio either way.
+    if (os.cpu_count() or 1) >= SPEEDUP_WORKERS:
+        wall = fig.series["wall clock (s)"]
+        assert wall.y_at(1) / wall.y_at(SPEEDUP_WORKERS) > 2.0
+
+
+def test_cache_hit_skips_execution(save_figure, tmp_path):
+    cache_dir = tmp_path / "cache"
+    kwargs = dict(
+        p_grid=(0.1, 0.4),
+        trials=2,
+        config_kwargs=dict(
+            n_total=150,
+            n_beacons=20,
+            n_malicious=2,
+            field_width_ft=420.0,
+            field_height_ft=420.0,
+            rtt_calibration_samples=200,
+            wormhole_endpoints=None,
+        ),
+    )
+
+    cold = ExperimentRunner(cache_dir=cache_dir)
+    start = time.perf_counter()
+    first = figures.figure12_sim_detection_rate(runner=cold, **kwargs)
+    cold_s = time.perf_counter() - start
+    assert cold.stats.executed == 4 and cold.stats.cache_hits == 0
+
+    warm = ExperimentRunner(cache_dir=cache_dir)
+    start = time.perf_counter()
+    second = figures.figure12_sim_detection_rate(runner=warm, **kwargs)
+    warm_s = time.perf_counter() - start
+    # The acceptance bar: a warm re-run performs zero pipeline executions,
+    # as reported by the timing hooks.
+    assert warm.stats.executed == 0
+    assert warm.stats.cache_hits == 4
+    assert warm.stats.total_seconds == 0.0
+    assert second.series["simulation"].y == first.series["simulation"].y
+
+    fig = FigureData(
+        figure_id="perf_cache",
+        title="Figure-12 workload: cold vs warm result cache",
+        x_label="invocation (1=cold, 2=warm)",
+        y_label="seconds",
+        notes=(
+            f"4 pipeline points; warm run executed "
+            f"{warm.stats.executed} pipelines ({warm.stats.cache_hits} "
+            f"cache hits), {cold_s / max(warm_s, 1e-9):.0f}x faster"
+        ),
+    )
+    wall = fig.new_series("wall clock (s)")
+    wall.append(1, cold_s)
+    wall.append(2, warm_s)
+    save_figure(fig)

@@ -4,13 +4,23 @@ Each bench regenerates one of the paper's figures and (a) times the
 generation with pytest-benchmark, (b) prints the series, and (c) writes the
 table to ``benchmarks/output/<figure_id>.txt`` so EXPERIMENTS.md can cite
 the exact numbers.
+
+Simulation benches execute through an
+:class:`repro.experiments.runner.ExperimentRunner` built by the
+``bench_runner`` fixture. By default it is serial and uncached (identical
+numbers to the historical benches); set ``REPRO_BENCH_WORKERS=4`` and/or
+``REPRO_BENCH_CACHE=.bench-cache`` to shard trials across processes and
+skip already-computed points — results are bit-identical either way.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
+
+from repro.experiments.runner import ExperimentRunner
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
@@ -44,3 +54,17 @@ def run_once(benchmark):
         )
 
     return _run
+
+
+@pytest.fixture
+def bench_runner():
+    """The experiment runner the simulation benches route through.
+
+    Reads ``REPRO_BENCH_WORKERS`` (int, default 1) and
+    ``REPRO_BENCH_CACHE`` (path, default unset = no cache).
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1") or "1")
+    if workers < 1:
+        workers = os.cpu_count() or 1
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE") or None
+    return ExperimentRunner(n_workers=workers, cache_dir=cache_dir)

@@ -8,13 +8,16 @@ verdict per point (the quantitative version of the paper's "the result
 conforms to the theoretical analysis").
 
 Run:
-    python examples/confidence_report.py          # ~1 minute
+    python examples/confidence_report.py              # ~1 minute, serial
+    python examples/confidence_report.py --workers 4  # sharded trials
 """
+
+import argparse
 
 from repro.core import analysis
 from repro.core.analysis import Population
-from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
 from repro.experiments.montecarlo import run_trials
+from repro.experiments.runner import ExperimentRunner, PipelineExperiment
 from repro.experiments.validation import proportion_z_score
 
 P_GRID = (0.05, 0.1, 0.2, 0.4)
@@ -23,18 +26,20 @@ N_MALICIOUS = 10
 
 
 def experiment_factory(p_prime):
-    def experiment(seed):
-        cfg = PipelineConfig(p_prime=p_prime, seed=seed)
-        result = SecureLocalizationPipeline(cfg).run()
-        return {
-            "detection": result.detection_rate,
-            "n_c": result.mean_requesters_per_malicious,
-        }
-
-    return experiment
+    # PipelineExperiment carries the overrides as picklable data, so the
+    # same experiment shards across worker processes unchanged.
+    return PipelineExperiment(overrides={"p_prime": p_prime})
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the trials (results are identical)",
+    )
+    args = parser.parse_args()
+    runner = ExperimentRunner(n_workers=max(1, args.workers))
+
     pop = Population(n_total=1_000, n_beacons=110, n_malicious=N_MALICIOUS)
     print(f"{TRIALS} trials per point, {N_MALICIOUS} malicious beacons each")
     print()
@@ -42,10 +47,11 @@ def main() -> None:
           f"{'z':>6} {'verdict':>9}")
     for p in P_GRID:
         summaries = run_trials(
-            experiment_factory(p), trials=TRIALS, base_seed=int(p * 1000)
+            experiment_factory(p), trials=TRIALS, base_seed=int(p * 1000),
+            runner=runner,
         )
-        det = summaries["detection"]
-        n_c = int(round(summaries["n_c"].mean))
+        det = summaries["detection_rate"]
+        n_c = int(round(summaries["mean_requesters_per_malicious"].mean))
         theory = analysis.revocation_detection_rate(p, 8, 2, n_c, pop)
         # Each trial observes N_MALICIOUS Bernoulli revocations.
         observations = TRIALS * N_MALICIOUS

@@ -14,6 +14,8 @@
 - :mod:`repro.core.analysis` — every closed form behind Figures 5-10;
 - :mod:`repro.core.pipeline` — the end-to-end secure-localization run that
   reproduces the paper's Section 4 simulation.
+
+Paper section: §2-§4 (the paper's scheme, end to end)
 """
 
 from repro.core.signal_detector import MaliciousSignalDetector, SignalVerdict

@@ -23,6 +23,8 @@ Every formula behind Figures 5-10, with the paper's symbols:
 
 The default population matches the reconstructed paper settings: 10% of
 sensor nodes are benign beacon nodes (``(N_b - N_a) / N = 0.1``).
+
+Paper section: §2.3 and §3.2 (closed-form analysis, Figures 5-10)
 """
 
 from __future__ import annotations

@@ -19,6 +19,8 @@ range but off-ray preserves the distance but not the angle. The combined
 check (:class:`CombinedConsistencyDetector`) closes both gaps, leaving
 only lies consistent with *both* measurements — which, by the paper's §2.1
 equivalence argument, are exactly the harmless ones.
+
+Paper section: §2.3 (AoA variant of the consistency check)
 """
 
 from __future__ import annotations

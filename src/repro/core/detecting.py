@@ -12,6 +12,8 @@ apart from genuine localization traffic. For each probe reply it:
 4. if the malicious signal survives the filters, reports an alert
    ``(own primary id, target id)`` to the base station, authenticated with
    its base-station key.
+
+Paper section: §2.1-§2.2 (detecting beacon nodes)
 """
 
 from __future__ import annotations

@@ -8,6 +8,8 @@ power can make the *measured distance* agree with a lied location, but it
 cannot steer the physical direction its signal arrives from — so a lie off
 the true bearing ray is caught by the angle check even when the distance
 check is blind to it.
+
+Paper section: §2.3 (angle-aware detecting beacons)
 """
 
 from __future__ import annotations

@@ -22,6 +22,8 @@ The interesting new metric is **agreement**: with no central arbiter,
 different beacons may reach different revocation sets (alerts dropped by
 the TTL horizon or the security condition). The bench compares detection,
 false positives, and agreement against the centralized base station.
+
+Paper section: §6 (distributed revocation, future work)
 """
 
 from __future__ import annotations

@@ -10,6 +10,8 @@ is **flooded**: every node rebroadcasts each new notice once.
 Receivers buffer notices until the corresponding chain key is disclosed,
 then verify and apply. Forged notices — an attacker would love to "revoke"
 benign beacons network-wide — fail the MAC and die.
+
+Paper section: §3.2 (revocation-notice dissemination)
 """
 
 from __future__ import annotations

@@ -18,6 +18,8 @@ Phases:
    per detecting ID; surviving alerts drive revocations.
 3. *Localization*: non-beacon nodes request beacon signals, filter
    replays, discard revoked beacons, and estimate positions.
+
+Paper section: §4 (end-to-end simulation evaluation)
 """
 
 from __future__ import annotations

@@ -21,6 +21,8 @@ where ``e`` is the per-measurement error bound and GPS beacons have
 generation 0. A lie must now exceed the *combined* uncertainty to be
 detectable — the quantitative version of the paper's "error accumulates"
 warning.
+
+Paper section: §2.3 (promoted beacons, open problem)
 """
 
 from __future__ import annotations

@@ -14,6 +14,8 @@ accepts a beacon signal — the signal runs through two filters:
 
 Only a malicious signal that survives both filters indicts the target
 beacon.
+
+Paper section: §2.2 (replay-filtering cascade)
 """
 
 from __future__ import annotations

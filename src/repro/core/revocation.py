@@ -18,6 +18,8 @@ Note the two asymmetries the paper spells out: a **revoked detector's**
 alerts still count (so colluders cannot silence a benign detector by
 getting it revoked first), and the per-detector quota caps how much damage
 colluding reporters can do (``N_a * (tau_report + 1)`` accepted alerts).
+
+Paper section: §3.1 (base-station revocation)
 """
 
 from __future__ import annotations

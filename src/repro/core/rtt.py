@@ -6,6 +6,8 @@ empirical CDF, and extract ``x_min``/``x_max``. At run time the detector
 declares a beacon signal *locally replayed* when the observed RTT exceeds
 ``x_max`` — a replay between benign neighbours must add at least one packet
 transmission time, far above the ~4.5-bit-time width of the honest window.
+
+Paper section: §2.2.2 (RTT calibration and local-replay detection)
 """
 
 from __future__ import annotations

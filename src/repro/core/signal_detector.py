@@ -12,6 +12,8 @@ malicious beacon signal:
 The paper's key observation (end of Section 2.1): a signal that *passes*
 this test is harmless even if it came from a compromised node, because it
 is indistinguishable from a benign beacon at the declared location.
+
+Paper section: §2.1 (malicious beacon signal detection)
 """
 
 from __future__ import annotations

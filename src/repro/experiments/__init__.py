@@ -3,12 +3,30 @@
 One function per evaluation figure (``figure04`` ... ``figure14``); each
 returns a :class:`repro.experiments.series.FigureData` containing exactly
 the series the paper plots, so the benchmarks can print paper-comparable
-rows.
+rows. Execution is delegated to
+:class:`repro.experiments.runner.ExperimentRunner`, which shards trials
+across processes and caches per-config results on disk.
+
+Paper section: §4 (evaluation harness).
 """
 
 from repro.experiments.series import FigureData, Series
 from repro.experiments.deployment import Deployment, generate_deployment
-from repro.experiments.montecarlo import TrialSummary, run_trials, summarize
+from repro.experiments.montecarlo import (
+    TrialSummary,
+    run_trials,
+    summarize,
+    trial_seeds,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    PipelineExperiment,
+    ProgressEvent,
+    ResultCache,
+    RunStats,
+    cache_key,
+    execute_pipeline,
+)
 from repro.experiments.svgplot import render_svg, save_svg
 from repro.experiments.fieldmap import (
     FieldMap,
@@ -31,6 +49,14 @@ __all__ = [
     "TrialSummary",
     "run_trials",
     "summarize",
+    "trial_seeds",
+    "ExperimentRunner",
+    "PipelineExperiment",
+    "ProgressEvent",
+    "ResultCache",
+    "RunStats",
+    "cache_key",
+    "execute_pipeline",
     "render_svg",
     "save_svg",
     "FieldMap",

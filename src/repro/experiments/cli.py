@@ -5,24 +5,43 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments figure05
     python -m repro.experiments figure12 --out results/ --svg
-    python -m repro.experiments all --out results/
+    python -m repro.experiments all --out results/ --workers 4 --cache-dir .cache
+    python -m repro.experiments figure14 --workers 0 --progress
 
 Each figure command prints the data table; ``--out`` also writes
-``<figure>.txt`` (and ``<figure>.svg`` with ``--svg``).
+``<figure>.txt`` (``<figure>.svg`` with ``--svg``, ``<figure>.json`` with
+``--json``). ``--workers`` shards simulation trials across processes
+(``0`` = one per CPU) and ``--cache-dir`` enables the content-addressed
+result cache, so a re-run skips every already-computed pipeline point.
+
+Paper section: §4 (regenerating the evaluation).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
+import os
 import pathlib
 import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner, ProgressEvent
 from repro.experiments.svgplot import save_svg
 
 #: Figures rendered as scatter rather than lines.
 _SCATTER = {"figure11"}
+
+
+def _workers_type(value: str) -> int:
+    workers = int(value)
+    if workers < 0:
+        raise argparse.ArgumentTypeError(
+            "must be >= 0 (0 = one worker per CPU)"
+        )
+    return workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,11 +72,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="also render <figure>.svg into --out",
     )
     parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write <figure>.json (FigureData.to_dict) into --out",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_type,
+        default=1,
+        help="worker processes for simulation figures (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=pathlib.Path,
+        default=None,
+        help="enable the content-addressed result cache in this directory",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-task progress lines to stderr",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the table on stdout",
     )
     return parser
+
+
+def _print_progress(event: ProgressEvent) -> None:
+    origin = "cache" if event.cached else f"{event.seconds:.2f}s"
+    print(
+        f"[{event.done}/{event.total}] {event.key} ({origin})",
+        file=sys.stderr,
+    )
+
+
+def make_runner(args) -> ExperimentRunner:
+    """Build the experiment runner the CLI flags describe."""
+    workers = args.workers
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return ExperimentRunner(
+        n_workers=workers,
+        cache_dir=args.cache_dir,
+        progress=_print_progress if args.progress else None,
+    )
+
+
+def _generate(name: str, runner: ExperimentRunner):
+    """Call a figure generator, passing the runner when it takes one."""
+    generator = figures.ALL_FIGURES[name]
+    if "runner" in inspect.signature(generator).parameters:
+        return generator(runner=runner)
+    return generator()
 
 
 def _emit(fig, args) -> None:
@@ -73,6 +142,10 @@ def _emit(fig, args) -> None:
                 fig,
                 str(args.out / f"{fig.figure_id}.svg"),
                 scatter=fig.figure_id in _SCATTER,
+            )
+        if args.json:
+            (args.out / f"{fig.figure_id}.json").write_text(
+                json.dumps(fig.to_dict(), indent=2, sort_keys=True) + "\n"
             )
 
 
@@ -110,7 +183,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
+    runner = make_runner(args)
     for name in names:
-        fig = figures.ALL_FIGURES[name]()
+        fig = _generate(name, runner)
         _emit(fig, args)
+    if args.cache_dir is not None and not args.quiet:
+        stats = runner.stats
+        print(
+            f"runner: {stats.executed} executed, {stats.cache_hits} cache "
+            f"hits, {stats.cache_misses} misses "
+            f"({stats.total_seconds:.2f}s task time)",
+            file=sys.stderr,
+        )
     return 0

@@ -9,18 +9,25 @@ with data is regenerated here:
 - Figures 12-14 — full-pipeline simulation vs theory.
 
 All generators are deterministic in their ``seed`` and return
-:class:`repro.experiments.series.FigureData`.
+:class:`repro.experiments.series.FigureData`. The simulation-backed
+generators (Figures 12-14) accept a ``runner`` — an
+:class:`repro.experiments.runner.ExperimentRunner` — to shard their
+pipeline runs across processes and reuse cached points; output is
+bit-identical for any worker count.
+
+Paper section: §4 (Figures 4-14).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core import analysis
 from repro.core.analysis import Population
-from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
+from repro.core.pipeline import PipelineConfig
 from repro.experiments.deployment import generate_deployment
+from repro.experiments.runner import ExperimentRunner
 from repro.experiments.series import FigureData
 from repro.sim.timing import BIT_TIME_CYCLES, RttModel
 from repro.utils.stats import Ecdf
@@ -305,14 +312,34 @@ def _simulate_sweep(
     trials: int,
     seed: int,
     config_kwargs: Optional[dict] = None,
-) -> Iterable[Tuple[float, PipelineResult, int]]:
-    """Run the pipeline at each ``P'``; yields (p, mean-aggregated result, n_c)."""
+    runner: Optional[ExperimentRunner] = None,
+) -> List[Tuple[float, Dict[str, float], int]]:
+    """Run the pipeline at each ``P'``; returns (p, metrics, n_c) tuples.
+
+    Configs are built in the historical (point-major, trial-minor) order
+    with the historical seed formula, then executed through the runner —
+    so the tuples are identical to the old serial generator's output for
+    any worker count.
+    """
     kwargs = dict(config_kwargs or {})
-    for p in p_grid:
+    configs = [
+        PipelineConfig(p_prime=p, seed=seed + 7_919 * trial, **kwargs)
+        for p in p_grid
+        for trial in range(trials)
+    ]
+    keys = [
+        f"p={p}:trial:{trial}" for p in p_grid for trial in range(trials)
+    ]
+    active = runner if runner is not None else ExperimentRunner()
+    results = active.run_pipeline_configs(configs, keys=keys)
+    out: List[Tuple[float, Dict[str, float], int]] = []
+    for i, p in enumerate(p_grid):
         for trial in range(trials):
-            cfg = PipelineConfig(p_prime=p, seed=seed + 7_919 * trial, **kwargs)
-            result = SecureLocalizationPipeline(cfg).run()
-            yield p, result, int(round(result.mean_requesters_per_malicious))
+            metrics = results[i * trials + trial]
+            out.append(
+                (p, metrics, int(round(metrics["mean_requesters_per_malicious"])))
+            )
+    return out
 
 
 def figure12_sim_detection_rate(
@@ -321,6 +348,7 @@ def figure12_sim_detection_rate(
     trials: int = 1,
     seed: int = 11,
     config_kwargs: Optional[dict] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureData:
     """Simulated vs theoretical detection rate vs ``P'`` (tau'=2, tau=2)."""
     fig = FigureData(
@@ -343,10 +371,11 @@ def figure12_sim_detection_rate(
 
     acc: dict = {}
     ncs: dict = {}
-    for p, result, n_c in _simulate_sweep(
-        p_grid, trials=trials, seed=seed, config_kwargs=config_kwargs
+    for p, metrics, n_c in _simulate_sweep(
+        p_grid, trials=trials, seed=seed, config_kwargs=config_kwargs,
+        runner=runner,
     ):
-        acc.setdefault(p, []).append(result.detection_rate)
+        acc.setdefault(p, []).append(metrics["detection_rate"])
         ncs.setdefault(p, []).append(n_c)
     for p in p_grid:
         sim.append(p, sum(acc[p]) / len(acc[p]))
@@ -363,6 +392,7 @@ def figure13_sim_affected(
     trials: int = 1,
     seed: int = 13,
     config_kwargs: Optional[dict] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureData:
     """Simulated vs theoretical ``N'`` vs ``P'``."""
     fig = FigureData(
@@ -385,10 +415,11 @@ def figure13_sim_affected(
 
     acc: dict = {}
     ncs: dict = {}
-    for p, result, n_c in _simulate_sweep(
-        p_grid, trials=trials, seed=seed, config_kwargs=config_kwargs
+    for p, metrics, n_c in _simulate_sweep(
+        p_grid, trials=trials, seed=seed, config_kwargs=config_kwargs,
+        runner=runner,
     ):
-        acc.setdefault(p, []).append(result.affected_non_beacons_per_malicious)
+        acc.setdefault(p, []).append(metrics["affected_non_beacons_per_malicious"])
         ncs.setdefault(p, []).append(n_c)
     for p in p_grid:
         sim.append(p, sum(acc[p]) / len(acc[p]))
@@ -410,6 +441,7 @@ def figure14_roc(
     trials: int = 1,
     seed: int = 17,
     p_grid_for_worst_case: int = 20,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureData:
     """ROC: detection rate vs false positive rate, sweeping ``tau``.
 
@@ -423,9 +455,12 @@ def figure14_roc(
         y_label="detection rate",
         notes="P' chosen adversarially per (tau, m); x points follow tau sweep",
     )
+    # Build the full (N_a, tau', tau, trial) config grid up front so one
+    # runner call can shard every operating point at once.
+    configs: List[PipelineConfig] = []
+    keys: List[str] = []
     for n_a in n_as:
         for tau_report in tau_reports:
-            series = fig.new_series(f"N_a={n_a}, tau'={tau_report}")
             for tau_alert in tau_alerts:
                 pop = Population(
                     n_total=1_000, n_beacons=100 + n_a, n_malicious=n_a
@@ -434,20 +469,36 @@ def figure14_roc(
                 best_p, _ = analysis.worst_case_affected(
                     8, tau_alert, 60, pop, grid=p_grid_for_worst_case
                 )
+                for trial in range(trials):
+                    configs.append(
+                        PipelineConfig(
+                            n_beacons=100 + n_a,
+                            n_malicious=n_a,
+                            p_prime=best_p,
+                            tau_report=tau_report,
+                            tau_alert=tau_alert,
+                            seed=seed + 31 * trial,
+                        )
+                    )
+                    keys.append(
+                        f"Na={n_a}:tau_report={tau_report}:"
+                        f"tau={tau_alert}:trial:{trial}"
+                    )
+    active = runner if runner is not None else ExperimentRunner()
+    results = active.run_pipeline_configs(configs, keys=keys)
+
+    index = 0
+    for n_a in n_as:
+        for tau_report in tau_reports:
+            series = fig.new_series(f"N_a={n_a}, tau'={tau_report}")
+            for tau_alert in tau_alerts:
                 det_sum = 0.0
                 fp_sum = 0.0
-                for trial in range(trials):
-                    cfg = PipelineConfig(
-                        n_beacons=100 + n_a,
-                        n_malicious=n_a,
-                        p_prime=best_p,
-                        tau_report=tau_report,
-                        tau_alert=tau_alert,
-                        seed=seed + 31 * trial,
-                    )
-                    result = SecureLocalizationPipeline(cfg).run()
-                    det_sum += result.detection_rate
-                    fp_sum += result.false_positive_rate
+                for _trial in range(trials):
+                    metrics = results[index]
+                    index += 1
+                    det_sum += metrics["detection_rate"]
+                    fp_sum += metrics["false_positive_rate"]
                 series.append(fp_sum / trials, det_sum / trials)
     return fig
 

@@ -5,15 +5,24 @@ deployment and the adversary's coin flips; single-seed numbers can be
 misleading. This module runs independent trials (each under a forked seed)
 and reports mean plus a normal-approximation confidence interval —
 adequate for the trial counts used here and dependency-free.
+
+Trial execution is delegated to
+:class:`repro.experiments.runner.ExperimentRunner`, so the same call
+shards across processes when given a parallel runner — with bit-identical
+aggregates, since every trial seed is derived exactly as in the serial
+path.
+
+Paper section: §4 (simulation methodology).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.experiments.runner import ExperimentRunner
 from repro.sim.rng import derive_seed
 from repro.utils.stats import mean, variance
 
@@ -72,20 +81,36 @@ def summarize(values: Sequence[float], *, level: float = 0.95) -> TrialSummary:
     return TrialSummary(mean=m, half_width=half, n=len(values), level=level)
 
 
+def trial_seeds(trials: int, base_seed: int = 0) -> List[int]:
+    """The per-trial seeds, exactly as the serial path has always derived
+    them — the determinism anchor the parallel runner relies on."""
+    return [
+        derive_seed(base_seed, f"trial:{trial}") % (2**31)
+        for trial in range(trials)
+    ]
+
+
 def run_trials(
     experiment: Callable[[int], Dict[str, float]],
     *,
     trials: int,
     base_seed: int = 0,
     level: float = 0.95,
+    runner: Optional[ExperimentRunner] = None,
 ) -> Dict[str, TrialSummary]:
     """Run ``experiment(seed)`` for independent seeds and aggregate.
 
     Args:
         experiment: maps a trial seed to a dict of metric name -> value.
+            Must be picklable (e.g. a module-level function or
+            :class:`repro.experiments.runner.PipelineExperiment`) when the
+            runner has ``n_workers > 1``.
         trials: number of independent trials.
         base_seed: anchor from which trial seeds are derived.
         level: confidence level.
+        runner: execution engine; None means serial in-process. Results
+            are aggregated in trial order regardless of worker count, so
+            summaries are bit-identical for any runner.
 
     Returns:
         metric name -> :class:`TrialSummary`. Metrics missing from some
@@ -93,10 +118,13 @@ def run_trials(
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    seeds = trial_seeds(trials, base_seed)
+    active = runner if runner is not None else ExperimentRunner()
+    per_trial = active.map(
+        experiment, seeds, keys=[f"trial:{t}" for t in range(trials)]
+    )
     samples: Dict[str, List[float]] = {}
-    for trial in range(trials):
-        seed = derive_seed(base_seed, f"trial:{trial}") % (2**31)
-        metrics = experiment(seed)
+    for metrics in per_trial:
         for name, value in metrics.items():
             samples.setdefault(name, []).append(float(value))
     return {

@@ -1,0 +1,362 @@
+"""Parallel experiment execution with a content-addressed result cache.
+
+Monte-Carlo trials and sweep points are embarrassingly parallel: every
+pipeline run is fully determined by its :class:`PipelineConfig` (all
+stochastic streams derive from ``config.seed``), so trials can be sharded
+across a :class:`concurrent.futures.ProcessPoolExecutor` without changing
+a single drawn random number. This module is the execution layer the
+figure generators, sweeps, and benches route through:
+
+- :class:`ExperimentRunner` — maps tasks over ``n_workers`` processes
+  (``n_workers=1`` is a true serial fallback: same process, same order),
+  fires a progress callback per completed task, and records per-task
+  timing in :class:`RunStats`;
+- :class:`ResultCache` — JSON files on disk, content-addressed by a
+  stable SHA-256 of the pipeline config + seed + library version, so
+  re-running a bench skips every already-computed point;
+- :class:`PipelineExperiment` — a picklable ``seed -> metrics`` callable
+  for :func:`repro.experiments.montecarlo.run_trials`.
+
+Determinism contract: for identical inputs, the runner returns results in
+input order and bit-identical to the serial path, for any ``n_workers``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
+from repro.errors import ConfigurationError
+from repro.experiments.config_io import config_to_dict
+
+#: Scalar :class:`PipelineResult` attributes collected by pipeline tasks.
+#: Every metric is always collected, so cache entries stay valid when a
+#: caller later asks for a different subset.
+PIPELINE_METRICS: Tuple[str, ...] = (
+    "detection_rate",
+    "false_positive_rate",
+    "affected_non_beacons_per_malicious",
+    "revoked_malicious",
+    "revoked_benign",
+    "alerts_accepted",
+    "alerts_rejected",
+    "probes_sent",
+    "mean_localization_error_ft",
+    "mean_requesters_per_malicious",
+)
+
+#: Cache entry layout version; bump on incompatible changes.
+CACHE_SCHEMA_VERSION = 1
+
+
+def collect_metrics(result: PipelineResult) -> Dict[str, float]:
+    """Flatten a pipeline result to the scalar metric dict tasks return."""
+    return {name: float(getattr(result, name)) for name in PIPELINE_METRICS}
+
+
+def execute_pipeline(config: PipelineConfig) -> Dict[str, float]:
+    """Run one pipeline and return its metrics (the worker entry point)."""
+    return collect_metrics(SecureLocalizationPipeline(config).run())
+
+
+def cache_key(config: PipelineConfig, *, kind: str = "pipeline") -> str:
+    """Stable content address of one task: config + seed + code version.
+
+    The seed is part of the config, so distinct trials hash apart; the
+    library version is mixed in so upgrading the code invalidates every
+    stale entry without any bookkeeping.
+    """
+    from repro import __version__
+
+    material = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_version": __version__,
+            "kind": kind,
+            "config": config_to_dict(config),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed JSON result store (one file per task).
+
+    Entries live at ``<root>/<key>.json`` and carry their key material for
+    debuggability. A missing, unreadable, or malformed file is simply a
+    miss — the task recomputes and the entry is rewritten.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    def path(self, key: str) -> pathlib.Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, float]]:
+        """The cached metrics for ``key``, or None on miss/corruption."""
+        path = self.path(key)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        metrics = entry.get("metrics") if isinstance(entry, dict) else None
+        if not isinstance(metrics, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return {str(name): float(value) for name, value in metrics.items()}
+        except (TypeError, ValueError):
+            return None
+
+    def put(self, key: str, metrics: Dict[str, float], *, config: Optional[PipelineConfig] = None) -> None:
+        """Persist ``metrics`` under ``key`` (atomic rename, never partial)."""
+        from repro import __version__
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_version": __version__,
+            "metrics": metrics,
+        }
+        if config is not None:
+            entry["config"] = config_to_dict(config)
+        path = self.path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        tmp.replace(path)
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One completed task, as seen by the progress callback.
+
+    Attributes:
+        done: tasks completed so far in this runner call.
+        total: tasks in this runner call.
+        key: the task's human-readable label.
+        seconds: wall-clock spent on the task (≈0 for cache hits).
+        cached: True when the result came from the cache.
+    """
+
+    done: int
+    total: int
+    key: str
+    seconds: float
+    cached: bool
+
+
+@dataclass
+class RunStats:
+    """Timing hooks: what the runner actually executed vs served cached."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    task_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-task wall clock (not wall clock of the whole run)."""
+        return sum(self.task_seconds.values())
+
+
+def _timed_call(fn: Callable[[Any], Any], payload: Any) -> Tuple[Any, float]:
+    """Worker-side wrapper: run ``fn(payload)`` and time it."""
+    start = time.perf_counter()
+    result = fn(payload)
+    return result, time.perf_counter() - start
+
+
+class ExperimentRunner:
+    """Shards independent experiment tasks across worker processes.
+
+    Args:
+        n_workers: process count; 1 (the default) runs everything in the
+            calling process with zero multiprocessing machinery.
+        cache_dir: enable the on-disk :class:`ResultCache` rooted here.
+        progress: called with a :class:`ProgressEvent` after each task.
+
+    The runner is deterministic: results come back in input order and are
+    bit-identical for any worker count, because every task is a pure
+    function of its (picklable) payload.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 1,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        progress: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> None:
+        if not isinstance(n_workers, int) or n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be an int >= 1, got {n_workers!r}"
+            )
+        self.n_workers = n_workers
+        self.cache = ResultCache(cache_dir) if cache_dir is not None else None
+        self.progress = progress
+        self.stats = RunStats()
+
+    def reset_stats(self) -> None:
+        """Zero the timing/caching counters (runners are reusable)."""
+        self.stats = RunStats()
+
+    # ------------------------------------------------------------------
+    # generic mapping
+    # ------------------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Any]:
+        """``[fn(p) for p in payloads]``, sharded over the workers.
+
+        ``fn`` and each payload must be picklable when ``n_workers > 1``
+        (module-level functions and dataclass instances are; closures are
+        not). Results are returned in input order. No caching: use
+        :meth:`run_pipeline_configs` for content-addressed pipeline tasks.
+        """
+        task_keys = self._check_keys(keys, len(payloads))
+        results: List[Any] = [None] * len(payloads)
+        pending = list(range(len(payloads)))
+        self._execute(fn, payloads, pending, results, task_keys, done_offset=0, total=len(payloads))
+        return results
+
+    # ------------------------------------------------------------------
+    # cached pipeline tasks
+    # ------------------------------------------------------------------
+    def run_pipeline_configs(
+        self,
+        configs: Sequence[PipelineConfig],
+        *,
+        keys: Optional[Sequence[str]] = None,
+    ) -> List[Dict[str, float]]:
+        """Run one pipeline per config; metric dicts in input order.
+
+        With a cache configured, each config is first looked up by its
+        content address (:func:`cache_key`); only misses execute, and
+        their results are written back for the next invocation.
+        """
+        task_keys = self._check_keys(keys, len(configs))
+        results: List[Optional[Dict[str, float]]] = [None] * len(configs)
+        pending: List[int] = []
+        total = len(configs)
+        done = 0
+        hashes: Dict[int, str] = {}
+        for index, config in enumerate(configs):
+            if self.cache is not None:
+                hashes[index] = cache_key(config)
+                cached = self.cache.get(hashes[index])
+                if cached is not None:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    done += 1
+                    self._emit(done, total, task_keys[index], 0.0, cached=True)
+                    continue
+                self.stats.cache_misses += 1
+            pending.append(index)
+        self._execute(
+            execute_pipeline, configs, pending, results, task_keys,
+            done_offset=done, total=total,
+        )
+        if self.cache is not None:
+            for index in pending:
+                self.cache.put(hashes[index], results[index], config=configs[index])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_keys(keys: Optional[Sequence[str]], n: int) -> List[str]:
+        if keys is None:
+            return [f"task:{i}" for i in range(n)]
+        if len(keys) != n:
+            raise ConfigurationError(
+                f"got {len(keys)} keys for {n} tasks"
+            )
+        return [str(k) for k in keys]
+
+    def _emit(self, done: int, total: int, key: str, seconds: float, *, cached: bool) -> None:
+        self.stats.task_seconds[key] = seconds
+        if self.progress is not None:
+            self.progress(
+                ProgressEvent(done=done, total=total, key=key, seconds=seconds, cached=cached)
+            )
+
+    def _execute(
+        self,
+        fn: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        pending: List[int],
+        results: List[Any],
+        task_keys: List[str],
+        *,
+        done_offset: int,
+        total: int,
+    ) -> None:
+        """Run ``fn`` over ``payloads[i] for i in pending`` into ``results``."""
+        done = done_offset
+        if not pending:
+            return
+        if self.n_workers == 1:
+            for index in pending:
+                value, seconds = _timed_call(fn, payloads[index])
+                results[index] = value
+                self.stats.executed += 1
+                done += 1
+                self._emit(done, total, task_keys[index], seconds, cached=False)
+            return
+        workers = min(self.n_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_timed_call, fn, payloads[index]): index
+                for index in pending
+            }
+            # Collect in completion order so progress is live; results land
+            # by index, so output order stays input order.
+            from concurrent.futures import as_completed
+
+            for future in as_completed(futures):
+                index = futures[future]
+                value, seconds = future.result()
+                results[index] = value
+                self.stats.executed += 1
+                done += 1
+                self._emit(done, total, task_keys[index], seconds, cached=False)
+
+
+@dataclass(frozen=True)
+class PipelineExperiment:
+    """A picklable ``seed -> metrics`` experiment over the pipeline.
+
+    :func:`repro.experiments.montecarlo.run_trials` accepts any callable,
+    but sharding across processes requires picklability, which closures
+    lack. This wrapper carries config overrides as data:
+
+        >>> exp = PipelineExperiment(overrides={"n_total": 120, "n_beacons": 20})
+        >>> metrics = exp(seed=7)  # doctest: +SKIP
+    """
+
+    overrides: Optional[Dict[str, Any]] = None
+
+    def config(self, seed: int) -> PipelineConfig:
+        """The pipeline config this experiment runs at ``seed``."""
+        kwargs = dict(self.overrides or {})
+        kwargs.pop("seed", None)
+        return PipelineConfig(seed=seed, **kwargs)
+
+    def __call__(self, seed: int) -> Dict[str, float]:
+        return execute_pipeline(self.config(seed))

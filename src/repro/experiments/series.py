@@ -1,14 +1,18 @@
 """Plot-ready data containers.
 
 A :class:`FigureData` is what each ``figureNN`` generator returns: labelled
-(x, y) series plus axis metadata, renderable as a table (benchmarks) or fed
-to any plotting library.
+(x, y) series plus axis metadata, renderable as a table (benchmarks), fed
+to any plotting library, or round-tripped through plain JSON dicts
+(:meth:`FigureData.to_dict` / :meth:`FigureData.from_dict`) — the format
+the experiment CLI's ``--json`` export and the result cache use.
+
+Paper section: §4 (figure data layout).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Tuple
 
 
 @dataclass
@@ -34,6 +38,19 @@ class Series:
             if abs(xi - x) <= tol:
                 return yi
         raise KeyError(f"no point at x={x} in series {self.label!r}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON representation of the curve."""
+        return {"label": self.label, "x": list(self.x), "y": list(self.y)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Series":
+        """Rebuild a curve from :meth:`to_dict` output."""
+        return cls(
+            label=str(data["label"]),
+            x=[float(v) for v in data.get("x", [])],
+            y=[float(v) for v in data.get("y", [])],
+        )
 
 
 @dataclass
@@ -77,3 +94,33 @@ class FigureData:
         if self.notes:
             lines.append(f"   note: {self.notes}")
         return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-JSON representation of the whole figure."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "notes": self.notes,
+            "series": [
+                self.series[label].to_dict() for label in sorted(self.series)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FigureData":
+        """Rebuild a figure from :meth:`to_dict` output."""
+        fig = cls(
+            figure_id=str(data["figure_id"]),
+            title=str(data.get("title", "")),
+            x_label=str(data.get("x_label", "")),
+            y_label=str(data.get("y_label", "")),
+            notes=str(data.get("notes", "")),
+        )
+        for raw in data.get("series", []):
+            s = Series.from_dict(raw)
+            if s.label in fig.series:
+                raise ValueError(f"duplicate series label {s.label!r}")
+            fig.series[s.label] = s
+        return fig

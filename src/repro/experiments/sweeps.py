@@ -14,6 +14,14 @@ lines::
         base=dict(n_malicious=0, collusion=False),
         trials=3,
     )
+
+Execution goes through :class:`repro.experiments.runner.ExperimentRunner`:
+pass ``runner=ExperimentRunner(n_workers=4, cache_dir=...)`` to shard the
+grid across processes and skip already-computed points. Seeds are derived
+per (point, trial) exactly as the serial path always has, so results are
+bit-identical for any worker count.
+
+Paper section: §4 (evaluation parameter studies).
 """
 
 from __future__ import annotations
@@ -21,24 +29,14 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, Optional, Sequence
 
-from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
+from repro.core.pipeline import PipelineConfig, PipelineResult
 from repro.errors import ConfigurationError
+from repro.experiments.runner import PIPELINE_METRICS, ExperimentRunner
 from repro.experiments.series import FigureData
 from repro.sim.rng import derive_seed
 
-#: PipelineResult attributes a sweep may collect.
-SUPPORTED_METRICS = (
-    "detection_rate",
-    "false_positive_rate",
-    "affected_non_beacons_per_malicious",
-    "revoked_malicious",
-    "revoked_benign",
-    "alerts_accepted",
-    "alerts_rejected",
-    "probes_sent",
-    "mean_localization_error_ft",
-    "mean_requesters_per_malicious",
-)
+#: PipelineResult attributes a sweep may collect (runner task payload).
+SUPPORTED_METRICS = PIPELINE_METRICS
 
 
 def _metric_value(result: PipelineResult, metric: str) -> float:
@@ -59,6 +57,7 @@ def sweep_config_field(
     base_seed: int = 0,
     figure_id: str = "sweep",
     title: Optional[str] = None,
+    runner: Optional[ExperimentRunner] = None,
 ) -> FigureData:
     """Sweep one config field; returns one series per requested metric.
 
@@ -71,6 +70,9 @@ def sweep_config_field(
             series hold the per-point mean.
         base_seed: determinism anchor.
         figure_id / title: FigureData metadata.
+        runner: execution engine (workers + result cache); None runs
+            serially in-process. The per-point means are bit-identical
+            for any runner.
 
     Raises:
         ConfigurationError: unknown field, empty grid, or bad metric.
@@ -101,18 +103,28 @@ def sweep_config_field(
     overrides = dict(base or {})
     overrides.pop(field_name, None)
 
+    # Build every (point, trial) config up front — same seed derivation as
+    # the historical serial loop — then hand the flat grid to the runner.
+    configs = []
+    keys = []
     for value in values:
-        sums = {metric: 0.0 for metric in metrics}
         for trial in range(trials):
             seed = derive_seed(base_seed, f"{field_name}={value}:{trial}") % (
                 2**31
             )
-            config = PipelineConfig(
-                **{**overrides, field_name: value, "seed": seed}
+            configs.append(
+                PipelineConfig(**{**overrides, field_name: value, "seed": seed})
             )
-            result = SecureLocalizationPipeline(config).run()
+            keys.append(f"{field_name}={value}:trial:{trial}")
+    active = runner if runner is not None else ExperimentRunner()
+    results = active.run_pipeline_configs(configs, keys=keys)
+
+    for i, value in enumerate(values):
+        sums = {metric: 0.0 for metric in metrics}
+        for trial in range(trials):
+            point = results[i * trials + trial]
             for metric in metrics:
-                sums[metric] += _metric_value(result, metric)
+                sums[metric] += float(point[metric])
         x = float(value) if isinstance(value, (int, float)) else float(
             values.index(value)
         )

@@ -1,0 +1,52 @@
+"""Docstring policy for the paper-core and experiments packages.
+
+Mirrors the ruff pydocstyle configuration in ``pyproject.toml`` (rules
+D100/D101/D103 scoped to ``src/repro/core`` and ``src/repro/experiments``)
+so the policy is enforced in plain pytest runs even where ruff is not
+installed. Additionally, every ``repro.core`` module must carry a
+``Paper section:`` reference line tying it back to the source paper.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).resolve().parent
+SCOPED_PACKAGES = ("core", "experiments")
+
+
+def _scoped_modules():
+    for package in SCOPED_PACKAGES:
+        for path in sorted((SRC / package).glob("*.py")):
+            yield package, path
+
+
+MODULES = list(_scoped_modules())
+
+
+@pytest.mark.parametrize(
+    "package,path", MODULES, ids=[f"{pkg}/{p.name}" for pkg, p in MODULES]
+)
+def test_module_docstring_policy(package, path):
+    tree = ast.parse(path.read_text())
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"{path} has no module docstring (D100)"
+
+    # Public top-level classes and functions must be documented too
+    # (D101/D103 in the ruff config).
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if node.name.startswith("_"):
+                continue
+            assert ast.get_docstring(node), (
+                f"{path}: public {node.name!r} has no docstring"
+            )
+
+    # Core modules additionally cite the paper section they implement.
+    if package == "core":
+        assert "Paper section:" in docstring, (
+            f"{path}: core module docstring lacks a 'Paper section:' line"
+        )
