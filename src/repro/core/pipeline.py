@@ -46,6 +46,7 @@ from repro.sim.reliable import LossModel, ReliableChannel
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
 from repro.utils.geometry import Point, distance, random_point_in_rect
+from repro.utils.profiling import PhaseProfile
 from repro.utils.validation import check_int_in_range, check_probability
 from repro.wormhole.detector import ProbabilisticWormholeDetector
 
@@ -90,6 +91,11 @@ class PipelineConfig:
     notice_interval_cycles: float = 2_000_000.0
     notice_rounds: int = 4
     network_loss_rate: float = 0.0
+    #: Route reachability and metrics scans through the grid spatial
+    #: index (the fast path). False falls back to the naive O(N * N_b)
+    #: scans — kept as a reference oracle; results are bit-identical
+    #: either way (asserted by tests/core/test_pipeline_spatial.py).
+    use_spatial_index: bool = True
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -192,6 +198,9 @@ class SecureLocalizationPipeline:
         self.notice_distributor = None
         self._built = False
         self._probes_sent = 0
+        #: Per-phase wall clock + hot-path counters; populated by
+        #: :meth:`run` and read back via :meth:`profile_snapshot`.
+        self.profile = PhaseProfile()
 
     # ------------------------------------------------------------------
     # Construction
@@ -362,12 +371,34 @@ class SecureLocalizationPipeline:
     # Reachability
     # ------------------------------------------------------------------
     def _reachable_beacons(self, node: Node) -> List[Node]:
-        """Beacons a node can exchange packets with (direct or tunnel)."""
+        """Beacons a node can exchange packets with (direct or tunnel).
+
+        Both paths return the same beacons in the same (``node_id``)
+        order, so downstream RNG consumption — probe scheduling, beacon
+        requests — is identical; the naive path is the reference oracle.
+        """
+        if not self.config.use_spatial_index:
+            return self._reachable_beacons_naive(node)
+        assert self.network is not None
+        net = self.network
+        direct = net.beacons_within(node.position, self.config.comm_range_ft)
+        tunneled = net.wormhole_reachable_beacon_ids(node.position)
+        if not tunneled:
+            return [b for b in direct if b.node_id != node.node_id]
+        ids = {b.node_id for b in direct}
+        ids.update(tunneled)
+        ids.discard(node.node_id)
+        return [net.node(i) for i in sorted(ids)]
+
+    def _reachable_beacons_naive(self, node: Node) -> List[Node]:
+        """Reference oracle: full O(N_b) scan with pairwise wormhole checks."""
         assert self.network is not None
         reachable: List[Node] = []
+        stats = self.network.stats
         for beacon in self.network.beacon_nodes():
             if beacon.node_id == node.node_id:
                 continue
+            stats.distance_evals += 1
             if distance(node.position, beacon.position) <= self.config.comm_range_ft:
                 reachable.append(beacon)
             elif (
@@ -427,20 +458,79 @@ class SecureLocalizationPipeline:
         self.engine.run()
 
     def run(self) -> PipelineResult:
-        """Build (if needed) and execute all phases, returning the metrics."""
-        self.build()
-        self.run_collusion()
-        self.run_detection()
-        self.run_notice_dissemination()
-        self.run_localization()
-        return self.collect_metrics()
+        """Build (if needed) and execute all phases, returning the metrics.
+
+        Each phase is timed into :attr:`profile`; see
+        :meth:`profile_snapshot` for the aggregated view.
+        """
+        profile = self.profile
+        with profile.phase("build"):
+            self.build()
+        with profile.phase("collusion"):
+            self.run_collusion()
+        with profile.phase("detection"):
+            self.run_detection()
+        with profile.phase("notices"):
+            self.run_notice_dissemination()
+        with profile.phase("localization"):
+            self.run_localization()
+        with profile.phase("metrics"):
+            result = self.collect_metrics()
+        return result
+
+    def profile_snapshot(self) -> dict:
+        """Phase timings plus hot-path counters, as a JSON-ready dict.
+
+        Counters fold in the network-level operation counts (distance
+        evaluations, grid cells visited, spatial queries, deliveries)
+        and the probe total, so one snapshot fully describes where a
+        trial spent its work. Shape: ``{"phases": {...}, "counters":
+        {...}}`` (see :mod:`repro.utils.profiling`).
+        """
+        snapshot = self.profile.to_dict()
+        if self.network is not None:
+            snapshot["counters"].update(self.network.stats.to_dict())
+        snapshot["counters"]["probes"] = self._probes_sent
+        return snapshot
 
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+    def _requester_counts(self, malicious_ids: Set[int]) -> List[int]:
+        """Per-malicious-beacon count of in-range agents + benign beacons."""
+        assert self.network is not None
+        cfg = self.config
+        if cfg.use_spatial_index:
+            # One grid query per malicious beacon; everything in range
+            # that is not itself malicious is an agent or benign beacon.
+            return [
+                sum(
+                    1
+                    for n in self.network.nodes_within(
+                        b.position, cfg.comm_range_ft
+                    )
+                    if n.node_id not in malicious_ids
+                )
+                for b in self.malicious_beacons
+            ]
+        # Naive oracle; the candidate list is hoisted out of the loop
+        # rather than re-concatenated per malicious beacon.
+        candidates = self.agents + self.benign_beacons
+        return [
+            len(
+                [
+                    a
+                    for a in candidates
+                    if distance(a.position, b.position) <= cfg.comm_range_ft
+                ]
+            )
+            for b in self.malicious_beacons
+        ]
+
     def collect_metrics(self) -> PipelineResult:
         """Compute the paper's evaluation metrics from the run."""
         assert self.base_station is not None
+        assert self.network is not None
         cfg = self.config
         malicious_ids = {b.node_id for b in self.malicious_beacons}
         benign_ids = {b.node_id for b in self.benign_beacons}
@@ -476,16 +566,7 @@ class SecureLocalizationPipeline:
                 continue
             errors.append(agent.location_error_ft())
 
-        requesters = [
-            len(
-                [
-                    a
-                    for a in self.agents + self.benign_beacons
-                    if distance(a.position, b.position) <= cfg.comm_range_ft
-                ]
-            )
-            for b in self.malicious_beacons
-        ]
+        requesters = self._requester_counts(malicious_ids)
         mean_requesters = (
             sum(requesters) / len(requesters) if requesters else 0.0
         )

@@ -7,12 +7,16 @@ Usage::
     python -m repro.experiments figure12 --out results/ --svg
     python -m repro.experiments all --out results/ --workers 4 --cache-dir .cache
     python -m repro.experiments figure14 --workers 0 --progress
+    python -m repro.experiments figure12 --profile --out results/
 
 Each figure command prints the data table; ``--out`` also writes
 ``<figure>.txt`` (``<figure>.svg`` with ``--svg``, ``<figure>.json`` with
 ``--json``). ``--workers`` shards simulation trials across processes
 (``0`` = one per CPU) and ``--cache-dir`` enables the content-addressed
 result cache, so a re-run skips every already-computed pipeline point.
+``--profile`` aggregates per-phase timings and hot-path counters across
+every executed trial and emits them as JSON (``profile.json`` under
+``--out``).
 
 Paper section: §4 (regenerating the evaluation).
 """
@@ -94,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-task progress lines to stderr",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "collect per-phase timings and hot-path counters from every "
+            "executed pipeline trial; prints the aggregated JSON summary "
+            "(and writes profile.json into --out when given)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the table on stdout",
@@ -118,6 +131,7 @@ def make_runner(args) -> ExperimentRunner:
         n_workers=workers,
         cache_dir=args.cache_dir,
         progress=_print_progress if args.progress else None,
+        profile=args.profile,
     )
 
 
@@ -187,6 +201,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         fig = _generate(name, runner)
         _emit(fig, args)
+    if args.profile:
+        summary = runner.stats.profile_summary()
+        payload = json.dumps(summary, indent=2, sort_keys=True)
+        if not args.quiet:
+            print(payload)
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / "profile.json").write_text(payload + "\n")
     if args.cache_dir is not None and not args.quiet:
         stats = runner.stats
         print(

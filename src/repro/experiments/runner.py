@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
 from repro.errors import ConfigurationError
 from repro.experiments.config_io import config_to_dict
+from repro.utils.profiling import merge_profiles
 
 #: Scalar :class:`PipelineResult` attributes collected by pipeline tasks.
 #: Every metric is always collected, so cache entries stay valid when a
@@ -64,6 +65,19 @@ def collect_metrics(result: PipelineResult) -> Dict[str, float]:
 def execute_pipeline(config: PipelineConfig) -> Dict[str, float]:
     """Run one pipeline and return its metrics (the worker entry point)."""
     return collect_metrics(SecureLocalizationPipeline(config).run())
+
+
+def execute_pipeline_profiled(config: PipelineConfig) -> Dict[str, Any]:
+    """Run one pipeline, returning metrics plus its profile snapshot.
+
+    The profiled worker entry point: ``{"metrics": {...}, "profile":
+    {"phases": ..., "counters": ...}}``. Metrics are identical to
+    :func:`execute_pipeline` (the always-on instrumentation draws no
+    random numbers).
+    """
+    pipeline = SecureLocalizationPipeline(config)
+    metrics = collect_metrics(pipeline.run())
+    return {"metrics": metrics, "profile": pipeline.profile_snapshot()}
 
 
 def cache_key(config: PipelineConfig, *, kind: str = "pipeline") -> str:
@@ -163,11 +177,18 @@ class RunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     task_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Per-executed-trial profile snapshots (only with ``profile=True``;
+    #: cache hits contribute none — they executed nothing).
+    profiles: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
         """Summed per-task wall clock (not wall clock of the whole run)."""
         return sum(self.task_seconds.values())
+
+    def profile_summary(self) -> Dict[str, Any]:
+        """Phase seconds and counters summed over all executed trials."""
+        return merge_profiles(self.profiles)
 
 
 def _timed_call(fn: Callable[[Any], Any], payload: Any) -> Tuple[Any, float]:
@@ -185,6 +206,11 @@ class ExperimentRunner:
             calling process with zero multiprocessing machinery.
         cache_dir: enable the on-disk :class:`ResultCache` rooted here.
         progress: called with a :class:`ProgressEvent` after each task.
+        profile: collect per-trial phase timings and hot-path counters
+            for executed pipeline tasks into ``stats.profiles``
+            (aggregate via :meth:`RunStats.profile_summary`). Metrics
+            are unchanged; cache behaviour is unchanged (entries store
+            metrics only, and hits contribute no profile).
 
     The runner is deterministic: results come back in input order and are
     bit-identical for any worker count, because every task is a pure
@@ -197,6 +223,7 @@ class ExperimentRunner:
         n_workers: int = 1,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
+        profile: bool = False,
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigurationError(
@@ -205,6 +232,7 @@ class ExperimentRunner:
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
+        self.profile = bool(profile)
         self.stats = RunStats()
 
     def reset_stats(self) -> None:
@@ -267,10 +295,18 @@ class ExperimentRunner:
                     continue
                 self.stats.cache_misses += 1
             pending.append(index)
+        task = execute_pipeline_profiled if self.profile else execute_pipeline
         self._execute(
-            execute_pipeline, configs, pending, results, task_keys,
+            task, configs, pending, results, task_keys,
             done_offset=done, total=total,
         )
+        if self.profile:
+            # Unwrap the profiled payloads: profiles accumulate in the
+            # stats, metric dicts land where callers expect them.
+            for index in pending:
+                wrapped = results[index]
+                self.stats.profiles.append(wrapped["profile"])
+                results[index] = wrapped["metrics"]
         if self.cache is not None:
             for index in pending:
                 self.cache.put(hashes[index], results[index], config=configs[index])

@@ -18,9 +18,10 @@ error model, and any wormhole tunnels. Delivery semantics:
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, DeliveryError
 from repro.sim.engine import Engine
@@ -33,6 +34,7 @@ from repro.sim.rng import RngRegistry
 from repro.sim.timing import RttModel
 from repro.sim.trace import TraceRecorder
 from repro.utils.geometry import Point, distance
+from repro.utils.profiling import NetworkCounters
 
 #: Signature of a ranging-error model: (true_distance_ft, rng) -> error_ft.
 RangingErrorModel = Callable[[float, "object"], float]
@@ -127,18 +129,51 @@ class Network:
         self._aliases: Dict[int, int] = {}
         self._wormholes: List[WormholeLink] = []
         self._grid: Dict[tuple, List[Node]] = {}
+        #: Beacon-only mirror of the grid, so beacon range queries don't
+        #: filter the (10x larger) full node population per bucket.
+        self._beacon_grid: Dict[tuple, List[Node]] = {}
         self._cell = max(self.radio.comm_range_ft, 1.0)
+        # Beacon/non-beacon partition, maintained incrementally by
+        # add_node (role is fixed at registration) and kept sorted by
+        # node_id; the tuples are the cached read views.
+        self._beacons: List[Node] = []
+        self._non_beacons: List[Node] = []
+        self._beacons_view: Optional[Tuple[Node, ...]] = None
+        self._non_beacons_view: Optional[Tuple[Node, ...]] = None
+        #: Hot-path operation counters (distance evals, cells visited,
+        #: queries, deliveries) — cheap enough to always stay on.
+        self.stats = NetworkCounters()
+        # Wormhole-endpoint proximity cache: beacon ids within range of
+        # each tunnel endpoint, recomputed lazily whenever the topology
+        # version moves (node added / moved, wormhole installed).
+        self._topology_version = 0
+        self._endpoint_beacon_cache: Dict[
+            Tuple[int, str], Tuple[int, FrozenSet[int]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
     def add_node(self, node: Node) -> Node:
-        """Register ``node``; ids must be unique."""
+        """Register ``node``; ids must be unique.
+
+        The node's beacon/non-beacon role is read here, once; flipping
+        ``node.is_beacon`` after registration is not supported.
+        """
         if node.node_id in self._nodes:
             raise ConfigurationError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
         node.attach(self)
-        self._grid.setdefault(self._cell_of(node.position), []).append(node)
+        cell = self._cell_of(node.position)
+        self._grid.setdefault(cell, []).append(node)
+        if node.is_beacon:
+            bisect.insort(self._beacons, node, key=lambda n: n.node_id)
+            self._beacons_view = None
+            self._beacon_grid.setdefault(cell, []).append(node)
+        else:
+            bisect.insort(self._non_beacons, node, key=lambda n: n.node_id)
+            self._non_beacons_view = None
+        self._topology_version += 1
         return node
 
     def update_position(self, node: Node, new_position: Point) -> None:
@@ -149,14 +184,20 @@ class Network:
         new_cell = self._cell_of(new_position)
         node.position = new_position
         if old_cell != new_cell:
-            bucket = self._grid.get(old_cell, [])
-            if node in bucket:
-                bucket.remove(node)
-            self._grid.setdefault(new_cell, []).append(node)
+            grids = (
+                (self._grid, self._beacon_grid) if node.is_beacon else (self._grid,)
+            )
+            for grid in grids:
+                bucket = grid.get(old_cell, [])
+                if node in bucket:
+                    bucket.remove(node)
+                grid.setdefault(new_cell, []).append(node)
+        self._topology_version += 1
 
     def add_wormhole(self, link: WormholeLink) -> None:
         """Install a wormhole tunnel in the field."""
         self._wormholes.append(link)
+        self._topology_version += 1
 
     @property
     def wormholes(self) -> List[WormholeLink]:
@@ -191,29 +232,55 @@ class Network:
         """All registered nodes (stable id order)."""
         return [self._nodes[i] for i in sorted(self._nodes)]
 
-    def beacon_nodes(self) -> List[Node]:
-        """All nodes flagged as beacons."""
-        return [n for n in self.nodes() if n.is_beacon]
+    def beacon_nodes(self) -> Tuple[Node, ...]:
+        """All nodes flagged as beacons (id order; cached tuple)."""
+        if self._beacons_view is None:
+            self._beacons_view = tuple(self._beacons)
+        return self._beacons_view
 
-    def non_beacon_nodes(self) -> List[Node]:
-        """All regular sensor nodes."""
-        return [n for n in self.nodes() if not n.is_beacon]
+    def non_beacon_nodes(self) -> Tuple[Node, ...]:
+        """All regular sensor nodes (id order; cached tuple)."""
+        if self._non_beacons_view is None:
+            self._non_beacons_view = tuple(self._non_beacons)
+        return self._non_beacons_view
 
     def _cell_of(self, p: Point) -> tuple:
         return (int(math.floor(p.x / self._cell)), int(math.floor(p.y / self._cell)))
 
-    def nodes_within(self, center: Point, radius_ft: float) -> List[Node]:
-        """Nodes at distance <= radius from ``center`` (grid-accelerated)."""
+    def _query_grid(
+        self, grid: Dict[tuple, List[Node]], center: Point, radius_ft: float
+    ) -> List[Node]:
+        """Range query over one grid; results sorted by ``node_id``."""
         cx, cy = self._cell_of(center)
         reach = int(math.ceil(radius_ft / self._cell))
+        stats = self.stats
+        stats.spatial_queries += 1
         found: List[Node] = []
         for gx in range(cx - reach, cx + reach + 1):
             for gy in range(cy - reach, cy + reach + 1):
-                for node in self._grid.get((gx, gy), ()):
+                bucket = grid.get((gx, gy))
+                if not bucket:
+                    continue
+                stats.grid_cells_visited += 1
+                stats.distance_evals += len(bucket)
+                for node in bucket:
                     if distance(center, node.position) <= radius_ft:
                         found.append(node)
         found.sort(key=lambda n: n.node_id)
         return found
+
+    def nodes_within(self, center: Point, radius_ft: float) -> List[Node]:
+        """Nodes at distance <= radius from ``center`` (grid-accelerated)."""
+        return self._query_grid(self._grid, center, radius_ft)
+
+    def beacons_within(self, center: Point, radius_ft: float) -> List[Node]:
+        """Beacons at distance <= radius from ``center``.
+
+        Served from the beacon-only grid, so the query never touches the
+        non-beacon population; same ordering contract as
+        :meth:`nodes_within` (sorted by ``node_id``).
+        """
+        return self._query_grid(self._beacon_grid, center, radius_ft)
 
     def neighbors_of(self, node: Node) -> List[Node]:
         """Nodes within communication range of ``node`` (excluding itself)."""
@@ -422,6 +489,7 @@ class Network:
     def _finish_delivery(
         self, transmission: Transmission, dst: Node, measured: float
     ) -> None:
+        self.stats.deliveries += 1
         reception = Reception(
             packet=transmission.packet,
             arrival_time=self.engine.now(),
@@ -484,6 +552,7 @@ class Network:
         """The tunnel that connects the neighbourhoods of ``a`` and ``b``."""
         r = self.radio.comm_range_ft
         for link in self._wormholes:
+            self.stats.distance_evals += 4
             a_near_a = distance(a, link.end_a) <= r
             a_near_b = distance(a, link.end_b) <= r
             b_near_a = distance(b, link.end_a) <= r
@@ -491,3 +560,45 @@ class Network:
             if (a_near_a and b_near_b) or (a_near_b and b_near_a):
                 return link
         return None
+
+    def _endpoint_beacon_ids(self, index: int, side: str) -> FrozenSet[int]:
+        """Beacon ids within radio range of one tunnel endpoint (cached).
+
+        The cache key is (wormhole index, endpoint side); an entry is
+        valid only for the topology version it was computed under, so any
+        node addition, move, or new tunnel transparently invalidates it.
+        """
+        key = (index, side)
+        cached = self._endpoint_beacon_cache.get(key)
+        if cached is not None and cached[0] == self._topology_version:
+            return cached[1]
+        link = self._wormholes[index]
+        endpoint = link.end_a if side == "a" else link.end_b
+        ids = frozenset(
+            b.node_id
+            for b in self.beacons_within(endpoint, self.radio.comm_range_ft)
+        )
+        self._endpoint_beacon_cache[key] = (self._topology_version, ids)
+        return ids
+
+    def wormhole_reachable_beacon_ids(self, position: Point) -> FrozenSet[int]:
+        """Ids of beacons reachable from ``position`` through some tunnel.
+
+        A beacon is tunnel-reachable when ``position`` is within range of
+        one endpoint and the beacon is within range of the other — the
+        same predicate :meth:`wormhole_between` evaluates pairwise, but
+        answered with two distance checks per tunnel plus a cached
+        per-endpoint beacon set instead of four distance calls per
+        (position, beacon) pair.
+        """
+        if not self._wormholes:
+            return frozenset()
+        r = self.radio.comm_range_ft
+        reachable: Set[int] = set()
+        for index, link in enumerate(self._wormholes):
+            self.stats.distance_evals += 2
+            if distance(position, link.end_a) <= r:
+                reachable |= self._endpoint_beacon_ids(index, "b")
+            if distance(position, link.end_b) <= r:
+                reachable |= self._endpoint_beacon_ids(index, "a")
+        return frozenset(reachable)

@@ -1,0 +1,123 @@
+"""Lightweight phase timers and hot-path counters for the pipeline.
+
+The end-to-end pipeline spends its time in a handful of phases (build,
+collusion, detection, notice dissemination, localization, metrics); this
+module provides the minimal instrumentation to see *where* — wall-clock
+per phase plus integer counters for the operations the spatial index is
+meant to reduce (distance evaluations, grid cells visited, spatial
+queries, deliveries, probes).
+
+Design constraints:
+
+- **Cheap enough to stay on.** A counter bump is one attribute
+  increment; a phase is two ``perf_counter`` calls. The pipeline keeps a
+  :class:`PhaseProfile` unconditionally, so profiles are available
+  without a special build.
+- **Mergeable across processes.** Profiles serialize to plain dicts
+  (:meth:`PhaseProfile.to_dict`) and :func:`merge_profiles` sums any
+  number of them, which is how
+  :class:`repro.experiments.runner.ExperimentRunner` aggregates worker
+  profiles behind the CLI ``--profile`` flag.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, Mapping
+
+
+@dataclass
+class NetworkCounters:
+    """Hot-path operation counts maintained by :class:`~repro.sim.network.Network`.
+
+    Attributes:
+        distance_evals: Euclidean distance computations performed by
+            spatial queries and reference scans.
+        grid_cells_visited: non-empty grid buckets inspected by
+            ``nodes_within`` / ``beacons_within``.
+        spatial_queries: grid-accelerated range queries issued.
+        deliveries: packets actually handed to a receiving node.
+    """
+
+    distance_evals: int = 0
+    grid_cells_visited: int = 0
+    spatial_queries: int = 0
+    deliveries: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (JSON-ready)."""
+        return {
+            "distance_evals": self.distance_evals,
+            "grid_cells_visited": self.grid_cells_visited,
+            "spatial_queries": self.spatial_queries,
+            "deliveries": self.deliveries,
+        }
+
+
+@dataclass
+class PhaseProfile:
+    """Accumulated wall-clock per named phase plus integer counters.
+
+    Usage::
+
+        profile = PhaseProfile()
+        with profile.phase("detection"):
+            ...                      # timed work
+        profile.count("probes", 42)
+        profile.to_dict()
+        # {"phases": {"detection": 0.93}, "counters": {"probes": 42}}
+    """
+
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (re-entries accumulate)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to the counter ``name`` (created on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall clock across all recorded phases."""
+        return sum(self.phase_seconds.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable snapshot: ``{"phases": ..., "counters": ...}``."""
+        return {
+            "phases": dict(self.phase_seconds),
+            "counters": dict(self.counters),
+        }
+
+
+def merge_profiles(profiles: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Sum per-trial profile dicts into one aggregate.
+
+    Args:
+        profiles: dicts shaped like :meth:`PhaseProfile.to_dict` output.
+
+    Returns:
+        ``{"trials": n, "phases": {...}, "counters": {...}}`` with phase
+        seconds and counters summed across inputs. Zero inputs yield the
+        empty aggregate (``trials == 0``).
+    """
+    phases: Dict[str, float] = {}
+    counters: Dict[str, int] = {}
+    trials = 0
+    for profile in profiles:
+        trials += 1
+        for name, seconds in (profile.get("phases") or {}).items():
+            phases[name] = phases.get(name, 0.0) + float(seconds)
+        for name, n in (profile.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + int(n)
+    return {"trials": trials, "phases": phases, "counters": counters}

@@ -162,6 +162,47 @@ class TestCli:
         assert (tmp_path / "figure05.svg").exists()
         assert capsys.readouterr().out == ""
 
+    def test_profile_flag_emits_json(self, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.core.pipeline import PipelineConfig
+        from repro.experiments import figures as figures_module
+        from repro.experiments.series import FigureData
+
+        def generator(runner):
+            """Tiny simulation-backed fake figure."""
+            config = PipelineConfig(
+                n_total=60,
+                n_beacons=10,
+                n_malicious=1,
+                field_width_ft=300.0,
+                field_height_ft=300.0,
+                m_detecting_ids=1,
+                rtt_calibration_samples=100,
+                wormhole_endpoints=None,
+                seed=3,
+            )
+            metrics = runner.run_pipeline_configs([config], keys=["pt"])[0]
+            fig = FigureData(
+                figure_id="figure97", title="t", x_label="x", y_label="y"
+            )
+            fig.new_series("s").append(0, metrics["detection_rate"])
+            return fig
+
+        monkeypatch.setattr(
+            figures_module, "ALL_FIGURES", {"figure97": generator}
+        )
+        code = main(
+            ["figure97", "--profile", "--out", str(tmp_path), "--quiet"]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "profile.json").read_text())
+        assert payload["trials"] == 1
+        assert "detection" in payload["phases"]
+        assert payload["counters"]["spatial_queries"] > 0
+        # --quiet suppressed the stdout copy.
+        assert capsys.readouterr().out == ""
+
     def test_all_target_runs_every_generator(self, tmp_path, monkeypatch):
         from repro.experiments import figures as figures_module
         from repro.experiments.series import FigureData

@@ -244,6 +244,53 @@ class TestCliFlags:
         assert make_runner(args).n_workers == (os.cpu_count() or 1)
 
 
+class TestProfiledRuns:
+    def test_profiles_collected_per_executed_trial(self):
+        runner = ExperimentRunner(profile=True)
+        results = runner.run_pipeline_configs([SMALL_CONFIG], keys=["t"])
+        assert set(results[0]) == set(PIPELINE_METRICS)
+        assert len(runner.stats.profiles) == 1
+        summary = runner.stats.profile_summary()
+        assert summary["trials"] == 1
+        # Every pipeline phase was timed, and the hot-path counters moved.
+        for phase in ("build", "detection", "localization", "metrics"):
+            assert phase in summary["phases"]
+        assert summary["counters"]["probes"] == int(results[0]["probes_sent"])
+        assert summary["counters"]["distance_evals"] > 0
+        assert summary["counters"]["deliveries"] > 0
+        assert summary["counters"]["spatial_queries"] > 0
+
+    def test_profiling_leaves_metrics_bit_identical(self):
+        plain = ExperimentRunner().run_pipeline_configs([SMALL_CONFIG])
+        profiled = ExperimentRunner(profile=True).run_pipeline_configs(
+            [SMALL_CONFIG]
+        )
+        assert plain == profiled
+
+    def test_cache_hits_contribute_no_profiles(self, tmp_path):
+        cold = ExperimentRunner(profile=True, cache_dir=tmp_path)
+        first = cold.run_pipeline_configs([SMALL_CONFIG])
+        assert len(cold.stats.profiles) == 1
+        warm = ExperimentRunner(profile=True, cache_dir=tmp_path)
+        second = warm.run_pipeline_configs([SMALL_CONFIG])
+        assert warm.stats.executed == 0
+        assert warm.stats.profiles == []
+        assert warm.stats.profile_summary()["trials"] == 0
+        assert second == first
+
+    def test_profiled_parallel_matches_serial(self):
+        serial = ExperimentRunner(profile=True)
+        parallel = ExperimentRunner(profile=True, n_workers=2)
+        configs = [
+            SMALL_CONFIG,
+            PipelineConfig(seed=6, **SMALL),
+        ]
+        assert serial.run_pipeline_configs(configs) == (
+            parallel.run_pipeline_configs(configs)
+        )
+        assert parallel.stats.profile_summary()["trials"] == 2
+
+
 @pytest.mark.smoke
 def test_smoke_parallel_figure_end_to_end(tmp_path):
     """One tiny figure benchmark, 2 workers, temp cache dir, end to end."""

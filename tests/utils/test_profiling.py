@@ -1,0 +1,85 @@
+"""Tests for the phase-timer / counter profiling utilities."""
+
+import time
+
+from repro.utils.profiling import NetworkCounters, PhaseProfile, merge_profiles
+
+
+class TestPhaseProfile:
+    def test_phase_records_elapsed_time(self):
+        profile = PhaseProfile()
+        with profile.phase("work"):
+            time.sleep(0.01)
+        assert profile.phase_seconds["work"] >= 0.01
+
+    def test_phase_reentry_accumulates(self):
+        profile = PhaseProfile()
+        for _ in range(3):
+            with profile.phase("loop"):
+                pass
+        assert len(profile.phase_seconds) == 1
+        assert profile.phase_seconds["loop"] >= 0.0
+
+    def test_phase_records_even_on_exception(self):
+        profile = PhaseProfile()
+        try:
+            with profile.phase("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert "boom" in profile.phase_seconds
+
+    def test_counters(self):
+        profile = PhaseProfile()
+        profile.count("probes")
+        profile.count("probes", 4)
+        assert profile.counters == {"probes": 5}
+
+    def test_total_seconds(self):
+        profile = PhaseProfile()
+        profile.phase_seconds = {"a": 1.0, "b": 2.5}
+        assert profile.total_seconds == 3.5
+
+    def test_to_dict_shape(self):
+        profile = PhaseProfile()
+        with profile.phase("p"):
+            pass
+        profile.count("c", 2)
+        snapshot = profile.to_dict()
+        assert set(snapshot) == {"phases", "counters"}
+        assert snapshot["counters"] == {"c": 2}
+        # Snapshot is a copy, not a live view.
+        snapshot["counters"]["c"] = 99
+        assert profile.counters["c"] == 2
+
+
+class TestMergeProfiles:
+    def test_empty(self):
+        assert merge_profiles([]) == {"trials": 0, "phases": {}, "counters": {}}
+
+    def test_sums_phases_and_counters(self):
+        merged = merge_profiles(
+            [
+                {"phases": {"a": 1.0, "b": 2.0}, "counters": {"x": 3}},
+                {"phases": {"a": 0.5}, "counters": {"x": 1, "y": 7}},
+            ]
+        )
+        assert merged["trials"] == 2
+        assert merged["phases"] == {"a": 1.5, "b": 2.0}
+        assert merged["counters"] == {"x": 4, "y": 7}
+
+    def test_tolerates_missing_sections(self):
+        merged = merge_profiles([{}, {"phases": {"a": 1.0}}])
+        assert merged["trials"] == 2
+        assert merged["phases"] == {"a": 1.0}
+
+
+class TestNetworkCounters:
+    def test_to_dict_roundtrip(self):
+        counters = NetworkCounters(distance_evals=5, deliveries=2)
+        assert counters.to_dict() == {
+            "distance_evals": 5,
+            "grid_cells_visited": 0,
+            "spatial_queries": 0,
+            "deliveries": 2,
+        }
