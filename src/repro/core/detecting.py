@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
 from repro.core.revocation import BaseStation
+from repro.errors import DeliveryError
 from repro.core.signal_detector import MaliciousSignalDetector
 from repro.crypto.manager import KeyManager
 from repro.localization.beacon import BeaconService
@@ -54,6 +55,12 @@ class DetectingBeacon(BeaconService):
         detecting_ids: this beacon's extra identities (allocate them via
             :meth:`KeyManager.allocate_detecting_ids` and register network
             aliases before probing).
+        alert_channel: optional ARQ channel alerts ride to the base
+            station (the §3.2 fault-tolerance assumption made concrete).
+        request_channel: optional ARQ channel wrapping the *probe
+            request* hop, retrying a request the lossy link swallowed; a
+            request whose retry budget is exhausted degrades to a lost
+            probe (counted in :attr:`probes_lost`), never an exception.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class DetectingBeacon(BeaconService):
         base_station: Optional[BaseStation] = None,
         detecting_ids: Optional[List[int]] = None,
         alert_channel: Optional[ReliableChannel] = None,
+        request_channel: Optional[ReliableChannel] = None,
         probe_power_randomization_ft: float = 0.0,
     ) -> None:
         super().__init__(node_id, position, key_manager)
@@ -74,7 +82,10 @@ class DetectingBeacon(BeaconService):
         self.filter_cascade = filter_cascade
         self.base_station = base_station
         self.alert_channel = alert_channel
+        self.request_channel = request_channel
         self.detecting_ids = list(detecting_ids or [])
+        #: Probe requests whose ARQ retry budget was exhausted.
+        self.probes_lost = 0
         #: §2.1 countermeasure: "adjust the transmission power in RSSI
         #: technique" — each probe's ranging signature is biased by a
         #: uniform draw in ±this many feet, so an inferring attacker
@@ -82,6 +93,8 @@ class DetectingBeacon(BeaconService):
         self.probe_power_randomization_ft = probe_power_randomization_ft
         self.probe_outcomes: List[ProbeOutcome] = []
         self.alerted_targets: set[int] = set()
+        #: Alerts whose ARQ retry budget was exhausted (§3.2 violated).
+        self.alerts_lost = 0
         self._next_nonce = 1
         self.on(BeaconPacket, type(self)._handle_probe_reply)
 
@@ -104,7 +117,16 @@ class DetectingBeacon(BeaconService):
                 -self.probe_power_randomization_ft,
                 self.probe_power_randomization_ft,
             )
-        self.send(self.key_manager.sign(request), ranging_bias_ft=bias)
+        signed = self.key_manager.sign(request)
+        if self.request_channel is None:
+            self.send(signed, ranging_bias_ft=bias)
+            return
+        report = self.request_channel.send(
+            lambda: self.send(signed, ranging_bias_ft=bias),
+            raise_on_exhaustion=False,
+        )
+        if not report.delivered:
+            self.probes_lost += 1
 
     def probe_all_ids(self, target_id: int) -> None:
         """Probe ``target_id`` once per detecting ID (the paper's m probes)."""
@@ -160,7 +182,11 @@ class DetectingBeacon(BeaconService):
         alerts from the same detector carry no extra information and would
         just burn its report quota). When an ``alert_channel`` is
         configured, the alert rides the lossy link with retransmission —
-        the paper's §3.2 fault-tolerance assumption made concrete.
+        the paper's §3.2 fault-tolerance assumption made concrete. An
+        exhausted retry budget (:class:`repro.errors.DeliveryError`) is
+        absorbed here: the beacon has no recourse beyond the ARQ layer,
+        so the alert is counted lost and the protocol degrades instead
+        of crashing.
         """
         if self.base_station is None:
             return False
@@ -173,11 +199,15 @@ class DetectingBeacon(BeaconService):
             return self.base_station.submit_alert(
                 self.node_id, target_id, tag=tag, time=time
             )
-        report = self.alert_channel.send(
-            lambda: self.base_station.submit_alert(
-                self.node_id, target_id, tag=tag, time=time
+        try:
+            report = self.alert_channel.send(
+                lambda: self.base_station.submit_alert(
+                    self.node_id, target_id, tag=tag, time=time
+                )
             )
-        )
+        except DeliveryError:
+            self.alerts_lost += 1
+            return False
         return report.delivered
 
     def _record(self, detecting_id: int, target_id: int, decision: str) -> None:

@@ -37,13 +37,15 @@ from repro.core.detecting import DetectingBeacon
 from repro.core.signal_detector import MaliciousSignalDetector
 from repro.crypto.manager import KeyManager
 from repro.errors import ConfigurationError, InsufficientReferencesError
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector
 from repro.localization.beacon import NonBeaconAgent
 from repro.sim.engine import Engine
 from repro.sim.network import Network, WormholeLink
 from repro.sim.node import Node
 from repro.sim.radio import RadioModel, Reception
 from repro.sim.reliable import LossModel, ReliableChannel
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_seed
 from repro.sim.trace import TraceRecorder
 from repro.utils.geometry import Point, distance, random_point_in_rect
 from repro.utils.profiling import PhaseProfile
@@ -83,6 +85,13 @@ class PipelineConfig:
     rtt_calibration_samples: int = 2_000
     alert_loss_rate: float = 0.0
     alert_max_retries: int = 8
+    #: ARQ for the detecting-protocol request hop: when > 0, every probe
+    #: request rides a retrying channel over a link with this loss rate.
+    request_loss_rate: float = 0.0
+    request_max_retries: int = 3
+    #: Timeout growth per ARQ retry for both channels (1.0 = fixed
+    #: timeout stop-and-wait, 2.0 = binary exponential backoff).
+    arq_backoff_factor: float = 1.0
     #: "oracle": revocations reach every node instantly (the paper's §3.2
     #: working assumption). "flood": revocation notices are disseminated
     #: as µTESLA-authenticated broadcasts relayed hop by hop — the
@@ -96,11 +105,32 @@ class PipelineConfig:
     #: scans — kept as a reference oracle; results are bit-identical
     #: either way (asserted by tests/core/test_pipeline_spatial.py).
     use_spatial_index: bool = True
+    #: Declarative fault-injection scenario (see :mod:`repro.faults` and
+    #: docs/FAULTS.md). ``None`` — or an all-zero :class:`FaultConfig` —
+    #: leaves every code path bit-identical to the fault-free pipeline
+    #: (asserted by tests/core/test_pipeline_faults.py).
+    faults: Optional[FaultConfig] = None
+    #: Hard cap on discrete events per trial; ``None`` = unbounded. A
+    #: pathological fault scenario then fails with a catchable
+    #: :class:`repro.errors.BudgetExceededError` instead of running away.
+    max_events: Optional[int] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
         check_probability(self.alert_loss_rate, "alert_loss_rate")
         check_int_in_range(self.alert_max_retries, "alert_max_retries", 0)
+        check_probability(self.request_loss_rate, "request_loss_rate")
+        check_int_in_range(self.request_max_retries, "request_max_retries", 0)
+        if self.arq_backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"arq_backoff_factor must be >= 1.0, got {self.arq_backoff_factor}"
+            )
+        if self.max_events is not None:
+            check_int_in_range(self.max_events, "max_events", 1)
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise ConfigurationError(
+                f"faults must be a FaultConfig or None, got {self.faults!r}"
+            )
         check_probability(self.network_loss_rate, "network_loss_rate")
         check_int_in_range(self.notice_rounds, "notice_rounds", 1)
         if self.revocation_dissemination not in ("oracle", "flood"):
@@ -188,7 +218,10 @@ class SecureLocalizationPipeline:
         self.config = config if config is not None else PipelineConfig()
         self.rngs = RngRegistry(self.config.seed)
         self.trace = TraceRecorder(enabled=True)
-        self.engine: Engine = Engine()
+        self.engine: Engine = Engine(event_budget=self.config.max_events)
+        #: Built by :meth:`build` when the config enables faults; None on
+        #: the (bit-identical) fault-free path.
+        self.fault_injector: Optional[FaultInjector] = None
         self.key_manager = KeyManager()
         self.network: Optional[Network] = None
         self.base_station: Optional[BaseStation] = None
@@ -216,6 +249,14 @@ class SecureLocalizationPipeline:
             loss_model = LossModel(
                 cfg.network_loss_rate, self.rngs.stream("network-loss")
             )
+        if cfg.faults is not None and cfg.faults.enabled:
+            # The injector seed derives from the pipeline seed, so one
+            # (config, seed) pair still fully determines a faulted run;
+            # fault streams are named, so they never perturb the draws
+            # of the protocol/deployment streams.
+            self.fault_injector = FaultInjector.from_config(
+                cfg.faults, derive_seed(cfg.seed, "faults")
+            )
         self.network = Network(
             self.engine,
             radio=radio,
@@ -223,13 +264,25 @@ class SecureLocalizationPipeline:
             max_ranging_error_ft=cfg.max_ranging_error_ft,
             trace=self.trace,
             loss_model=loss_model,
+            fault_injector=self.fault_injector,
         )
 
-        # RTT calibration (attack-free, as in Figure 4).
+        # RTT calibration (attack-free, as in Figure 4). A fault scenario
+        # may opt into calibrating under the faulted observation path
+        # (jitter/spikes; drift is per-observer and stays out), so the
+        # window absorbs field noise instead of the lab-clean support.
+        calibration_perturb = None
+        if (
+            self.fault_injector is not None
+            and cfg.faults.recalibrate_under_faults
+            and self.fault_injector.perturbs_rtt()
+        ):
+            calibration_perturb = self.fault_injector.perturb_rtt
         calibration = calibrate_rtt(
             self.network.rtt_model,
             self.rngs.stream("rtt-calibration"),
             samples=cfg.rtt_calibration_samples,
+            perturb=calibration_perturb,
         )
 
         def canonical_identity(identity: int) -> int:
@@ -258,8 +311,22 @@ class SecureLocalizationPipeline:
                 self.engine,
                 LossModel(cfg.alert_loss_rate, self.rngs.stream("alert-loss")),
                 max_retries=cfg.alert_max_retries,
+                backoff_factor=cfg.arq_backoff_factor,
+                name="alert",
             )
         self.alert_channel = alert_channel
+        request_channel: Optional[ReliableChannel] = None
+        if cfg.request_loss_rate > 0.0:
+            request_channel = ReliableChannel(
+                self.engine,
+                LossModel(
+                    cfg.request_loss_rate, self.rngs.stream("request-loss")
+                ),
+                max_retries=cfg.request_max_retries,
+                backoff_factor=cfg.arq_backoff_factor,
+                name="request",
+            )
+        self.request_channel = request_channel
 
         deploy_rng = self.rngs.stream("deployment")
         field_point = lambda: random_point_in_rect(  # noqa: E731 - local shorthand
@@ -288,6 +355,7 @@ class SecureLocalizationPipeline:
                     next_id, cfg.m_detecting_ids
                 ),
                 alert_channel=alert_channel,
+                request_channel=request_channel,
             )
             self.network.add_node(beacon)
             for did in beacon.detecting_ids:
@@ -432,17 +500,36 @@ class SecureLocalizationPipeline:
                 accepted += 1
         return accepted
 
+    def _initiator_down(self, node: Node) -> bool:
+        """True when a crash fault stops ``node`` from starting exchanges."""
+        return self.fault_injector is not None and self.fault_injector.is_crashed(
+            node.node_id, self.engine.now()
+        )
+
     def run_detection(self) -> None:
-        """Every benign beacon probes each reachable beacon per detecting ID."""
+        """Every benign beacon probes each reachable beacon per detecting ID.
+
+        Crashed beacons (node-crash fault) initiate nothing; their
+        detection coverage is simply lost, which is exactly the
+        degradation the fault benches measure.
+        """
         for beacon in self.benign_beacons:
+            if self._initiator_down(beacon):
+                continue
             for target in self._reachable_beacons(beacon):
                 beacon.probe_all_ids(target.node_id)
                 self._probes_sent += len(beacon.detecting_ids)
         self.engine.run()
 
     def run_localization(self) -> None:
-        """Non-beacon nodes gather references and estimate positions."""
+        """Non-beacon nodes gather references and estimate positions.
+
+        Crashed agents (node-crash fault) request nothing and therefore
+        neither localize nor count as affected requesters.
+        """
         for agent in self.agents:
+            if self._initiator_down(agent):
+                continue
             for beacon in self._reachable_beacons(agent):
                 agent.request_beacon(beacon.node_id)
         self.engine.run()
@@ -482,15 +569,27 @@ class SecureLocalizationPipeline:
         """Phase timings plus hot-path counters, as a JSON-ready dict.
 
         Counters fold in the network-level operation counts (distance
-        evaluations, grid cells visited, spatial queries, deliveries)
-        and the probe total, so one snapshot fully describes where a
-        trial spent its work. Shape: ``{"phases": {...}, "counters":
-        {...}}`` (see :mod:`repro.utils.profiling`).
+        evaluations, grid cells visited, spatial queries, deliveries),
+        the probe total, fault-injection event counts (``fault_*``), and
+        per-ARQ-channel delivery accounting (``channel_<name>_*``), so
+        one snapshot fully describes where a trial spent its work.
+        Shape: ``{"phases": {...}, "counters": {...}}`` (see
+        :mod:`repro.utils.profiling`).
         """
         snapshot = self.profile.to_dict()
         if self.network is not None:
             snapshot["counters"].update(self.network.stats.to_dict())
         snapshot["counters"]["probes"] = self._probes_sent
+        if self.fault_injector is not None:
+            snapshot["counters"].update(self.fault_injector.counters())
+        for channel in (
+            getattr(self, "alert_channel", None),
+            getattr(self, "request_channel", None),
+        ):
+            if channel is not None:
+                snapshot["counters"].update(
+                    channel.counters.to_dict(prefix=f"channel_{channel.name}_")
+                )
         return snapshot
 
     # ------------------------------------------------------------------

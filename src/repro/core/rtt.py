@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.errors import CalibrationError, ConfigurationError
 from repro.sim.timing import BIT_TIME_CYCLES, RttModel
@@ -64,15 +64,29 @@ def calibrate_rtt(
     *,
     samples: int = 10_000,
     distance_ft: float = 0.0,
+    perturb: Optional[Callable[[float], float]] = None,
 ) -> RttCalibration:
     """Measure ``samples`` attack-free RTTs and extract the window.
 
     Mirrors the paper's experiment ("derived by measuring RTT 10,000
     times").
+
+    Args:
+        model: the register-level RTT hardware model to sample.
+        rng: randomness source for the hardware jitter draws.
+        samples: how many attack-free measurements to take.
+        distance_ft: requester/responder separation during calibration.
+        perturb: optional per-observation transform applied to each RTT
+            before the window is extracted — the hook
+            :mod:`repro.faults` uses when a scenario re-calibrates under
+            field conditions (``recalibrate_under_faults``), so ``x_max``
+            absorbs jitter/drift instead of the lab-clean support.
     """
     if samples <= 0:
         raise ConfigurationError(f"samples must be > 0, got {samples}")
     rtts = model.sample_rtts(rng, samples, distance_ft=distance_ft)
+    if perturb is not None:
+        rtts = [perturb(rtt) for rtt in rtts]
     ecdf = Ecdf(rtts)
     return RttCalibration(x_min=ecdf.x_min, x_max=ecdf.x_max, samples=samples)
 

@@ -13,6 +13,8 @@ __all__ = [
     "SimulationError",
     "ScheduleError",
     "DeliveryError",
+    "BudgetExceededError",
+    "ExperimentError",
     "CryptoError",
     "KeyAgreementError",
     "AuthenticationError",
@@ -42,7 +44,22 @@ class ScheduleError(SimulationError):
 
 
 class DeliveryError(SimulationError):
-    """A packet could not be delivered (unknown node, out of range, ...)."""
+    """A packet could not be delivered (unknown node, out of range, or an
+    ARQ retry budget was exhausted)."""
+
+
+class BudgetExceededError(SimulationError):
+    """A simulation exceeded its configured event budget.
+
+    Raised by :class:`repro.sim.engine.Engine` when ``event_budget`` is
+    set and a run attempts to execute more events — the backstop that
+    turns a fault-induced event storm (e.g. a duplication cascade) into
+    a structured, catchable failure instead of an unbounded run.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment task failed in a way the runner could not recover."""
 
 
 class CryptoError(ReproError):

@@ -24,6 +24,7 @@ from repro.experiments.runner import (
     ProgressEvent,
     ResultCache,
     RunStats,
+    TrialError,
     cache_key,
     execute_pipeline,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "ProgressEvent",
     "ResultCache",
     "RunStats",
+    "TrialError",
     "cache_key",
     "execute_pipeline",
     "render_svg",

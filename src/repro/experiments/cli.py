@@ -18,6 +18,13 @@ result cache, so a re-run skips every already-computed pipeline point.
 every executed trial and emits them as JSON (``profile.json`` under
 ``--out``).
 
+Failure handling: the default is ``--fail-fast`` (first task exception
+aborts the run). ``--keep-going`` degrades gracefully instead — failed
+trials are recorded as structured error records, every other trial still
+runs, an error summary goes to stderr (and ``errors.json`` under
+``--out``), and the exit code is 3 so scripts notice the partial result.
+``--task-retries N`` re-runs a failing task up to N extra times first.
+
 Paper section: §4 (regenerating the evaluation).
 """
 
@@ -46,6 +53,13 @@ def _workers_type(value: str) -> int:
             "must be >= 0 (0 = one worker per CPU)"
         )
     return workers
+
+
+def _retries_type(value: str) -> int:
+    retries = int(value)
+    if retries < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return retries
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,13 +125,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the table on stdout",
     )
+    failure = parser.add_mutually_exclusive_group()
+    failure.add_argument(
+        "--keep-going",
+        action="store_true",
+        help=(
+            "degrade gracefully: record failed trials as structured "
+            "errors, keep the sweep running, exit 3 if any failed"
+        ),
+    )
+    failure.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort on the first task failure (the default)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=_retries_type,
+        default=0,
+        help="extra executions of a failing task before giving up",
+    )
     return parser
 
 
 def _print_progress(event: ProgressEvent) -> None:
     origin = "cache" if event.cached else f"{event.seconds:.2f}s"
+    status = "" if event.ok else " FAILED"
     print(
-        f"[{event.done}/{event.total}] {event.key} ({origin})",
+        f"[{event.done}/{event.total}] {event.key} ({origin}){status}",
         file=sys.stderr,
     )
 
@@ -132,6 +167,8 @@ def make_runner(args) -> ExperimentRunner:
         cache_dir=args.cache_dir,
         progress=_print_progress if args.progress else None,
         profile=args.profile,
+        keep_going=args.keep_going,
+        task_retries=args.task_retries,
     )
 
 
@@ -217,4 +254,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({stats.total_seconds:.2f}s task time)",
             file=sys.stderr,
         )
+    if runner.stats.errors:
+        _report_errors(runner.stats.errors, args)
+        return 3
     return 0
+
+
+def _report_errors(errors, args) -> None:
+    """Summarize recorded task failures on stderr (and in errors.json)."""
+    print(
+        f"warning: {len(errors)} task(s) failed; results are partial",
+        file=sys.stderr,
+    )
+    for record in errors:
+        print(
+            f"  {record.key}: {record.error_type}: {record.message} "
+            f"(after {record.attempts} attempt(s))",
+            file=sys.stderr,
+        )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        destination = args.out / "errors.json"
+        destination.write_text(
+            json.dumps(
+                [record.to_dict() for record in errors],
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"error records written to {destination}", file=sys.stderr)

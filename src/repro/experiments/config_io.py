@@ -16,13 +16,19 @@ from typing import Any, Dict, Union
 
 from repro.core.pipeline import PipelineConfig
 from repro.errors import ConfigurationError
+from repro.faults.config import fault_config_from_dict
 
 #: Manifest schema version; bump on incompatible config changes.
 SCHEMA_VERSION = 1
 
 
 def config_to_dict(config: PipelineConfig) -> Dict[str, Any]:
-    """A plain-JSON-serializable dict of the config."""
+    """A plain-JSON-serializable dict of the config.
+
+    The nested :class:`repro.faults.FaultConfig` (when set) flattens to a
+    plain dict via ``dataclasses.asdict``, so fault scenarios are part of
+    the manifest — and of the runner's content-addressed cache key.
+    """
     raw = dataclasses.asdict(config)
     # Tuples (wormhole endpoints) become lists in JSON; normalize here so
     # the round-trip comparison is exact.
@@ -46,6 +52,8 @@ def config_from_dict(data: Dict[str, Any]) -> PipelineConfig:
         payload["wormhole_endpoints"] = tuple(
             tuple(end) for end in payload["wormhole_endpoints"]
         )
+    if isinstance(payload.get("faults"), dict):
+        payload["faults"] = fault_config_from_dict(payload["faults"])
     return PipelineConfig(**payload)
 
 

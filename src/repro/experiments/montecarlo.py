@@ -114,7 +114,11 @@ def run_trials(
 
     Returns:
         metric name -> :class:`TrialSummary`. Metrics missing from some
-        trials are aggregated over the trials that produced them.
+        trials are aggregated over the trials that produced them. Trials
+        that failed under a ``keep_going`` runner (``None`` entries, see
+        ``runner.stats.errors``) are excluded from every aggregate; if
+        *all* trials failed there is nothing to summarize and
+        :class:`~repro.errors.ConfigurationError` is raised.
     """
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
@@ -125,8 +129,14 @@ def run_trials(
     )
     samples: Dict[str, List[float]] = {}
     for metrics in per_trial:
+        if metrics is None:  # failed trial under a keep_going runner
+            continue
         for name, value in metrics.items():
             samples.setdefault(name, []).append(float(value))
+    if not samples:
+        raise ConfigurationError(
+            f"all {trials} trial(s) failed; see the runner's stats.errors"
+        )
     return {
         name: summarize(values, level=level) for name, values in samples.items()
     }

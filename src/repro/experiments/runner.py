@@ -11,6 +11,15 @@ figure generators, sweeps, and benches route through:
   (``n_workers=1`` is a true serial fallback: same process, same order),
   fires a progress callback per completed task, and records per-task
   timing in :class:`RunStats`;
+- **graceful degradation** — with ``keep_going=True`` a task that raises
+  does not abort the sweep: the exception is captured worker-side as a
+  picklable :class:`TrialError` record (type, message, traceback,
+  attempts), the task's slot in the results list becomes ``None``, and
+  every other task still runs. ``task_retries`` re-runs a failing task a
+  bounded number of times before recording the failure (fault-injected
+  configs can raise legitimately transient errors such as
+  :class:`repro.errors.BudgetExceededError`). The default
+  (``keep_going=False``) fails fast with :class:`ExperimentError`;
 - :class:`ResultCache` — JSON files on disk, content-addressed by a
   stable SHA-256 of the pipeline config + seed + library version, so
   re-running a bench skips every already-computed point;
@@ -28,12 +37,13 @@ import json
 import os
 import pathlib
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.config_io import config_to_dict
 from repro.utils.profiling import merge_profiles
 
@@ -151,6 +161,42 @@ class ResultCache:
 
 
 @dataclass(frozen=True)
+class TrialError:
+    """A structured record of one task that failed despite retries.
+
+    Captured worker-side (tracebacks do not pickle; their formatted text
+    does), so a crash in a subprocess surfaces with full context instead
+    of an opaque ``BrokenProcessPool``-style stub.
+
+    Attributes:
+        key: the task's human-readable label.
+        index: the task's position in the input sequence.
+        error_type: the exception class name (e.g. ``"BudgetExceededError"``).
+        message: ``str(exception)`` of the final attempt.
+        traceback_text: the final attempt's formatted traceback.
+        attempts: executions of the task, including retries.
+    """
+
+    key: str
+    index: int
+    error_type: str
+    message: str
+    traceback_text: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as a plain dict (for ``errors.json``)."""
+        return {
+            "key": self.key,
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback_text,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
 class ProgressEvent:
     """One completed task, as seen by the progress callback.
 
@@ -160,6 +206,7 @@ class ProgressEvent:
         key: the task's human-readable label.
         seconds: wall-clock spent on the task (≈0 for cache hits).
         cached: True when the result came from the cache.
+        ok: False when the task failed and the runner kept going.
     """
 
     done: int
@@ -167,6 +214,7 @@ class ProgressEvent:
     key: str
     seconds: float
     cached: bool
+    ok: bool = True
 
 
 @dataclass
@@ -180,6 +228,15 @@ class RunStats:
     #: Per-executed-trial profile snapshots (only with ``profile=True``;
     #: cache hits contribute none — they executed nothing).
     profiles: List[Dict[str, Any]] = field(default_factory=list)
+    #: Structured records of tasks that failed after exhausting their
+    #: retry budget (only populated under ``keep_going=True``; the
+    #: fail-fast path raises instead).
+    errors: List[TrialError] = field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        """Tasks that ended in a recorded failure."""
+        return len(self.errors)
 
     @property
     def total_seconds(self) -> float:
@@ -191,11 +248,30 @@ class RunStats:
         return merge_profiles(self.profiles)
 
 
-def _timed_call(fn: Callable[[Any], Any], payload: Any) -> Tuple[Any, float]:
-    """Worker-side wrapper: run ``fn(payload)`` and time it."""
+def _timed_call(
+    fn: Callable[[Any], Any], payload: Any, retries: int = 0
+) -> Tuple[bool, Any, float, int]:
+    """Worker-side wrapper: run ``fn(payload)``, timing and shielding it.
+
+    Returns ``(ok, value, seconds, attempts)``. On failure ``value`` is
+    the picklable triple ``(error_type, message, traceback_text)`` of the
+    last attempt — live exception objects (and their tracebacks) do not
+    survive the process boundary reliably, their formatted text does.
+    ``retries`` extra attempts are made before giving up; ``seconds``
+    covers all attempts.
+    """
     start = time.perf_counter()
-    result = fn(payload)
-    return result, time.perf_counter() - start
+    attempts = 0
+    failure: Tuple[str, str, str] = ("", "", "")
+    for _ in range(retries + 1):
+        attempts += 1
+        try:
+            result = fn(payload)
+        except Exception as exc:  # noqa: BLE001 - the shield is the point
+            failure = (type(exc).__name__, str(exc), traceback.format_exc())
+            continue
+        return True, result, time.perf_counter() - start, attempts
+    return False, failure, time.perf_counter() - start, attempts
 
 
 class ExperimentRunner:
@@ -211,6 +287,14 @@ class ExperimentRunner:
             (aggregate via :meth:`RunStats.profile_summary`). Metrics
             are unchanged; cache behaviour is unchanged (entries store
             metrics only, and hits contribute no profile).
+        keep_going: degrade gracefully — a task that raises (after
+            ``task_retries`` extra attempts) yields ``None`` in the
+            result list and a :class:`TrialError` in ``stats.errors``
+            instead of aborting the whole sweep. The default fails fast
+            with :class:`repro.errors.ExperimentError`.
+        task_retries: extra executions of a failing task before it is
+            declared failed (applies to both modes; retried tasks that
+            eventually succeed leave no error record).
 
     The runner is deterministic: results come back in input order and are
     bit-identical for any worker count, because every task is a pure
@@ -224,15 +308,23 @@ class ExperimentRunner:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         profile: bool = False,
+        keep_going: bool = False,
+        task_retries: int = 0,
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be an int >= 1, got {n_workers!r}"
             )
+        if not isinstance(task_retries, int) or task_retries < 0:
+            raise ConfigurationError(
+                f"task_retries must be an int >= 0, got {task_retries!r}"
+            )
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.profile = bool(profile)
+        self.keep_going = bool(keep_going)
+        self.task_retries = task_retries
         self.stats = RunStats()
 
     def reset_stats(self) -> None:
@@ -253,8 +345,10 @@ class ExperimentRunner:
 
         ``fn`` and each payload must be picklable when ``n_workers > 1``
         (module-level functions and dataclass instances are; closures are
-        not). Results are returned in input order. No caching: use
-        :meth:`run_pipeline_configs` for content-addressed pipeline tasks.
+        not). Results are returned in input order. Under ``keep_going``,
+        a failed task's slot holds ``None`` (its record is in
+        ``stats.errors``). No caching: use :meth:`run_pipeline_configs`
+        for content-addressed pipeline tasks.
         """
         task_keys = self._check_keys(keys, len(payloads))
         results: List[Any] = [None] * len(payloads)
@@ -275,7 +369,9 @@ class ExperimentRunner:
 
         With a cache configured, each config is first looked up by its
         content address (:func:`cache_key`); only misses execute, and
-        their results are written back for the next invocation.
+        their results are written back for the next invocation. Failed
+        tasks (``keep_going``) are neither cached nor profiled — their
+        slots hold ``None`` and their records land in ``stats.errors``.
         """
         task_keys = self._check_keys(keys, len(configs))
         results: List[Optional[Dict[str, float]]] = [None] * len(configs)
@@ -305,10 +401,14 @@ class ExperimentRunner:
             # stats, metric dicts land where callers expect them.
             for index in pending:
                 wrapped = results[index]
+                if wrapped is None:  # failed under keep_going
+                    continue
                 self.stats.profiles.append(wrapped["profile"])
                 results[index] = wrapped["metrics"]
         if self.cache is not None:
             for index in pending:
+                if results[index] is None:
+                    continue
                 self.cache.put(hashes[index], results[index], config=configs[index])
         return results  # type: ignore[return-value]
 
@@ -325,12 +425,63 @@ class ExperimentRunner:
             )
         return [str(k) for k in keys]
 
-    def _emit(self, done: int, total: int, key: str, seconds: float, *, cached: bool) -> None:
+    def _emit(
+        self,
+        done: int,
+        total: int,
+        key: str,
+        seconds: float,
+        *,
+        cached: bool,
+        ok: bool = True,
+    ) -> None:
         self.stats.task_seconds[key] = seconds
         if self.progress is not None:
             self.progress(
-                ProgressEvent(done=done, total=total, key=key, seconds=seconds, cached=cached)
+                ProgressEvent(
+                    done=done, total=total, key=key, seconds=seconds,
+                    cached=cached, ok=ok,
+                )
             )
+
+    def _settle(
+        self,
+        index: int,
+        key: str,
+        outcome: Tuple[bool, Any, float, int],
+        results: List[Any],
+        done: int,
+        total: int,
+    ) -> None:
+        """Land one :func:`_timed_call` outcome: result, stats, progress.
+
+        Raises:
+            ExperimentError: the task failed and the runner is fail-fast.
+        """
+        ok, value, seconds, attempts = outcome
+        self.stats.executed += 1
+        if ok:
+            results[index] = value
+            self._emit(done, total, key, seconds, cached=False)
+            return
+        error_type, message, traceback_text = value
+        record = TrialError(
+            key=key,
+            index=index,
+            error_type=error_type,
+            message=message,
+            traceback_text=traceback_text,
+            attempts=attempts,
+        )
+        if not self.keep_going:
+            raise ExperimentError(
+                f"task {key!r} failed after {attempts} attempt(s) with "
+                f"{error_type}: {message}\n--- worker traceback ---\n"
+                f"{traceback_text}"
+            )
+        self.stats.errors.append(record)
+        results[index] = None
+        self._emit(done, total, key, seconds, cached=False, ok=False)
 
     def _execute(
         self,
@@ -349,16 +500,14 @@ class ExperimentRunner:
             return
         if self.n_workers == 1:
             for index in pending:
-                value, seconds = _timed_call(fn, payloads[index])
-                results[index] = value
-                self.stats.executed += 1
+                outcome = _timed_call(fn, payloads[index], self.task_retries)
                 done += 1
-                self._emit(done, total, task_keys[index], seconds, cached=False)
+                self._settle(index, task_keys[index], outcome, results, done, total)
             return
         workers = min(self.n_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_timed_call, fn, payloads[index]): index
+                pool.submit(_timed_call, fn, payloads[index], self.task_retries): index
                 for index in pending
             }
             # Collect in completion order so progress is live; results land
@@ -367,11 +516,9 @@ class ExperimentRunner:
 
             for future in as_completed(futures):
                 index = futures[future]
-                value, seconds = future.result()
-                results[index] = value
-                self.stats.executed += 1
+                outcome = future.result()
                 done += 1
-                self._emit(done, total, task_keys[index], seconds, cached=False)
+                self._settle(index, task_keys[index], outcome, results, done, total)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,201 @@
+"""The fault injector: composes fault models behind stable hook points.
+
+:class:`FaultInjector` is what the simulation substrate actually talks
+to. The network asks it about every scheduled delivery (drop? duplicate?
+delay? is the receiver down?), the RTT measurement path routes observed
+round-trip times through it, and the pipeline asks it whether a node may
+initiate protocol exchanges. Each hook is a no-op returning the identity
+answer when the corresponding model is absent, so a hook call on a
+partially configured injector costs one attribute check.
+
+Determinism/seeding rules (the contract ``docs/FAULTS.md`` documents):
+
+- every stochastic model draws from its own named stream derived from
+  the injector seed ("fault-loss", "fault-duplication", ...), so
+  enabling one fault never shifts the draws of another;
+- per-node faults (crash schedules, clock drifts) are derived from the
+  seed *and the node id*, never from a shared sequential stream, so the
+  answer for node ``k`` is independent of registration order;
+- the injector seed is derived from the pipeline seed, so one
+  ``PipelineConfig`` still fully determines a faulted run.
+
+Paper section: §2.2.2, §3.2 (the assumptions the hooks perturb)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.faults.config import FaultConfig
+from repro.faults.models import (
+    ClockDriftFault,
+    DelayFault,
+    FaultModel,
+    NodeCrashFault,
+    PacketDuplicationFault,
+    PacketLossFault,
+    RttJitterFault,
+)
+from repro.sim.rng import derive_seed
+
+
+class FaultInjector:
+    """Runtime composition of the configured fault models.
+
+    Build one per trial with :meth:`from_config`; share it between the
+    :class:`~repro.sim.network.Network` and the pipeline so counters
+    aggregate in one place. Constructing an injector directly from model
+    instances is supported for unit tests and custom scenarios.
+    """
+
+    def __init__(
+        self,
+        *,
+        loss: Optional[PacketLossFault] = None,
+        duplication: Optional[PacketDuplicationFault] = None,
+        delay: Optional[DelayFault] = None,
+        rtt: Optional[RttJitterFault] = None,
+        drift: Optional[ClockDriftFault] = None,
+        crash: Optional[NodeCrashFault] = None,
+    ) -> None:
+        self.loss = loss
+        self.duplication = duplication
+        self.delay = delay
+        self.rtt = rtt
+        self.drift = drift
+        self.crash = crash
+
+    @classmethod
+    def from_config(cls, config: FaultConfig, seed: int) -> "FaultInjector":
+        """Instantiate exactly the models ``config`` switches on.
+
+        Args:
+            config: the scenario's fault switches.
+            seed: injector master seed (the pipeline derives this from
+                its own seed so a config + seed pair fully determines
+                the faulted run).
+        """
+
+        def stream(name: str) -> random.Random:
+            return random.Random(derive_seed(seed, f"fault-{name}"))
+
+        loss = None
+        if config.packet_loss_rate > 0:
+            loss = PacketLossFault(config.packet_loss_rate, stream("loss"))
+        duplication = None
+        if config.packet_duplication_rate > 0:
+            duplication = PacketDuplicationFault(
+                config.packet_duplication_rate,
+                config.duplicate_delay_cycles,
+                stream("duplication"),
+            )
+        delay = None
+        if config.delivery_delay_rate > 0:
+            delay = DelayFault(
+                config.delivery_delay_rate,
+                config.delivery_delay_cycles,
+                stream("delay"),
+            )
+        rtt = None
+        if config.rtt_jitter_cycles > 0 or config.rtt_spike_rate > 0:
+            rtt = RttJitterFault(
+                config.rtt_jitter_cycles,
+                config.rtt_spike_rate,
+                config.rtt_spike_cycles,
+                stream("rtt"),
+            )
+        drift = None
+        if config.clock_drift_ppm > 0:
+            drift = ClockDriftFault(
+                config.clock_drift_ppm, derive_seed(seed, "fault-drift")
+            )
+        crash = None
+        if config.node_crash_rate > 0:
+            crash = NodeCrashFault(
+                config.node_crash_rate,
+                config.crash_horizon_cycles,
+                derive_seed(seed, "fault-crash"),
+            )
+        return cls(
+            loss=loss,
+            duplication=duplication,
+            delay=delay,
+            rtt=rtt,
+            drift=drift,
+            crash=crash,
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery hooks (called by Network._schedule_delivery)
+    # ------------------------------------------------------------------
+    def drop_delivery(self) -> bool:
+        """True when this scheduled packet copy should be lost."""
+        return self.loss is not None and self.loss.should_drop()
+
+    def duplicate_delay(self) -> Optional[float]:
+        """Delay of a spurious duplicate copy, or None for no duplicate."""
+        if self.duplication is None:
+            return None
+        return self.duplication.duplicate_delay()
+
+    def delivery_delay(self) -> float:
+        """Extra latency injected into one delivery (0 = on time)."""
+        if self.delay is None:
+            return 0.0
+        return self.delay.extra_delay()
+
+    # ------------------------------------------------------------------
+    # Node-liveness hooks (network delivery + pipeline phase scheduling)
+    # ------------------------------------------------------------------
+    def is_crashed(self, node_id: int, now_cycles: float) -> bool:
+        """True when the node is down at ``now_cycles``."""
+        return self.crash is not None and self.crash.is_crashed(
+            node_id, now_cycles
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement hooks (Network.measure_rtt / RTT calibration)
+    # ------------------------------------------------------------------
+    def perturb_rtt(self, rtt_cycles: float, *, observer_id: Optional[int] = None) -> float:
+        """One faulted RTT observation.
+
+        The observer's clock drift scales the interval first (it is the
+        requester's oscillator doing the timestamping), then channel-level
+        jitter/spikes are added.
+        """
+        observed = rtt_cycles
+        if self.drift is not None and observer_id is not None:
+            observed = self.drift.skew(observer_id, observed)
+        if self.rtt is not None:
+            observed = self.rtt.perturb(observed)
+        return observed
+
+    def perturbs_rtt(self) -> bool:
+        """True when RTT observations are modified at all."""
+        return self.rtt is not None or self.drift is not None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def models(self) -> List[FaultModel]:
+        """The active models, in a stable order."""
+        return [
+            m
+            for m in (
+                self.loss,
+                self.duplication,
+                self.delay,
+                self.rtt,
+                self.drift,
+                self.crash,
+            )
+            if m is not None
+        ]
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregated fault-event counters (JSON-ready, profile-mergeable)."""
+        merged: Dict[str, int] = {}
+        for model in self.models():
+            merged.update(model.counters())
+        return merged

@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
-from repro.errors import ScheduleError
+from repro.errors import BudgetExceededError, ScheduleError
 from repro.sim.clock import Clock
 
 #: Default priority; lower numbers run first among same-time events.
@@ -52,8 +52,23 @@ class Engine:
         [10.0]
     """
 
-    def __init__(self, clock: Optional[Clock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        *,
+        event_budget: Optional[int] = None,
+    ) -> None:
+        if event_budget is not None and event_budget < 1:
+            raise ScheduleError(
+                f"event_budget must be >= 1 or None, got {event_budget}"
+            )
         self.clock = clock if clock is not None else Clock()
+        #: Lifetime cap on executed events; ``None`` means unbounded. A
+        #: fault-injection scenario (duplication storms, retry cascades)
+        #: can in principle schedule without bound — the budget converts
+        #: that into a :class:`repro.errors.BudgetExceededError` that the
+        #: experiment runner records as a structured trial failure.
+        self.event_budget = event_budget
         self._queue: List[Event] = []
         self._tickets = itertools.count()
         self._events_processed = 0
@@ -129,11 +144,25 @@ class Engine:
 
         Returns:
             True if an event ran, False if the queue was empty.
+
+        Raises:
+            BudgetExceededError: the engine's ``event_budget`` is set and
+                already spent — the queue still holds runnable events.
         """
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
+            if (
+                self.event_budget is not None
+                and self._events_processed >= self.event_budget
+            ):
+                heapq.heappush(self._queue, event)
+                raise BudgetExceededError(
+                    f"event budget exhausted: {self._events_processed} events "
+                    f"executed (budget {self.event_budget}), "
+                    f"{len(self._queue)} still queued"
+                )
             self.clock.advance_to(event.time)
             event.action()
             self._events_processed += 1

@@ -14,14 +14,29 @@ error model, and any wormhole tunnels. Delivery semantics:
 - Every delivery computes a **measured distance**: true distance from the
   physical transmission origin, plus bounded ranging noise, plus any
   adversarial ranging bias carried by the transmission.
+- An optional :class:`repro.faults.FaultInjector` perturbs delivery and
+  measurement: packet copies can be dropped, duplicated, or delayed;
+  crashed nodes neither transmit nor receive; observed RTTs pick up
+  jitter, outlier spikes, and per-node clock drift. With no injector the
+  code path is byte-for-byte the fault-free one.
 """
 
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import ConfigurationError, DeliveryError
 from repro.sim.engine import Engine
@@ -35,6 +50,9 @@ from repro.sim.timing import RttModel
 from repro.sim.trace import TraceRecorder
 from repro.utils.geometry import Point, distance
 from repro.utils.profiling import NetworkCounters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.injector import FaultInjector
 
 #: Signature of a ranging-error model: (true_distance_ft, rng) -> error_ft.
 RangingErrorModel = Callable[[float, "object"], float]
@@ -90,6 +108,9 @@ class Network:
         drop_out_of_range: when True (default) out-of-range unicasts are
             silently dropped like real radio; when False they raise, which
             is convenient in unit tests.
+        fault_injector: optional :class:`repro.faults.FaultInjector`
+            perturbing deliveries and RTT observations; None (default)
+            keeps the fault-free paths untouched.
     """
 
     def __init__(
@@ -105,6 +126,7 @@ class Network:
         drop_out_of_range: bool = True,
         loss_model: Optional[LossModel] = None,
         medium: Optional[CsmaMedium] = None,
+        fault_injector: Optional["FaultInjector"] = None,
     ) -> None:
         self.engine = engine
         self.radio = radio if radio is not None else RadioModel()
@@ -119,6 +141,9 @@ class Network:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.drop_out_of_range = drop_out_of_range
         self.loss_model = loss_model
+        #: Optional fault-injection layer (see :mod:`repro.faults`).
+        #: ``None`` keeps every delivery/measurement path fault-free.
+        self.fault_injector = fault_injector
         #: Optional collision model: overlapping reception windows at one
         #: receiver void each other (all-or-nothing, the paper's §2.3 MAC
         #: assumption). None = ideal medium (the default; the paper's
@@ -317,6 +342,8 @@ class Network:
                 False.
         """
         dst = self.node(packet.dst_id)
+        if self._sender_crashed(sender):
+            return False
         origin = tx_origin if tx_origin is not None else sender.position
         transmission = Transmission(
             packet=packet,
@@ -371,6 +398,8 @@ class Network:
         Returns:
             Number of receivers the packet was scheduled for.
         """
+        if self._sender_crashed(sender):
+            return 0
         origin = tx_origin if tx_origin is not None else sender.position
         transmission = Transmission(
             packet=packet,
@@ -436,6 +465,20 @@ class Network:
             delivered = True
         return delivered
 
+    def _sender_crashed(self, sender: Node) -> bool:
+        """True (and traced) when a crash fault has taken the sender down."""
+        injector = self.fault_injector
+        if injector is None or not injector.is_crashed(
+            sender.node_id, self.engine.now()
+        ):
+            return False
+        self.trace.record(
+            self.engine.now(),
+            "drop.crashed_sender",
+            src=sender.node_id,
+        )
+        return True
+
     def _schedule_delivery(
         self, transmission: Transmission, dst: Node, physical_dist: float
     ) -> None:
@@ -448,11 +491,35 @@ class Network:
                 packet_kind=transmission.packet.kind(),
             )
             return
+        injector = self.fault_injector
+        if injector is not None:
+            if injector.drop_delivery():
+                self.trace.record(
+                    self.engine.now(),
+                    "drop.fault",
+                    src=transmission.packet.src_id,
+                    dst=dst.node_id,
+                    packet_kind=transmission.packet.kind(),
+                )
+                return
+            dup_delay = injector.duplicate_delay()
+            if dup_delay is not None and not transmission.duplicated:
+                # Re-deliver a marked copy later; the copy itself is not
+                # re-duplicated (one spurious retransmission per packet).
+                duplicate = dataclasses.replace(
+                    transmission,
+                    duplicated=True,
+                    extra_delay_cycles=transmission.extra_delay_cycles
+                    + dup_delay,
+                )
+                self._schedule_delivery(duplicate, dst, physical_dist)
         radio = self.radio
         delay = (
             radio.packet_time_cycles(transmission.packet, physical_dist)
             + transmission.extra_delay_cycles
         )
+        if injector is not None:
+            delay += injector.delivery_delay()
         noise = self.ranging_error(physical_dist, self.rngs.stream("ranging"))
         measured = max(
             0.0, physical_dist + noise + transmission.ranging_bias_ft
@@ -475,6 +542,18 @@ class Network:
                 self.trace.record(
                     self.engine.now(),
                     "drop.collision",
+                    src=transmission.packet.src_id,
+                    dst=dst.node_id,
+                    packet_kind=transmission.packet.kind(),
+                )
+                return
+            if injector is not None and injector.is_crashed(
+                dst.node_id, self.engine.now()
+            ):
+                # Receiver went down before the last bit arrived.
+                self.trace.record(
+                    self.engine.now(),
+                    "drop.crashed",
                     src=transmission.packet.src_id,
                     dst=dst.node_id,
                     packet_kind=transmission.packet.kind(),
@@ -538,6 +617,10 @@ class Network:
 
         Used by the local-replay detector: honest exchanges draw from the
         narrow hardware distribution; replayed ones carry ``extra_delay``.
+        With a fault injector configured, the observation additionally
+        picks up channel jitter/outlier spikes and the requester's clock
+        drift — the §2.2.2 stress case where the true distribution no
+        longer matches the calibrated Figure-4 window.
         """
         dist = distance(requester.position, responder_position)
         sample = self.rtt_model.sample(
@@ -546,6 +629,11 @@ class Network:
             extra_delay_cycles=extra_delay_cycles,
             start_time=self.engine.now(),
         )
+        injector = self.fault_injector
+        if injector is not None and injector.perturbs_rtt():
+            return injector.perturb_rtt(
+                sample.rtt, observer_id=requester.node_id
+            )
         return sample.rtt
 
     def wormhole_between(self, a: Point, b: Point) -> Optional[WormholeLink]:

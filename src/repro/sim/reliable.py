@@ -1,4 +1,4 @@
-"""Lossy channels and retransmission-based reliable delivery.
+"""Lossy channels and retransmission-based reliable delivery (ARQ).
 
 The paper assumes (§3.2) "every alert from beacon nodes can be
 successfully delivered to the base station using some standard fault
@@ -7,9 +7,29 @@ losses". This module supplies both halves of that assumption:
 
 - :class:`LossModel` — per-attempt Bernoulli loss, pluggable into the
   network or used standalone;
-- :class:`ReliableChannel` — stop-and-wait ARQ over a lossy link: retry
-  with a fixed timeout until an attempt (and its acknowledgement) gets
-  through or the retry budget is exhausted.
+- :class:`ReliableChannel` — stop-and-wait ARQ over a lossy link.
+
+ARQ semantics
+-------------
+
+One ``send`` makes up to ``1 + max_retries`` transmission attempts. An
+attempt succeeds when the data packet gets through and — with
+``ack_required`` (default) — its acknowledgement gets through too, so one
+round trip succeeds with probability ``(1 - loss)^2``. Attempt ``i``
+(0-based) waits ``retry_timeout_cycles * backoff_factor ** i`` before
+being declared failed, i.e. ``backoff_factor > 1`` gives truncated
+exponential backoff; the delivery callback runs at the simulated time the
+successful attempt completes (the sum of all earlier timeouts).
+
+When the retry budget is exhausted the channel schedules the
+``on_failure`` callback (if any) at the time the last timeout expires,
+records the failure in its :class:`~repro.utils.profiling.ChannelCounters`,
+and **raises** :class:`repro.errors.DeliveryError` — silently returning an
+undelivered report let callers forget the §3.2 assumption had failed.
+Callers that prefer report semantics (e.g. metrics that count losses)
+pass ``raise_on_exhaustion=False`` and check ``report.delivered``.
+
+Paper section: §3.2 (fault-tolerant alert delivery via retransmission)
 """
 
 from __future__ import annotations
@@ -18,8 +38,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeliveryError
 from repro.sim.engine import Engine
+from repro.utils.profiling import ChannelCounters
 from repro.utils.validation import check_int_in_range, check_probability
 
 
@@ -68,14 +89,22 @@ class ReliableChannel:
     """Stop-and-wait ARQ: retransmit until delivered or budget exhausted.
 
     Both the data packet and the acknowledgement traverse the lossy link,
-    so one round trip succeeds with probability ``(1 - loss)^2``.
+    so one round trip succeeds with probability ``(1 - loss)^2``. See the
+    module docstring for the full ARQ semantics (timeouts, backoff,
+    exhaustion behaviour).
 
     Args:
         engine: the simulation engine for timeout scheduling.
         loss: the loss model (shared counters are intentional).
         max_retries: additional attempts after the first.
-        retry_timeout_cycles: wait before concluding an attempt failed.
+        retry_timeout_cycles: wait before concluding the *first* attempt
+            failed; later attempts scale by ``backoff_factor``.
+        backoff_factor: multiplicative timeout growth per retry (1.0 =
+            the classic fixed-timeout stop-and-wait; 2.0 = binary
+            exponential backoff).
         ack_required: model the acknowledgement path too (default True).
+        name: label used when surfacing this channel's counters in a
+            profile snapshot (e.g. ``"alert"`` -> ``channel_alert_*``).
     """
 
     def __init__(
@@ -85,21 +114,43 @@ class ReliableChannel:
         *,
         max_retries: int = 8,
         retry_timeout_cycles: float = 1_000_000.0,
+        backoff_factor: float = 1.0,
         ack_required: bool = True,
+        name: str = "channel",
     ) -> None:
         check_int_in_range(max_retries, "max_retries", 0)
         if retry_timeout_cycles <= 0:
             raise ConfigurationError(
                 f"retry_timeout_cycles must be > 0, got {retry_timeout_cycles}"
             )
+        if backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1.0, got {backoff_factor}"
+            )
         self.engine = engine
         self.loss = loss
         self.max_retries = max_retries
         self.retry_timeout_cycles = retry_timeout_cycles
+        self.backoff_factor = backoff_factor
         self.ack_required = ack_required
-        self.sends = 0
-        self.delivered = 0
-        self.failed = 0
+        self.name = name
+        self.counters = ChannelCounters()
+
+    # Legacy counter views (pre-ChannelCounters API, kept for callers).
+    @property
+    def sends(self) -> int:
+        """Messages handed to the channel so far."""
+        return self.counters.sends
+
+    @property
+    def delivered(self) -> int:
+        """Messages delivered within the retry budget."""
+        return self.counters.delivered
+
+    @property
+    def failed(self) -> int:
+        """Messages whose retry budget was exhausted."""
+        return self.counters.failed
 
     def _attempt_round_trip(self) -> bool:
         if not self.loss.attempt_succeeds():
@@ -108,44 +159,66 @@ class ReliableChannel:
             return False
         return True
 
+    def _timeout_of_attempt(self, attempt_index: int) -> float:
+        """Timeout of 0-based attempt ``attempt_index`` (with backoff)."""
+        return self.retry_timeout_cycles * self.backoff_factor**attempt_index
+
     def send(
         self,
         deliver: Callable[[], None],
         *,
         on_failure: Optional[Callable[[], None]] = None,
+        raise_on_exhaustion: bool = True,
     ) -> DeliveryReport:
         """Deliver ``deliver()`` reliably; returns the synchronous report.
 
         The delivery callback runs at the simulated completion time (the
-        attempt number times the timeout); the report is computed eagerly
-        so callers in tests can assert without running the engine, while
-        the scheduled callback preserves causality for protocol code.
+        sum of the failed attempts' timeouts); the report is computed
+        eagerly so callers in tests can assert without running the
+        engine, while the scheduled callback preserves causality for
+        protocol code.
+
+        Raises:
+            DeliveryError: the retry budget was exhausted and
+                ``raise_on_exhaustion`` is True (the default). The
+                ``on_failure`` callback is scheduled either way.
         """
-        self.sends += 1
+        counters = self.counters
+        counters.sends += 1
         attempts = 0
+        elapsed = 0.0
         for attempt in range(self.max_retries + 1):
             attempts += 1
+            counters.attempts += 1
+            if attempt > 0:
+                counters.retries += 1
             if self._attempt_round_trip():
-                delay = (attempts - 1) * self.retry_timeout_cycles
-                completion = self.engine.now() + delay
-                if delay > 0:
-                    self.engine.schedule_in(delay, deliver, label="arq-deliver")
+                completion = self.engine.now() + elapsed
+                if elapsed > 0:
+                    self.engine.schedule_in(elapsed, deliver, label="arq-deliver")
                 else:
                     deliver()
-                self.delivered += 1
+                counters.delivered += 1
                 return DeliveryReport(
                     delivered=True, attempts=attempts, completion_time=completion
                 )
-        self.failed += 1
+            elapsed += self._timeout_of_attempt(attempt)
+        counters.failed += 1
         if on_failure is not None:
-            failure_delay = attempts * self.retry_timeout_cycles
-            self.engine.schedule_in(failure_delay, on_failure, label="arq-fail")
-        return DeliveryReport(
+            self.engine.schedule_in(elapsed, on_failure, label="arq-fail")
+        report = DeliveryReport(
             delivered=False,
             attempts=attempts,
-            completion_time=self.engine.now()
-            + attempts * self.retry_timeout_cycles,
+            completion_time=self.engine.now() + elapsed,
         )
+        if raise_on_exhaustion:
+            raise DeliveryError(
+                f"reliable channel {self.name!r}: retry budget exhausted "
+                f"after {attempts} attempts "
+                f"(loss_rate={self.loss.loss_rate}, "
+                f"max_retries={self.max_retries})"
+            )
+        return report
 
     def delivery_probability(self) -> float:
         """P[delivered within the retry budget] for the configured loss."""

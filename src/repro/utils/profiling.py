@@ -57,6 +57,40 @@ class NetworkCounters:
 
 
 @dataclass
+class ChannelCounters:
+    """Per-reliable-channel delivery accounting (ARQ observability).
+
+    Maintained by :class:`repro.sim.reliable.ReliableChannel` and folded
+    into the pipeline profile snapshot under a channel-name prefix, so a
+    ``--profile`` run shows how much retransmission work the §3.2
+    delivery assumption actually cost.
+
+    Attributes:
+        sends: logical messages handed to the channel.
+        attempts: physical transmission attempts (first tries + retries).
+        retries: attempts beyond the first, summed over sends.
+        delivered: messages that got through within the retry budget.
+        failed: messages whose budget was exhausted.
+    """
+
+    sends: int = 0
+    attempts: int = 0
+    retries: int = 0
+    delivered: int = 0
+    failed: int = 0
+
+    def to_dict(self, *, prefix: str = "") -> Dict[str, int]:
+        """The counters as a plain dict, optionally key-prefixed."""
+        return {
+            f"{prefix}sends": self.sends,
+            f"{prefix}attempts": self.attempts,
+            f"{prefix}retries": self.retries,
+            f"{prefix}delivered": self.delivered,
+            f"{prefix}failed": self.failed,
+        }
+
+
+@dataclass
 class PhaseProfile:
     """Accumulated wall-clock per named phase plus integer counters.
 

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeliveryError
 from repro.sim.engine import Engine
 from repro.sim.messages import BeaconRequest
 from repro.sim.network import Network
@@ -80,15 +80,50 @@ class TestReliableChannel:
                 (report.attempts - 1) * 1000.0
             )
 
-    def test_budget_exhaustion(self):
+    def test_budget_exhaustion_raises(self):
         engine, channel = self.make(1.0, retries=3)
         failures = []
-        report = channel.send(lambda: None, on_failure=lambda: failures.append(1))
+        with pytest.raises(DeliveryError, match="retry budget exhausted"):
+            channel.send(lambda: None, on_failure=lambda: failures.append(1))
+        engine.run()
+        assert failures == [1]
+        assert channel.failed == 1
+
+    def test_budget_exhaustion_report_mode(self):
+        engine, channel = self.make(1.0, retries=3)
+        failures = []
+        report = channel.send(
+            lambda: None,
+            on_failure=lambda: failures.append(1),
+            raise_on_exhaustion=False,
+        )
         engine.run()
         assert not report.delivered
         assert report.attempts == 4
         assert failures == [1]
         assert channel.failed == 1
+
+    def test_backoff_grows_timeouts(self):
+        engine = Engine()
+        channel = ReliableChannel(
+            engine,
+            LossModel(1.0, random.Random(0)),
+            max_retries=2,
+            retry_timeout_cycles=100.0,
+            backoff_factor=2.0,
+        )
+        report = channel.send(lambda: None, raise_on_exhaustion=False)
+        # Timeouts 100, 200, 400 across the three attempts.
+        assert report.completion_time == pytest.approx(700.0)
+
+    def test_channel_counters(self):
+        engine, channel = self.make(1.0, retries=2)
+        channel.send(lambda: None, raise_on_exhaustion=False)
+        assert channel.counters.sends == 1
+        assert channel.counters.attempts == 3
+        assert channel.counters.retries == 2
+        assert channel.counters.failed == 1
+        assert channel.counters.to_dict(prefix="x_")["x_attempts"] == 3
 
     def test_delivery_probability_formula(self):
         _, channel = self.make(0.5, retries=3, ack=False)
@@ -105,7 +140,9 @@ class TestReliableChannel:
         engine, channel = self.make(0.5, retries=2, seed=11)
         n = 2000
         delivered = sum(
-            1 for _ in range(n) if channel.send(lambda: None).delivered
+            1
+            for _ in range(n)
+            if channel.send(lambda: None, raise_on_exhaustion=False).delivered
         )
         assert delivered / n == pytest.approx(
             channel.delivery_probability(), abs=0.04
@@ -118,6 +155,8 @@ class TestReliableChannel:
             ReliableChannel(engine, loss, max_retries=-1)
         with pytest.raises(ConfigurationError):
             ReliableChannel(engine, loss, retry_timeout_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(engine, loss, backoff_factor=0.5)
 
 
 class TestNetworkLoss:

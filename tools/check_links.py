@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Dependency-free Markdown link checker for the repo's documentation.
+
+Scans the curated documentation — README.md, EXPERIMENTS.md, DESIGN.md,
+CHANGES.md, ROADMAP.md, and everything under ``docs/`` — for inline
+links and validates the local ones. (PAPER.md/PAPERS.md/SNIPPETS.md are
+OCR'd source-material dumps with unreproducible image references and are
+deliberately out of scope.)
+
+Checked:
+
+- relative file links must resolve to an existing file or directory
+  (relative to the linking document);
+- fragment-only links (``#section``) must match a heading in the same
+  document, and ``file.md#section`` must match a heading in the target
+  (GitHub anchor rules: lowercase, punctuation stripped, spaces to
+  dashes);
+- ``http(s)``/``mailto`` links are skipped — CI must not depend on
+  network reachability.
+
+Usage::
+
+    python tools/check_links.py          # exit 1 on any broken link
+    python tools/check_links.py -v       # also list every checked link
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Curated repo-root documents (plus everything under docs/).
+ROOT_DOCS = ("README.md", "EXPERIMENTS.md", "DESIGN.md", "CHANGES.md",
+             "ROADMAP.md")
+
+
+def _documents():
+    docs = [REPO_ROOT / name for name in ROOT_DOCS] + sorted(
+        (REPO_ROOT / "docs").rglob("*.md")
+    )
+    return [d for d in docs if d.is_file()]
+
+
+#: Inline Markdown links: [text](target). Images share the syntax.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, for anchor validation.
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction.
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_anchor(heading):
+    """The GitHub-style anchor slug of a heading text."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    """All heading anchors of a Markdown file (memoized)."""
+    if path not in cache:
+        text = path.read_text(encoding="utf-8")
+        cache[path] = {
+            github_anchor(match) for match in _HEADING.findall(text)
+        }
+    return cache[path]
+
+
+def check_document(doc, verbose=False):
+    """Broken-link messages for one document (empty list = clean)."""
+    problems = []
+    text = _FENCE.sub("", doc.read_text(encoding="utf-8"))
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if verbose:
+            print(f"  {doc.relative_to(REPO_ROOT)} -> {target}")
+        path_part, _, fragment = target.partition("#")
+        if not path_part:
+            if fragment and github_anchor(fragment) not in anchors_of(doc):
+                problems.append(f"{doc.relative_to(REPO_ROOT)}: no heading "
+                                f"for anchor #{fragment}")
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{doc.relative_to(REPO_ROOT)}: broken link {target}"
+            )
+            continue
+        if fragment and resolved.suffix == ".md":
+            if github_anchor(fragment) not in anchors_of(resolved):
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)}: {target} — no heading "
+                    f"for anchor #{fragment}"
+                )
+    return problems
+
+
+def main(argv=None):
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="list every checked link"
+    )
+    args = parser.parse_args(argv)
+    problems = []
+    documents = _documents()
+    for doc in documents:
+        problems += check_document(doc, verbose=args.verbose)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(documents)} documents: all local links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
