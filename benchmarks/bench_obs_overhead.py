@@ -1,0 +1,106 @@
+"""Observability overhead: observe=off must cost nothing, observe=on little.
+
+Two comparisons on the paper's Section 4 deployment, results asserted
+bit-identical first — instrumentation that changed a number would be a
+bug, not an overhead:
+
+- **observe=off** (``observe=None``, the default): the only cost is a
+  handful of ``is None`` checks, so the trial must stay within 2% of
+  the ``full_trial.fast_s`` baseline in ``BENCH_pipeline.json``
+  (re-run ``bench_perf_pipeline.py`` first on a new machine).
+- **observe=on** (``ObserveConfig()``): spans, RTT histograms, and the
+  finalize-time metric fold. Recorded, not asserted — the on-path is
+  opt-in and its cost is the price of the telemetry.
+
+Every measurement lands in ``BENCH_obs.json`` at the repo root so
+future PRs have an overhead trajectory to compare against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+
+from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.obs import ObserveConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_pipeline.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_obs.json"
+
+#: Same trial the full_trial baseline in BENCH_pipeline.json times.
+TRIAL_CONFIG = PipelineConfig(seed=11)
+
+#: observe=off may not cost more than this over the recorded baseline.
+MAX_OFF_OVERHEAD = 0.02
+
+
+def _best_of(fn, repeats=3):
+    """Minimum wall clock of ``repeats`` runs (noise-robust timing)."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def _run(observe):
+    config = PipelineConfig(seed=TRIAL_CONFIG.seed, observe=observe)
+    return SecureLocalizationPipeline(config).run()
+
+
+def _baseline_seconds():
+    data = json.loads(BASELINE_PATH.read_text())
+    return data["benchmarks"]["full_trial"]["fast_s"]
+
+
+def _record(off_s, on_s, baseline_s):
+    data = {
+        "schema": 1,
+        "environment": {
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "benchmarks": {
+            "full_trial_observe_off": {
+                "seconds": round(off_s, 6),
+                "vs_baseline_pct": round(100 * (off_s / baseline_s - 1), 2),
+            },
+            "full_trial_observe_on": {
+                "seconds": round(on_s, 6),
+                "vs_baseline_pct": round(100 * (on_s / baseline_s - 1), 2),
+            },
+            "baseline_full_trial_s": round(baseline_s, 6),
+        },
+    }
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def test_observe_overhead():
+    """observe=off within 2% of the recorded baseline; on-path recorded."""
+    baseline_s = _baseline_seconds()
+
+    off_s, off_result = _best_of(lambda: _run(None))
+    on_s, on_result = _best_of(lambda: _run(ObserveConfig()))
+
+    # Correctness before speed: observation never changes a result.
+    assert on_result == off_result
+
+    data = _record(off_s, on_s, baseline_s)
+    print(json.dumps(data["benchmarks"], indent=2, sort_keys=True))
+
+    assert off_s <= baseline_s * (1 + MAX_OFF_OVERHEAD), (
+        f"observe=off trial took {off_s:.3f}s vs baseline {baseline_s:.3f}s "
+        f"(> {MAX_OFF_OVERHEAD:.0%} overhead); if the machine changed, "
+        f"re-run bench_perf_pipeline.py to refresh BENCH_pipeline.json"
+    )
+
+
+if __name__ == "__main__":
+    test_observe_overhead()

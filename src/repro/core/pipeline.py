@@ -24,8 +24,9 @@ Paper section: §4 (end-to-end simulation evaluation)
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.attacks.collusion import ColludingReporters
 from repro.attacks.compromised import MaliciousBeacon
@@ -40,6 +41,7 @@ from repro.errors import ConfigurationError, InsufficientReferencesError
 from repro.faults.config import FaultConfig
 from repro.faults.injector import FaultInjector
 from repro.localization.beacon import NonBeaconAgent
+from repro.obs import Observability, ObserveConfig, linear_buckets
 from repro.sim.engine import Engine
 from repro.sim.network import Network, WormholeLink
 from repro.sim.node import Node
@@ -51,6 +53,20 @@ from repro.utils.geometry import Point, distance, random_point_in_rect
 from repro.utils.profiling import PhaseProfile
 from repro.utils.validation import check_int_in_range, check_probability
 from repro.wormhole.detector import ProbabilisticWormholeDetector
+
+#: Fixed bucket bounds (cycles) for the ``rtt_cycles`` histograms. The
+#: honest register-level RTT lives in roughly [15480, 17210] cycles
+#: (RttModel defaults), so 250-cycle buckets tile 14k–18k finely enough
+#: to reproduce the Figure-4 distribution shape, with a coarse tail
+#: catching replayed/delayed/faulted exchanges. Fixed bounds (never
+#: data-derived) are what keep worker histograms mergeable.
+RTT_BUCKETS_CYCLES = linear_buckets(14_000.0, 250.0, 17) + (
+    20_000.0,
+    30_000.0,
+    50_000.0,
+    100_000.0,
+    1_000_000.0,
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +130,14 @@ class PipelineConfig:
     #: pathological fault scenario then fails with a catchable
     #: :class:`repro.errors.BudgetExceededError` instead of running away.
     max_events: Optional[int] = None
+    #: Observability switches (see :mod:`repro.obs`). ``None`` (default)
+    #: builds no observability object at all; an
+    #: :class:`repro.obs.ObserveConfig` collects spans/metrics/RTT
+    #: histograms. Either way the layer draws zero randomness, so
+    #: results are bit-identical to observe=None (asserted by
+    #: tests/core/test_pipeline_observe.py). Excluded from result-cache
+    #: keys for the same reason.
+    observe: Optional[ObserveConfig] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,6 +154,10 @@ class PipelineConfig:
         if self.faults is not None and not isinstance(self.faults, FaultConfig):
             raise ConfigurationError(
                 f"faults must be a FaultConfig or None, got {self.faults!r}"
+            )
+        if self.observe is not None and not isinstance(self.observe, ObserveConfig):
+            raise ConfigurationError(
+                f"observe must be an ObserveConfig or None, got {self.observe!r}"
             )
         check_probability(self.network_loss_rate, "network_loss_rate")
         check_int_in_range(self.notice_rounds, "notice_rounds", 1)
@@ -234,6 +262,18 @@ class SecureLocalizationPipeline:
         #: Per-phase wall clock + hot-path counters; populated by
         #: :meth:`run` and read back via :meth:`profile_snapshot`.
         self.profile = PhaseProfile()
+        #: The trial's observability context, or None when
+        #: ``config.observe`` is None (the default — no obs object is
+        #: even constructed, so the hot paths carry zero extra checks
+        #: beyond one ``is None`` test at phase boundaries).
+        self.obs: Optional[Observability] = None
+        if self.config.observe is not None:
+            self.obs = Observability(
+                self.config.observe,
+                trace=self.trace,
+                sim_clock=self.engine.now,
+            )
+        self._obs_finalized = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -278,12 +318,22 @@ class SecureLocalizationPipeline:
             and self.fault_injector.perturbs_rtt()
         ):
             calibration_perturb = self.fault_injector.perturb_rtt
+        obs = self.obs
+        rtt_histograms = obs is not None and obs.config.rtt_histograms
+        calibration_observe = None
+        if rtt_histograms:
+            calibration_observe = obs.registry.histogram(
+                "rtt_cycles", buckets=RTT_BUCKETS_CYCLES, kind="calibration"
+            ).observe
         calibration = calibrate_rtt(
             self.network.rtt_model,
             self.rngs.stream("rtt-calibration"),
             samples=cfg.rtt_calibration_samples,
             perturb=calibration_perturb,
+            observe=calibration_observe,
         )
+        if rtt_histograms:
+            self.network.rtt_observer = self._make_rtt_observer(obs)
 
         def canonical_identity(identity: int) -> int:
             if self.key_manager.is_detecting_id(identity):
@@ -420,6 +470,39 @@ class SecureLocalizationPipeline:
         self._built = True
         return self
 
+    def _make_rtt_observer(self, obs: Observability):
+        """The per-exchange RTT sink installed on the network.
+
+        Both variants cache their handles up front, so the hot path is a
+        single ``Histogram.observe`` (plus one dict lookup in per-node
+        mode). RNG-free by construction.
+        """
+        if obs.config.per_node_rtt:
+            registry = obs.registry
+            handles: Dict[int, object] = {}
+
+            def observer(rtt: float, node: Node) -> None:
+                hist = handles.get(node.node_id)
+                if hist is None:
+                    hist = registry.histogram(
+                        "rtt_cycles",
+                        buckets=RTT_BUCKETS_CYCLES,
+                        kind="exchange",
+                        node=node.node_id,
+                    )
+                    handles[node.node_id] = hist
+                hist.observe(rtt)
+
+            return observer
+        exchange = obs.registry.histogram(
+            "rtt_cycles", buckets=RTT_BUCKETS_CYCLES, kind="exchange"
+        )
+
+        def observer(rtt: float, node: Node) -> None:
+            exchange.observe(rtt)
+
+        return observer
+
     def _propagate_revocation(self, beacon_id: int) -> None:
         """Disseminate one revocation per the configured mechanism."""
         if self.network is not None and self.network.has_node(beacon_id):
@@ -544,26 +627,102 @@ class SecureLocalizationPipeline:
             self.notice_distributor.disclose_key()
         self.engine.run()
 
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Time one phase and — when observing — wrap it in a span.
+
+        The span is the *inner* context, so on failure it tags the
+        exception first (``phase:<name>`` beats the profile's plain
+        ``<name>`` — first tagger wins).
+        """
+        with self.profile.phase(name):
+            if self.obs is not None and self.obs.config.spans:
+                with self.obs.span(f"phase:{name}"):
+                    yield
+            else:
+                yield
+
     def run(self) -> PipelineResult:
         """Build (if needed) and execute all phases, returning the metrics.
 
-        Each phase is timed into :attr:`profile`; see
-        :meth:`profile_snapshot` for the aggregated view.
+        Each phase is timed into :attr:`profile` and, when observing,
+        delimited by a ``phase:<name>`` span nested under one ``trial``
+        span; see :meth:`profile_snapshot` / :meth:`telemetry` for the
+        aggregated views. End-of-trial counters are flushed into the
+        registry via :meth:`finalize_observability`.
         """
-        profile = self.profile
-        with profile.phase("build"):
+        if self.obs is not None and self.obs.config.spans:
+            with self.obs.span("trial", seed=self.config.seed):
+                result = self._run_phases()
+        else:
+            result = self._run_phases()
+        self.finalize_observability()
+        return result
+
+    def _run_phases(self) -> PipelineResult:
+        """The phase sequence shared by observed and unobserved runs."""
+        with self._phase("build"):
             self.build()
-        with profile.phase("collusion"):
+        with self._phase("collusion"):
             self.run_collusion()
-        with profile.phase("detection"):
+        with self._phase("detection"):
             self.run_detection()
-        with profile.phase("notices"):
+        with self._phase("notices"):
             self.run_notice_dissemination()
-        with profile.phase("localization"):
+        with self._phase("localization"):
             self.run_localization()
-        with profile.phase("metrics"):
+        with self._phase("metrics"):
             result = self.collect_metrics()
         return result
+
+    def finalize_observability(self) -> None:
+        """Flush end-of-trial counters into the registry (idempotent).
+
+        The hot paths accumulate into their existing plain-int structs
+        (:class:`~repro.utils.profiling.NetworkCounters`, ARQ channel
+        counters, fault-model counters, §3.1 base-station counters);
+        this one call folds them all into the mergeable registry, so
+        observing adds no per-event registry work.
+        """
+        obs = self.obs
+        if obs is None or self._obs_finalized or not obs.config.metrics:
+            return
+        self._obs_finalized = True
+        registry = obs.registry
+        self.engine.record_metrics(registry)
+        registry.counter("probes_sent_total").inc(self._probes_sent)
+        if self.network is not None:
+            self.network.record_metrics(registry)
+        if self.base_station is not None:
+            self.base_station.record_metrics(registry)
+        if self.fault_injector is not None:
+            self.fault_injector.record_metrics(registry)
+        for channel in (
+            getattr(self, "alert_channel", None),
+            getattr(self, "request_channel", None),
+        ):
+            if channel is not None:
+                channel.record_metrics(registry)
+
+    def telemetry(self) -> dict:
+        """The trial's exportable telemetry (empty dict when not observing).
+
+        Shape: ``{"registry": <snapshot>, "spans": [...], "events":
+        [...]}``. Events carry the full protocol stream only with
+        ``observe.trace_events``; otherwise just the ``span.*`` markers,
+        which keeps worker->parent payloads small in the parallel runner.
+        """
+        if self.obs is None:
+            return {}
+        self.finalize_observability()
+        data = self.obs.telemetry()
+        include_all = self.obs.config.trace_events
+        data["events"] = [
+            event.to_dict()
+            for event in self.trace
+            if include_all or event.kind.startswith("span.")
+        ]
+        return data
 
     def profile_snapshot(self) -> dict:
         """Phase timings plus hot-path counters, as a JSON-ready dict.

@@ -182,6 +182,26 @@ class BaseStation:
             return 0.0
         return len(self.revoked & benign_ids) / len(benign_ids)
 
+    def record_metrics(self, registry) -> None:
+        """Flush §3.1 revocation state into a metrics registry (end of trial).
+
+        Emits ``alerts_total{accepted=...,reason=...}`` (every submitted
+        alert and its fate), ``revocations_total``, and the paper's two
+        per-beacon counters as ``bs_alert_counter{target=...}`` /
+        ``bs_report_counter{reporter=...}`` gauges.
+        """
+        for record in self.log:
+            registry.counter(
+                "alerts_total",
+                accepted="true" if record.accepted else "false",
+                reason=record.reason,
+            ).inc()
+        registry.counter("revocations_total").inc(len(self.revoked))
+        for target_id, count in self.alert_counters.items():
+            registry.gauge("bs_alert_counter", target=target_id).inc(count)
+        for reporter_id, count in self.report_counters.items():
+            registry.gauge("bs_report_counter", reporter=reporter_id).inc(count)
+
     def _log(
         self, detector_id: int, target_id: int, accepted: bool, reason: str, time: float
     ) -> None:

@@ -65,6 +65,7 @@ def calibrate_rtt(
     samples: int = 10_000,
     distance_ft: float = 0.0,
     perturb: Optional[Callable[[float], float]] = None,
+    observe: Optional[Callable[[float], None]] = None,
 ) -> RttCalibration:
     """Measure ``samples`` attack-free RTTs and extract the window.
 
@@ -81,12 +82,19 @@ def calibrate_rtt(
             :mod:`repro.faults` uses when a scenario re-calibrates under
             field conditions (``recalibrate_under_faults``), so ``x_max``
             absorbs jitter/drift instead of the lab-clean support.
+        observe: optional RNG-free sink called with each (possibly
+            perturbed) calibration RTT — the observability layer feeds
+            these into its ``rtt_cycles{kind="calibration"}`` histogram,
+            reconstructing the Figure-4 distribution.
     """
     if samples <= 0:
         raise ConfigurationError(f"samples must be > 0, got {samples}")
     rtts = model.sample_rtts(rng, samples, distance_ft=distance_ft)
     if perturb is not None:
         rtts = [perturb(rtt) for rtt in rtts]
+    if observe is not None:
+        for rtt in rtts:
+            observe(rtt)
     ecdf = Ecdf(rtts)
     return RttCalibration(x_min=ecdf.x_min, x_max=ecdf.x_max, samples=samples)
 

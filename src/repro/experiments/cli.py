@@ -20,10 +20,20 @@ every executed trial and emits them as JSON (``profile.json`` under
 
 Failure handling: the default is ``--fail-fast`` (first task exception
 aborts the run). ``--keep-going`` degrades gracefully instead — failed
-trials are recorded as structured error records, every other trial still
-runs, an error summary goes to stderr (and ``errors.json`` under
-``--out``), and the exit code is 3 so scripts notice the partial result.
-``--task-retries N`` re-runs a failing task up to N extra times first.
+trials are recorded as structured error records (including the pipeline
+phase that was active), every other trial still runs, an error summary
+goes to stderr (and ``errors.json`` under ``--out``), and the exit code
+is 3 so scripts notice the partial result. ``--task-retries N`` re-runs
+a failing task up to N extra times first.
+
+Telemetry export (see docs/OBSERVABILITY.md): ``--metrics-out PATH``
+writes the run's merged metrics registry in Prometheus text format;
+``--trace-out BASE`` writes span timelines as ``BASE.json`` (Chrome/
+Perfetto trace) and the unified event stream as ``BASE.jsonl``
+(``--trace-format`` selects one). Either flag turns observability on for
+every executed trial; results are bit-identical regardless. The
+``trial`` target runs one paper-default pipeline with full observability
+— the single invocation CI validates with ``tools/check_telemetry.py``.
 
 Paper section: §4 (regenerating the evaluation).
 """
@@ -41,6 +51,12 @@ from typing import List, Optional, Sequence
 from repro.experiments import figures
 from repro.experiments.runner import ExperimentRunner, ProgressEvent
 from repro.experiments.svgplot import save_svg
+from repro.obs import (
+    ObserveConfig,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_prometheus,
+)
 
 #: Figures rendered as scatter rather than lines.
 _SCATTER = {"figure11"}
@@ -70,7 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
-        help="figure name (e.g. figure05), 'all', 'list', or 'report'",
+        help=(
+            "figure name (e.g. figure05), 'all', 'list', 'report', or "
+            "'trial' (one fully observed paper-default pipeline run)"
+        ),
     )
     parser.add_argument(
         "--bench-output",
@@ -145,6 +164,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="extra executions of a failing task before giving up",
     )
+    parser.add_argument(
+        "--metrics-out",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "write the merged metrics registry (Prometheus text format) "
+            "here; implies observability for executed trials"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "base path for trace exports: <base>.json (Chrome/Perfetto) "
+            "and/or <base>.jsonl (event log); implies observability"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("chrome", "jsonl", "both"),
+        default="both",
+        help="which trace exports --trace-out writes (default: both)",
+    )
     return parser
 
 
@@ -157,11 +200,25 @@ def _print_progress(event: ProgressEvent) -> None:
     )
 
 
+def _wants_telemetry(args) -> bool:
+    """True when any telemetry-export flag (or the trial target) is set."""
+    return (
+        args.metrics_out is not None
+        or args.trace_out is not None
+        or args.target == "trial"
+    )
+
+
 def make_runner(args) -> ExperimentRunner:
     """Build the experiment runner the CLI flags describe."""
     workers = args.workers
     if workers == 0:
         workers = os.cpu_count() or 1
+    observe = None
+    if _wants_telemetry(args):
+        # The trial target ships the full protocol event stream; sweeps
+        # keep worker payloads lean (span markers only).
+        observe = ObserveConfig(trace_events=args.target == "trial")
     return ExperimentRunner(
         n_workers=workers,
         cache_dir=args.cache_dir,
@@ -169,6 +226,7 @@ def make_runner(args) -> ExperimentRunner:
         profile=args.profile,
         keep_going=args.keep_going,
         task_retries=args.task_retries,
+        observe=observe,
     )
 
 
@@ -224,6 +282,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(build_report(args.bench_output))
         return 0
 
+    if args.target == "trial":
+        from repro.core.pipeline import PipelineConfig
+
+        runner = make_runner(args)
+        results = runner.run_pipeline_configs(
+            [PipelineConfig(seed=0)], keys=["trial:seed0"]
+        )
+        if not args.quiet:
+            print(json.dumps(results[0], indent=2, sort_keys=True))
+        _export_telemetry(runner, args)
+        if runner.stats.errors:
+            _report_errors(runner.stats.errors, args)
+            return 3
+        return 0
+
     if args.target == "all":
         names: List[str] = sorted(figures.ALL_FIGURES)
     elif args.target in figures.ALL_FIGURES:
@@ -238,6 +311,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for name in names:
         fig = _generate(name, runner)
         _emit(fig, args)
+    _export_telemetry(runner, args)
     if args.profile:
         summary = runner.stats.profile_summary()
         payload = json.dumps(summary, indent=2, sort_keys=True)
@@ -260,6 +334,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _export_telemetry(runner: ExperimentRunner, args) -> None:
+    """Write the telemetry exports the CLI flags request (no-op without)."""
+    stats = runner.stats
+    if args.metrics_out is not None:
+        path = write_prometheus(args.metrics_out, stats.merged_registry())
+        if not args.quiet:
+            print(f"metrics written to {path}", file=sys.stderr)
+    if args.trace_out is None:
+        return
+    trials = list(stats.telemetry)
+    if stats.run_spans:
+        # The runner's own task spans become process 0 in the timeline.
+        trials.append({"key": "runner", "index": -1, "spans": stats.run_spans})
+    base = args.trace_out
+    if args.trace_format in ("chrome", "both"):
+        path = write_chrome_trace(base.with_suffix(".json"), trials)
+        if not args.quiet:
+            print(f"trace written to {path}", file=sys.stderr)
+    if args.trace_format in ("jsonl", "both"):
+        path = write_events_jsonl(base.with_suffix(".jsonl"), stats.telemetry)
+        if not args.quiet:
+            print(f"event log written to {path}", file=sys.stderr)
+
+
 def _report_errors(errors, args) -> None:
     """Summarize recorded task failures on stderr (and in errors.json)."""
     print(
@@ -267,9 +365,10 @@ def _report_errors(errors, args) -> None:
         file=sys.stderr,
     )
     for record in errors:
+        where = f" in {record.phase}" if record.phase else ""
         print(
             f"  {record.key}: {record.error_type}: {record.message} "
-            f"(after {record.attempts} attempt(s))",
+            f"(after {record.attempts} attempt(s){where})",
             file=sys.stderr,
         )
     if args.out is not None:

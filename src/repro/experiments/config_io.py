@@ -17,6 +17,7 @@ from typing import Any, Dict, Union
 from repro.core.pipeline import PipelineConfig
 from repro.errors import ConfigurationError
 from repro.faults.config import fault_config_from_dict
+from repro.obs import observe_config_from_dict
 
 #: Manifest schema version; bump on incompatible config changes.
 SCHEMA_VERSION = 1
@@ -54,6 +55,8 @@ def config_from_dict(data: Dict[str, Any]) -> PipelineConfig:
         )
     if isinstance(payload.get("faults"), dict):
         payload["faults"] = fault_config_from_dict(payload["faults"])
+    if isinstance(payload.get("observe"), dict):
+        payload["observe"] = observe_config_from_dict(payload["observe"])
     return PipelineConfig(**payload)
 
 

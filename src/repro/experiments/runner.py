@@ -42,9 +42,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+import dataclasses
+
 from repro.core.pipeline import PipelineConfig, PipelineResult, SecureLocalizationPipeline
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.config_io import config_to_dict
+from repro.obs import ObserveConfig, active_span_of, merge_snapshots
 from repro.utils.profiling import merge_profiles
 
 #: Scalar :class:`PipelineResult` attributes collected by pipeline tasks.
@@ -83,11 +86,40 @@ def execute_pipeline_profiled(config: PipelineConfig) -> Dict[str, Any]:
     The profiled worker entry point: ``{"metrics": {...}, "profile":
     {"phases": ..., "counters": ...}}``. Metrics are identical to
     :func:`execute_pipeline` (the always-on instrumentation draws no
-    random numbers).
+    random numbers). Kept as the historical name for
+    ``_InstrumentedTask(profile=True)``.
     """
-    pipeline = SecureLocalizationPipeline(config)
-    metrics = collect_metrics(pipeline.run())
-    return {"metrics": metrics, "profile": pipeline.profile_snapshot()}
+    return _InstrumentedTask(profile=True)(config)
+
+
+@dataclass(frozen=True)
+class _InstrumentedTask:
+    """Picklable pipeline worker with profiling and/or observability.
+
+    Closures do not pickle across the process boundary; a frozen
+    dataclass carrying the instrumentation switches does. The returned
+    payload is ``{"metrics": ...}`` plus ``"profile"`` (with
+    ``profile=True``) and ``"telemetry"`` (when the run observed) — the
+    runner unwraps it so callers still see plain metric dicts.
+
+    ``observe`` is applied only to configs whose own ``observe`` is None,
+    so a caller-specified per-config choice always wins.
+    """
+
+    profile: bool = False
+    observe: Optional[ObserveConfig] = None
+
+    def __call__(self, config: PipelineConfig) -> Dict[str, Any]:
+        if self.observe is not None and config.observe is None:
+            config = dataclasses.replace(config, observe=self.observe)
+        pipeline = SecureLocalizationPipeline(config)
+        metrics = collect_metrics(pipeline.run())
+        out: Dict[str, Any] = {"metrics": metrics}
+        if self.profile:
+            out["profile"] = pipeline.profile_snapshot()
+        if config.observe is not None:
+            out["telemetry"] = pipeline.telemetry()
+        return out
 
 
 def cache_key(config: PipelineConfig, *, kind: str = "pipeline") -> str:
@@ -95,16 +127,20 @@ def cache_key(config: PipelineConfig, *, kind: str = "pipeline") -> str:
 
     The seed is part of the config, so distinct trials hash apart; the
     library version is mixed in so upgrading the code invalidates every
-    stale entry without any bookkeeping.
+    stale entry without any bookkeeping. The ``observe`` knob is *not*
+    part of the address — observability never changes results (asserted
+    in tests), so observed and unobserved runs share cache entries.
     """
     from repro import __version__
 
+    config_dict = config_to_dict(config)
+    config_dict.pop("observe", None)
     material = json.dumps(
         {
             "schema": CACHE_SCHEMA_VERSION,
             "code_version": __version__,
             "kind": kind,
-            "config": config_to_dict(config),
+            "config": config_dict,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -142,8 +178,20 @@ class ResultCache:
         except (TypeError, ValueError):
             return None
 
-    def put(self, key: str, metrics: Dict[str, float], *, config: Optional[PipelineConfig] = None) -> None:
-        """Persist ``metrics`` under ``key`` (atomic rename, never partial)."""
+    def put(
+        self,
+        key: str,
+        metrics: Dict[str, float],
+        *,
+        config: Optional[PipelineConfig] = None,
+        telemetry: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Persist ``metrics`` under ``key`` (atomic rename, never partial).
+
+        ``telemetry`` (a registry snapshot from an observed run) rides
+        along as entry metadata for offline inspection; :meth:`get`
+        serves metrics only, so unobserved readers are unaffected.
+        """
         from repro import __version__
 
         self.root.mkdir(parents=True, exist_ok=True)
@@ -154,6 +202,8 @@ class ResultCache:
         }
         if config is not None:
             entry["config"] = config_to_dict(config)
+        if telemetry is not None:
+            entry["telemetry"] = telemetry
         path = self.path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
@@ -175,6 +225,10 @@ class TrialError:
         message: ``str(exception)`` of the final attempt.
         traceback_text: the final attempt's formatted traceback.
         attempts: executions of the task, including retries.
+        phase: the innermost span/phase open when the final attempt
+            failed (e.g. ``"phase:detection"``), or ``""`` when nothing
+            tagged the exception. Pipeline phases tag exceptions even
+            with observability off.
     """
 
     key: str
@@ -183,6 +237,7 @@ class TrialError:
     message: str
     traceback_text: str
     attempts: int
+    phase: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """The record as a plain dict (for ``errors.json``)."""
@@ -193,6 +248,7 @@ class TrialError:
             "message": self.message,
             "traceback": self.traceback_text,
             "attempts": self.attempts,
+            "phase": self.phase,
         }
 
 
@@ -232,6 +288,13 @@ class RunStats:
     #: retry budget (only populated under ``keep_going=True``; the
     #: fail-fast path raises instead).
     errors: List[TrialError] = field(default_factory=list)
+    #: Per-executed-trial telemetry (only when the runner observes):
+    #: ``{"index", "key", "registry", "spans", "events"}`` entries in
+    #: completion order. Cache hits contribute none — they ran nothing.
+    telemetry: List[Dict[str, Any]] = field(default_factory=list)
+    #: Runner-level task spans (only when observing): one completed-span
+    #: dict per executed task, on the runner's own wall clock.
+    run_spans: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def failed(self) -> int:
@@ -247,6 +310,19 @@ class RunStats:
         """Phase seconds and counters summed over all executed trials."""
         return merge_profiles(self.profiles)
 
+    def merged_registry(self) -> Dict[str, Any]:
+        """All trials' registry snapshots reduced into one.
+
+        Order-insensitive (see :func:`repro.obs.merge_snapshots`), so the
+        merge over a parallel run's completion order equals the serial
+        run's exactly — this is the property the runner tests assert.
+        """
+        return merge_snapshots(
+            entry["registry"]
+            for entry in self.telemetry
+            if entry.get("registry") is not None
+        )
+
 
 def _timed_call(
     fn: Callable[[Any], Any], payload: Any, retries: int = 0
@@ -254,21 +330,28 @@ def _timed_call(
     """Worker-side wrapper: run ``fn(payload)``, timing and shielding it.
 
     Returns ``(ok, value, seconds, attempts)``. On failure ``value`` is
-    the picklable triple ``(error_type, message, traceback_text)`` of the
-    last attempt — live exception objects (and their tracebacks) do not
-    survive the process boundary reliably, their formatted text does.
+    the picklable 4-tuple ``(error_type, message, traceback_text,
+    phase)`` of the last attempt — live exception objects (and their
+    tracebacks) do not survive the process boundary reliably, their
+    formatted text does. ``phase`` is the innermost span/phase that
+    tagged the exception (see :func:`repro.obs.active_span_of`).
     ``retries`` extra attempts are made before giving up; ``seconds``
     covers all attempts.
     """
     start = time.perf_counter()
     attempts = 0
-    failure: Tuple[str, str, str] = ("", "", "")
+    failure: Tuple[str, str, str, str] = ("", "", "", "")
     for _ in range(retries + 1):
         attempts += 1
         try:
             result = fn(payload)
         except Exception as exc:  # noqa: BLE001 - the shield is the point
-            failure = (type(exc).__name__, str(exc), traceback.format_exc())
+            failure = (
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+                active_span_of(exc),
+            )
             continue
         return True, result, time.perf_counter() - start, attempts
     return False, failure, time.perf_counter() - start, attempts
@@ -295,6 +378,14 @@ class ExperimentRunner:
         task_retries: extra executions of a failing task before it is
             declared failed (applies to both modes; retried tasks that
             eventually succeed leave no error record).
+        observe: collect observability telemetry for executed pipeline
+            tasks. ``True`` means a default
+            :class:`repro.obs.ObserveConfig`; an explicit config selects
+            signals. Per-trial telemetry lands in ``stats.telemetry``
+            (merge registries via :meth:`RunStats.merged_registry`),
+            runner-level task spans in ``stats.run_spans``. Metrics and
+            cache addresses are unchanged — observation never alters
+            results.
 
     The runner is deterministic: results come back in input order and are
     bit-identical for any worker count, because every task is a pure
@@ -310,6 +401,7 @@ class ExperimentRunner:
         profile: bool = False,
         keep_going: bool = False,
         task_retries: int = 0,
+        observe: Union[ObserveConfig, bool, None] = None,
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigurationError(
@@ -319,17 +411,28 @@ class ExperimentRunner:
             raise ConfigurationError(
                 f"task_retries must be an int >= 0, got {task_retries!r}"
             )
+        if observe is True:
+            observe = ObserveConfig()
+        elif observe is False:
+            observe = None
+        if observe is not None and not isinstance(observe, ObserveConfig):
+            raise ConfigurationError(
+                f"observe must be an ObserveConfig, bool, or None, got {observe!r}"
+            )
         self.n_workers = n_workers
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.profile = bool(profile)
         self.keep_going = bool(keep_going)
         self.task_retries = task_retries
+        self.observe = observe
         self.stats = RunStats()
+        self._wall0 = time.perf_counter()
 
     def reset_stats(self) -> None:
         """Zero the timing/caching counters (runners are reusable)."""
         self.stats = RunStats()
+        self._wall0 = time.perf_counter()
 
     # ------------------------------------------------------------------
     # generic mapping
@@ -391,25 +494,53 @@ class ExperimentRunner:
                     continue
                 self.stats.cache_misses += 1
             pending.append(index)
-        task = execute_pipeline_profiled if self.profile else execute_pipeline
+        instrumented = self.profile or self.observe is not None
+        task: Callable[[PipelineConfig], Any] = (
+            _InstrumentedTask(profile=self.profile, observe=self.observe)
+            if instrumented
+            else execute_pipeline
+        )
         self._execute(
             task, configs, pending, results, task_keys,
             done_offset=done, total=total,
         )
-        if self.profile:
-            # Unwrap the profiled payloads: profiles accumulate in the
-            # stats, metric dicts land where callers expect them.
+        telemetry_by_index: Dict[int, Dict[str, Any]] = {}
+        if instrumented:
+            # Unwrap the instrumented payloads (in input order, so stats
+            # lists are deterministic for any worker count): profiles and
+            # telemetry accumulate in the stats, metric dicts land where
+            # callers expect them.
             for index in pending:
                 wrapped = results[index]
                 if wrapped is None:  # failed under keep_going
                     continue
-                self.stats.profiles.append(wrapped["profile"])
+                if "profile" in wrapped:
+                    self.stats.profiles.append(wrapped["profile"])
+                if "telemetry" in wrapped:
+                    telemetry_by_index[index] = wrapped["telemetry"]
+                    self.stats.telemetry.append(
+                        {
+                            "index": index,
+                            "key": task_keys[index],
+                            **wrapped["telemetry"],
+                        }
+                    )
                 results[index] = wrapped["metrics"]
         if self.cache is not None:
             for index in pending:
                 if results[index] is None:
                     continue
-                self.cache.put(hashes[index], results[index], config=configs[index])
+                telemetry = telemetry_by_index.get(index)
+                self.cache.put(
+                    hashes[index],
+                    results[index],
+                    config=configs[index],
+                    telemetry=(
+                        {"registry": telemetry["registry"]}
+                        if telemetry is not None
+                        else None
+                    ),
+                )
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -460,11 +591,29 @@ class ExperimentRunner:
         """
         ok, value, seconds, attempts = outcome
         self.stats.executed += 1
+        if self.observe is not None:
+            # Task span on the runner's own wall clock. In parallel mode
+            # the start is reconstructed from the completion instant, so
+            # spans reflect when the task's slot was busy, not queued.
+            end = time.perf_counter() - self._wall0
+            self.stats.run_spans.append(
+                {
+                    "name": f"task:{key}",
+                    "id": index + 1,
+                    "parent": 0,
+                    "depth": 0,
+                    "t0_wall_s": max(0.0, end - seconds),
+                    "dur_wall_s": seconds,
+                    "t0_sim": 0.0,
+                    "t1_sim": 0.0,
+                    "attrs": {"ok": ok, "attempts": attempts},
+                }
+            )
         if ok:
             results[index] = value
             self._emit(done, total, key, seconds, cached=False)
             return
-        error_type, message, traceback_text = value
+        error_type, message, traceback_text, phase = value
         record = TrialError(
             key=key,
             index=index,
@@ -472,6 +621,7 @@ class ExperimentRunner:
             message=message,
             traceback_text=traceback_text,
             attempts=attempts,
+            phase=phase,
         )
         if not self.keep_going:
             raise ExperimentError(

@@ -199,3 +199,14 @@ class FaultInjector:
         for model in self.models():
             merged.update(model.counters())
         return merged
+
+    def record_metrics(self, registry) -> None:
+        """Flush fault counters into a metrics registry (end of trial).
+
+        Each per-model counter (already ``fault_``-prefixed) becomes one
+        ``fault_events_total{kind=...}`` series, so sweeps can compare
+        injected-fault volume across configurations.
+        """
+        for name, value in self.counters().items():
+            kind = name[len("fault_"):] if name.startswith("fault_") else name
+            registry.counter("fault_events_total", kind=kind).inc(value)

@@ -1,0 +1,62 @@
+"""Observability feature switches (``PipelineConfig.observe``).
+
+``observe=None`` — the default everywhere — means *no observability
+object exists at all*: the pipeline takes the exact pre-observability
+code paths, draws zero extra random numbers, and produces bit-identical
+results (asserted in ``tests/core/test_pipeline_observe.py``). An
+:class:`ObserveConfig` instance turns the layer on; its switches select
+which signals are collected. Because collection never touches an RNG,
+results stay bit-identical even with everything enabled — the knob
+exists for overhead control, not correctness.
+
+The config is a frozen dataclass of plain scalars, so it is hashable,
+picklable (parallel workers), and JSON-round-trippable
+(:func:`observe_config_from_dict`, used by the experiment manifests).
+
+Paper section: §4 (what the evaluation instruments)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ObserveConfig:
+    """Which observability signals a pipeline run collects.
+
+    Attributes:
+        spans: open hierarchical spans (trial + per-phase) and record
+            their begin/end events into the trace stream.
+        metrics: flush counters (network, ARQ channels, fault injector,
+            base-station §3.1 alert/report counters, engine totals) into
+            the metrics registry at end of trial.
+        rtt_histograms: record every calibration and exchange RTT into
+            fixed-bucket ``rtt_cycles`` histograms (Figure-4-style data).
+        per_node_rtt: label exchange RTT histograms by requesting node
+            (one series per node — detailed but wide; off by default).
+        trace_events: include the full protocol event stream
+            (deliveries, alerts, revocations) in exported telemetry, not
+            just the span markers.
+    """
+
+    spans: bool = True
+    metrics: bool = True
+    rtt_histograms: bool = True
+    per_node_rtt: bool = False
+    trace_events: bool = False
+
+
+def observe_config_from_dict(data: Mapping[str, Any]) -> ObserveConfig:
+    """Rebuild an :class:`ObserveConfig`; unknown keys are rejected."""
+    known = {f.name for f in dataclasses.fields(ObserveConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown observe config keys: {sorted(unknown)}"
+        )
+    return ObserveConfig(**{k: bool(v) for k, v in data.items()})

@@ -1,0 +1,193 @@
+"""Telemetry exporters: Prometheus text, Chrome/Perfetto trace, JSONL.
+
+Three stdlib-only serializers over the snapshot/span/event shapes the
+rest of :mod:`repro.obs` produces:
+
+- :func:`prometheus_text` — a registry snapshot (or a
+  :func:`repro.obs.metrics.merge_snapshots` result) in the Prometheus
+  exposition format, with histograms emitted as cumulative
+  ``_bucket``/``_sum``/``_count`` series;
+- :func:`chrome_trace` — per-trial span lists as a Chrome
+  ``chrome://tracing`` / Perfetto-loadable JSON object (one process per
+  trial, complete ``"X"`` events in microseconds);
+- :func:`write_events_jsonl` — the unified trace-event stream, one JSON
+  object per line, each stamped with its trial key.
+
+All outputs are validated structurally by ``tools/check_telemetry.py``
+(run in CI on a real one-trial pipeline).
+
+Paper section: §4 (exporting the evaluation's telemetry)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterable, List, Mapping, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def _format_value(value: Any) -> str:
+    """Prometheus sample value: ints bare, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _split_series_key(key: str) -> tuple:
+    """``name{labels}`` -> (name, "labels") ("" when unlabelled)."""
+    if "{" not in key:
+        return key, ""
+    name, _, rest = key.partition("{")
+    return name, rest[:-1]
+
+
+def _with_label(labels: str, extra: str) -> str:
+    """Append one ``k="v"`` item to a (possibly empty) label body."""
+    return f"{labels},{extra}" if labels else extra
+
+
+def _format_le(bound: float) -> str:
+    """A bucket bound as Prometheus spells it (ints without '.0')."""
+    return str(int(bound)) if float(bound).is_integer() else repr(float(bound))
+
+
+def prometheus_text(snapshot: Mapping[str, Any]) -> str:
+    """Render a registry snapshot in the Prometheus text format."""
+    lines: List[str] = []
+    typed: set = set()
+
+    def type_line(key: str, kind: str) -> None:
+        name, _ = _split_series_key(key)
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        type_line(key, "counter")
+        lines.append(f"{key} {_format_value(value)}")
+    for key, value in (snapshot.get("gauges") or {}).items():
+        type_line(key, "gauge")
+        lines.append(f"{key} {_format_value(value)}")
+    for key, hist in (snapshot.get("histograms") or {}).items():
+        name, labels = _split_series_key(key)
+        type_line(key, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist["buckets"], hist["counts"]):
+            cumulative += count
+            body = _with_label(labels, f'le="{_format_le(bound)}"')
+            lines.append(f"{name}_bucket{{{body}}} {cumulative}")
+        cumulative += hist["counts"][-1]
+        body = _with_label(labels, 'le="+Inf"')
+        lines.append(f"{name}_bucket{{{body}}} {cumulative}")
+        sum_key = f"{name}_sum{{{labels}}}" if labels else f"{name}_sum"
+        count_key = f"{name}_count{{{labels}}}" if labels else f"{name}_count"
+        lines.append(f"{sum_key} {_format_value(hist['sum'])}")
+        lines.append(f"{count_key} {int(hist['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(path: PathLike, snapshot: Mapping[str, Any]) -> pathlib.Path:
+    """Write :func:`prometheus_text` output to ``path`` (parents created)."""
+    destination = pathlib.Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(prometheus_text(snapshot))
+    return destination
+
+
+def chrome_trace(trials: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Span timelines as a Chrome-trace/Perfetto JSON object.
+
+    Args:
+        trials: dicts with ``spans`` (list of completed-span dicts from
+            :class:`repro.obs.spans.Observability`) plus optional
+            ``key``/``index`` used to name and number the trace process.
+
+    Each span's thread lane is its *root* span's id, so concurrent
+    top-level spans (the runner's per-task spans under ``--workers``)
+    get their own rows instead of illegally overlapping in one lane.
+    """
+    events: List[Dict[str, Any]] = []
+    for trial in trials:
+        pid = int(trial.get("index", 0)) + 1
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": str(trial.get("key", f"trial:{pid}"))},
+            }
+        )
+        spans = trial.get("spans") or []
+        parents = {span["id"]: span.get("parent", 0) for span in spans}
+        roots: Dict[Any, Any] = {}
+
+        def root_of(span_id: Any) -> Any:
+            seen = []
+            while span_id not in roots and parents.get(span_id, 0) != 0:
+                seen.append(span_id)
+                span_id = parents[span_id]
+            root = roots.get(span_id, span_id)
+            for walked in seen:
+                roots[walked] = root
+            return root
+
+        for span in spans:
+            args = {
+                "sim_t0": span.get("t0_sim"),
+                "sim_t1": span.get("t1_sim"),
+                "depth": span.get("depth"),
+            }
+            args.update(span.get("attrs") or {})
+            events.append(
+                {
+                    "name": span["name"],
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": round(float(span["t0_wall_s"]) * 1e6, 3),
+                    "dur": round(float(span["dur_wall_s"]) * 1e6, 3),
+                    "pid": pid,
+                    "tid": int(root_of(span["id"])),
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: PathLike, trials: Iterable[Mapping[str, Any]]
+) -> pathlib.Path:
+    """Write :func:`chrome_trace` output as JSON to ``path``."""
+    destination = pathlib.Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(chrome_trace(trials), indent=None, sort_keys=True) + "\n"
+    )
+    return destination
+
+
+def events_jsonl_lines(trials: Iterable[Mapping[str, Any]]) -> List[str]:
+    """The unified event stream as JSONL lines (trial key stamped in)."""
+    lines: List[str] = []
+    for trial in trials:
+        key = str(trial.get("key", f"trial:{trial.get('index', 0)}"))
+        for event in trial.get("events") or []:
+            record = {"trial": key}
+            record.update(event)
+            lines.append(json.dumps(record, sort_keys=True, default=repr))
+    return lines
+
+
+def write_events_jsonl(
+    path: PathLike, trials: Iterable[Mapping[str, Any]]
+) -> pathlib.Path:
+    """Write :func:`events_jsonl_lines` to ``path``, one event per line."""
+    destination = pathlib.Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    lines = events_jsonl_lines(trials)
+    destination.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return destination

@@ -1,0 +1,352 @@
+"""The metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+The paper's claims are counting claims — accepted/rejected alert totals
+at the base station (§3.1), per-node alert/report counters, detection
+events versus the wormhole detector's ``p_d`` (§2.2.1), and RTT samples
+inside the calibrated ``[x_min, x_max]`` window (§2.2.2, Figure 4). The
+:class:`MetricsRegistry` is the one mergeable store those counts flow
+into, so a trial, a sweep, or a whole parallel Monte-Carlo run can be
+summarized, exported (Prometheus text / JSON), and compared.
+
+Determinism contract (what makes worker registries reducible):
+
+- every instrument holds plain numbers; nothing here draws randomness
+  or reads clocks, so enabling metrics never perturbs a simulation;
+- :meth:`MetricsRegistry.snapshot` emits a canonical, sorted, JSON-ready
+  dict — two registries with the same contents produce identical
+  snapshots;
+- :func:`merge_snapshots` reduces any number of snapshots
+  order-insensitively: integer series sum exactly, float series sum via
+  :func:`math.fsum` (exactly rounded, hence permutation-invariant), and
+  histogram bucket vectors add element-wise. Merging the per-trial
+  snapshots of a parallel run therefore equals the serial run's merge
+  bit for bit (property-tested in
+  ``tests/experiments/test_runner_observe.py``).
+
+Wall-clock data stays *out* of the registry by design: it is
+nondeterministic, so it rides on spans (:mod:`repro.obs.spans`) instead.
+
+Paper section: §3.1 (alert/report counters), §2.2.2 (RTT distributions)
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Prometheus-compatible metric/label-name grammar.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Canonical label encoding: sorted ``(name, value)`` string pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+Number = Union[int, float]
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    """Normalize a label mapping to its canonical sorted tuple form."""
+    items = []
+    for key in sorted(labels):
+        if not _NAME_RE.match(key):
+            raise ConfigurationError(f"invalid label name {key!r}")
+        items.append((key, str(labels[key])))
+    return tuple(items)
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format rules."""
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def format_series_key(
+    name: str, labels: Union[LabelItems, Mapping[str, Any]]
+) -> str:
+    """The canonical series key, e.g. ``alerts_total{accepted="true"}``.
+
+    This is exactly the Prometheus exposition spelling, so snapshot keys
+    double as export lines. ``labels`` may be a mapping or the canonical
+    sorted ``(name, value)`` tuple form.
+    """
+    if isinstance(labels, Mapping):
+        labels = _label_items(labels)
+    if not labels:
+        return name
+    body = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return f"{name}{{{body}}}"
+
+
+def linear_buckets(start: float, width: float, count: int) -> Tuple[float, ...]:
+    """``count`` ascending bucket upper bounds: start, start+width, ...
+
+    Fixed, data-independent bounds are what make histogram merges exact;
+    never derive bounds from observed data.
+    """
+    if width <= 0 or count < 1:
+        raise ConfigurationError(
+            f"need width > 0 and count >= 1, got width={width}, count={count}"
+        )
+    return tuple(start + width * i for i in range(count))
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` geometrically growing bucket upper bounds."""
+    if start <= 0 or factor <= 1.0 or count < 1:
+        raise ConfigurationError(
+            "need start > 0, factor > 1, count >= 1, got "
+            f"start={start}, factor={factor}, count={count}"
+        )
+    return tuple(start * factor**i for i in range(count))
+
+
+class Counter:
+    """A monotonically increasing value (int increments stay int)."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (must be >= 0; counters never go down)."""
+        if n < 0:
+            raise ConfigurationError(f"counter increments must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (merges across snapshots by summation)."""
+
+    __slots__ = ("value",)
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        """Replace the gauge's value."""
+        self.value = value
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (gauges may move both ways)."""
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per upper bound plus sum/count.
+
+    ``counts`` has ``len(bounds) + 1`` entries; the last one is the
+    ``+Inf`` overflow bucket. Counts are *per bucket* (not cumulative);
+    the Prometheus exporter cumulates on the way out.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+    kind = "histogram"
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ConfigurationError(
+                f"histogram bounds must be non-empty and ascending, got {bounds}"
+            )
+        self.bounds = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready snapshot entry for this histogram."""
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Labelled instruments, registered on first use.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        registry.counter("alerts_total", accepted="true").inc()
+        registry.histogram("rtt_cycles", buckets=(1.0, 2.0), kind="exchange").observe(1.5)
+        registry.snapshot()
+
+    One metric *name* has one kind (and, for histograms, one bucket
+    layout) — re-registering with a mismatch raises. Instrument handles
+    are cheap to cache; hot paths should hold the handle rather than
+    re-resolve labels per event.
+    """
+
+    def __init__(self) -> None:
+        self._series: Dict[Tuple[str, LabelItems], Any] = {}
+        self._kinds: Dict[str, str] = {}
+        self._bounds: Dict[str, Tuple[float, ...]] = {}
+
+    def _get(self, kind: str, name: str, labels: Mapping[str, Any], factory) -> Any:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {known}, not {kind}"
+            )
+        key = (name, _label_items(labels))
+        instrument = self._series.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._series[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, /, **labels: Any) -> Counter:
+        """The counter series ``name{labels}`` (created on first use)."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, /, **labels: Any) -> Gauge:
+        """The gauge series ``name{labels}`` (created on first use)."""
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        """The histogram series ``name{labels}``.
+
+        ``buckets`` is required the first time a name is seen and must
+        match (or be omitted) on later calls — one name, one layout, so
+        merges stay well-defined.
+        """
+        known_bounds = self._bounds.get(name)
+        if known_bounds is None:
+            if buckets is None:
+                raise ConfigurationError(
+                    f"histogram {name!r} needs buckets on first registration"
+                )
+            self._bounds[name] = tuple(float(b) for b in buckets)
+        elif buckets is not None and tuple(float(b) for b in buckets) != known_bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} bucket mismatch: {known_bounds} vs {tuple(buckets)}"
+            )
+        bounds = self._bounds[name]
+        return self._get("histogram", name, labels, lambda: Histogram(bounds))
+
+    def clear_name(self, name: str) -> None:
+        """Drop every series of metric ``name`` (and its registration)."""
+        for key in [k for k in self._series if k[0] == name]:
+            del self._series[key]
+        self._kinds.pop(name, None)
+        self._bounds.pop(name, None)
+
+    def series(self) -> List[Tuple[str, LabelItems, Any]]:
+        """All registered series, sorted by (name, labels)."""
+        return [
+            (name, labels, self._series[(name, labels)])
+            for name, labels in sorted(self._series)
+        ]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Canonical JSON-ready dump: sorted, deterministic, mergeable.
+
+        Shape::
+
+            {"counters": {series_key: value},
+             "gauges": {series_key: value},
+             "histograms": {series_key: {"buckets": [...], "counts": [...],
+                                          "sum": s, "count": n}}}
+        """
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name, labels, instrument in self.series():
+            key = format_series_key(name, labels)
+            if instrument.kind == "histogram":
+                out["histograms"][key] = instrument.to_dict()
+            else:
+                out[instrument.kind + "s"][key] = instrument.value
+        return out
+
+
+def _sum_values(values: Iterable[Number]) -> Number:
+    """Order-insensitive sum: exact for ints, fsum-exact for floats."""
+    values = list(values)
+    if all(isinstance(v, int) for v in values):
+        return sum(values)
+    return math.fsum(values)
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Reduce snapshots into one; the result is itself a snapshot.
+
+    Counters and gauges sum per series; histogram bucket counts add
+    element-wise (bucket layouts must match). The reduction is
+    order-insensitive — any permutation of ``snapshots`` yields an
+    identical result — which is what lets worker-process registries
+    merge bit-identically to the serial run.
+
+    Raises:
+        ConfigurationError: two snapshots disagree on a histogram's
+            bucket layout.
+    """
+    counters: Dict[str, List[Number]] = {}
+    gauges: Dict[str, List[Number]] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for snap in snapshots:
+        for key, value in (snap.get("counters") or {}).items():
+            counters.setdefault(key, []).append(value)
+        for key, value in (snap.get("gauges") or {}).items():
+            gauges.setdefault(key, []).append(value)
+        for key, hist in (snap.get("histograms") or {}).items():
+            merged = histograms.get(key)
+            if merged is None:
+                histograms[key] = {
+                    "buckets": list(hist["buckets"]),
+                    "counts": list(hist["counts"]),
+                    "sums": [hist["sum"]],
+                    "count": int(hist["count"]),
+                }
+                continue
+            if merged["buckets"] != list(hist["buckets"]):
+                raise ConfigurationError(
+                    f"histogram {key!r}: bucket layouts differ across snapshots"
+                )
+            merged["counts"] = [
+                a + b for a, b in zip(merged["counts"], hist["counts"])
+            ]
+            merged["sums"].append(hist["sum"])
+            merged["count"] += int(hist["count"])
+    return {
+        "counters": {k: _sum_values(v) for k, v in sorted(counters.items())},
+        "gauges": {k: _sum_values(v) for k, v in sorted(gauges.items())},
+        "histograms": {
+            k: {
+                "buckets": h["buckets"],
+                "counts": h["counts"],
+                "sum": _sum_values(h["sums"]),
+                "count": h["count"],
+            }
+            for k, h in sorted(histograms.items())
+        },
+    }

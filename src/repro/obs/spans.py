@@ -1,0 +1,179 @@
+"""Hierarchical tracing spans over the simulation's dual timeline.
+
+A span is one named region of work — a trial, a pipeline phase, a
+runner task — carrying *both* clocks: wall time (``perf_counter``, for
+Chrome/Perfetto timelines and overhead analysis) and simulation time
+(engine cycles, for correlating with protocol events). Spans nest; the
+innermost open span names "where we were", which is what the experiment
+runner attaches to a :class:`~repro.experiments.runner.TrialError` when
+a trial dies mid-flight.
+
+Span begin/end markers are recorded into the existing
+:class:`repro.sim.trace.TraceRecorder` stream under a unified schema —
+kinds ``span.begin`` / ``span.end`` with ``span``/``id``/``parent``/
+``depth`` fields — so protocol events (deliveries, alerts, revocations)
+and timing structure interleave in one exportable event log.
+
+Nothing here draws randomness; an :class:`Observability` attached to a
+pipeline leaves every simulated result bit-identical (asserted in
+``tests/core/test_pipeline_observe.py``).
+
+Paper section: §4 (the evaluation phases the spans delimit)
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs.config import ObserveConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import TraceRecorder
+
+#: Attribute set on an exception by the innermost failing span/phase, so
+#: worker-side error capture can report where a trial died. First tagger
+#: wins — the innermost region.
+ACTIVE_SPAN_ATTR = "_repro_active_span"
+
+#: TraceRecorder event kinds of the unified span schema.
+SPAN_BEGIN = "span.begin"
+SPAN_END = "span.end"
+
+
+def tag_active_span(exc: BaseException, name: str) -> None:
+    """Attach ``name`` to ``exc`` unless an inner region already did."""
+    if not hasattr(exc, ACTIVE_SPAN_ATTR):
+        setattr(exc, ACTIVE_SPAN_ATTR, name)
+
+
+def active_span_of(exc: BaseException) -> str:
+    """The innermost span/phase name tagged onto ``exc`` ('' if none)."""
+    return getattr(exc, ACTIVE_SPAN_ATTR, "")
+
+
+@dataclass
+class _OpenSpan:
+    """Book-keeping for a span that has begun but not ended."""
+
+    name: str
+    span_id: int
+    parent_id: int
+    depth: int
+    t0_wall: float
+    t0_sim: float
+    attrs: Dict[str, Any]
+
+
+class Observability:
+    """Per-trial observability context: one registry plus a span stack.
+
+    Args:
+        config: feature switches (spans/metrics/histograms); defaults on.
+        registry: the metrics registry to use (fresh one by default).
+        trace: recorder span begin/end events are appended to; by
+            default a disabled recorder (spans still complete and are
+            exportable — only the event stream is suppressed).
+        sim_clock: zero-argument callable returning current simulation
+            time; the pipeline passes ``engine.now``.
+
+    Completed spans accumulate in :attr:`spans` as plain dicts (wall
+    offsets relative to this object's creation), ready for the Chrome
+    trace exporter.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ObserveConfig] = None,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        sim_clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.config = config if config is not None else ObserveConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.sim_clock = sim_clock if sim_clock is not None else (lambda: 0.0)
+        self.spans: List[Dict[str, Any]] = []
+        self._wall0 = time.perf_counter()
+        self._stack: List[_OpenSpan] = []
+        self._ids = itertools.count(1)
+
+    @property
+    def current_span(self) -> Optional[str]:
+        """Name of the innermost open span, or None outside any span."""
+        return self._stack[-1].name if self._stack else None
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Open a span for the duration of the ``with`` block.
+
+        Records ``span.begin``/``span.end`` trace events (at simulation
+        time), appends the completed span to :attr:`spans`, and — when
+        the block raises — tags the exception with this span's name
+        unless an inner span already claimed it.
+        """
+        open_span = _OpenSpan(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=self._stack[-1].span_id if self._stack else 0,
+            depth=len(self._stack),
+            t0_wall=time.perf_counter(),
+            t0_sim=self.sim_clock(),
+            attrs=dict(attrs),
+        )
+        self.trace.record(
+            open_span.t0_sim,
+            SPAN_BEGIN,
+            span=name,
+            id=open_span.span_id,
+            parent=open_span.parent_id,
+            depth=open_span.depth,
+            **open_span.attrs,
+        )
+        self._stack.append(open_span)
+        try:
+            yield
+        except BaseException as exc:
+            tag_active_span(exc, name)
+            raise
+        finally:
+            self._stack.pop()
+            t1_wall = time.perf_counter()
+            t1_sim = self.sim_clock()
+            self.trace.record(
+                t1_sim,
+                SPAN_END,
+                span=name,
+                id=open_span.span_id,
+                parent=open_span.parent_id,
+                depth=open_span.depth,
+                wall_s=t1_wall - open_span.t0_wall,
+            )
+            self.spans.append(
+                {
+                    "name": name,
+                    "id": open_span.span_id,
+                    "parent": open_span.parent_id,
+                    "depth": open_span.depth,
+                    "t0_wall_s": open_span.t0_wall - self._wall0,
+                    "dur_wall_s": t1_wall - open_span.t0_wall,
+                    "t0_sim": open_span.t0_sim,
+                    "t1_sim": t1_sim,
+                    "attrs": open_span.attrs,
+                }
+            )
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Registry snapshot plus completed spans, as one JSON-ready dict."""
+        return {
+            "registry": self.registry.snapshot(),
+            "spans": [dict(span) for span in self.spans],
+        }

@@ -91,6 +91,16 @@ class Engine:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
 
+    def record_metrics(self, registry: Any) -> None:
+        """Flush engine totals into a metrics registry (end of trial).
+
+        Emits ``sim_events_total`` (events executed) and the
+        ``sim_events_pending`` gauge (events still queued — nonzero means
+        the run stopped before the calendar drained, e.g. on a budget).
+        """
+        registry.counter("sim_events_total").inc(self._events_processed)
+        registry.gauge("sim_events_pending").inc(len(self._queue))
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

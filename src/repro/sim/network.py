@@ -168,6 +168,11 @@ class Network:
         #: Hot-path operation counters (distance evals, cells visited,
         #: queries, deliveries) — cheap enough to always stay on.
         self.stats = NetworkCounters()
+        #: Optional observability hook: called as ``rtt_observer(rtt,
+        #: requester)`` with every RTT the network hands out (after any
+        #: fault perturbation — observers see what the node sees). The
+        #: pipeline wires this to its ``rtt_cycles`` histogram; RNG-free.
+        self.rtt_observer: Optional[Callable[[float, Node], None]] = None
         # Wormhole-endpoint proximity cache: beacon ids within range of
         # each tunnel endpoint, recomputed lazily whenever the topology
         # version moves (node added / moved, wormhole installed).
@@ -630,11 +635,17 @@ class Network:
             start_time=self.engine.now(),
         )
         injector = self.fault_injector
+        rtt = sample.rtt
         if injector is not None and injector.perturbs_rtt():
-            return injector.perturb_rtt(
-                sample.rtt, observer_id=requester.node_id
-            )
-        return sample.rtt
+            rtt = injector.perturb_rtt(sample.rtt, observer_id=requester.node_id)
+        if self.rtt_observer is not None:
+            self.rtt_observer(rtt, requester)
+        return rtt
+
+    def record_metrics(self, registry) -> None:
+        """Flush the hot-path counters into a metrics registry as
+        ``net_*_total`` series (end of trial)."""
+        self.stats.record_metrics(registry)
 
     def wormhole_between(self, a: Point, b: Point) -> Optional[WormholeLink]:
         """The tunnel that connects the neighbourhoods of ``a`` and ``b``."""

@@ -152,6 +152,11 @@ class ReliableChannel:
         """Messages whose retry budget was exhausted."""
         return self.counters.failed
 
+    def record_metrics(self, registry) -> None:
+        """Flush ARQ counters into a metrics registry as
+        ``arq_*_total{channel=<name>}`` series (end of trial)."""
+        self.counters.record_metrics(registry, channel=self.name)
+
     def _attempt_round_trip(self) -> bool:
         if not self.loss.attempt_succeeds():
             return False

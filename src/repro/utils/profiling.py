@@ -7,12 +7,23 @@ per phase plus integer counters for the operations the spatial index is
 meant to reduce (distance evaluations, grid cells visited, spatial
 queries, deliveries, probes).
 
+Since the observability layer landed, :class:`PhaseProfile` is a *view*
+over a private :class:`repro.obs.metrics.MetricsRegistry`: phase times
+live in ``profile_phase_seconds{phase=...}`` gauges and counters in
+``profile_count{name=...}`` gauges, while the historical dict-shaped API
+(``phase_seconds``, ``counters``, ``to_dict``, :func:`merge_profiles`)
+is preserved as properties, so ``--profile`` consumers keep working
+unchanged. The profile registry is deliberately *not* the pipeline's
+observability registry — wall-clock data is nondeterministic and must
+stay out of the mergeable metrics stream (see
+:mod:`repro.obs.metrics`).
+
 Design constraints:
 
-- **Cheap enough to stay on.** A counter bump is one attribute
-  increment; a phase is two ``perf_counter`` calls. The pipeline keeps a
-  :class:`PhaseProfile` unconditionally, so profiles are available
-  without a special build.
+- **Cheap enough to stay on.** A counter bump is one gauge increment on
+  a cached handle; a phase is two ``perf_counter`` calls. The pipeline
+  keeps a :class:`PhaseProfile` unconditionally, so profiles are
+  available without a special build.
 - **Mergeable across processes.** Profiles serialize to plain dicts
   (:meth:`PhaseProfile.to_dict`) and :func:`merge_profiles` sums any
   number of them, which is how
@@ -24,8 +35,15 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, Mapping
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import tag_active_span
+
+#: Registry metric names backing a :class:`PhaseProfile`.
+PHASE_METRIC = "profile_phase_seconds"
+COUNT_METRIC = "profile_count"
 
 
 @dataclass
@@ -54,6 +72,13 @@ class NetworkCounters:
             "spatial_queries": self.spatial_queries,
             "deliveries": self.deliveries,
         }
+
+    def record_metrics(self, registry: MetricsRegistry) -> None:
+        """Flush the accumulated counts into ``registry`` (end of trial)."""
+        registry.counter("net_distance_evals_total").inc(self.distance_evals)
+        registry.counter("net_grid_cells_visited_total").inc(self.grid_cells_visited)
+        registry.counter("net_spatial_queries_total").inc(self.spatial_queries)
+        registry.counter("net_deliveries_total").inc(self.deliveries)
 
 
 @dataclass
@@ -89,8 +114,15 @@ class ChannelCounters:
             f"{prefix}failed": self.failed,
         }
 
+    def record_metrics(self, registry: MetricsRegistry, *, channel: str) -> None:
+        """Flush into ``registry`` as ``arq_*_total{channel=...}`` series."""
+        registry.counter("arq_sends_total", channel=channel).inc(self.sends)
+        registry.counter("arq_attempts_total", channel=channel).inc(self.attempts)
+        registry.counter("arq_retries_total", channel=channel).inc(self.retries)
+        registry.counter("arq_delivered_total", channel=channel).inc(self.delivered)
+        registry.counter("arq_failed_total", channel=channel).inc(self.failed)
 
-@dataclass
+
 class PhaseProfile:
     """Accumulated wall-clock per named phase plus integer counters.
 
@@ -102,24 +134,72 @@ class PhaseProfile:
         profile.count("probes", 42)
         profile.to_dict()
         # {"phases": {"detection": 0.93}, "counters": {"probes": 42}}
+
+    The data lives in a private metrics registry (:attr:`registry`);
+    ``phase_seconds`` and ``counters`` are dict *views* kept for
+    backward compatibility (assignment replaces the backing series).
+    A phase body that raises tags the exception with the phase name
+    (see :func:`repro.obs.spans.tag_active_span`), so the experiment
+    runner can report where a trial died even with spans disabled.
     """
 
-    phase_seconds: Dict[str, float] = field(default_factory=dict)
-    counters: Dict[str, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        phase_seconds: Optional[Mapping[str, float]] = None,
+        counters: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.registry = MetricsRegistry()
+        if phase_seconds:
+            self.phase_seconds = dict(phase_seconds)
+        if counters:
+            self.counters = dict(counters)
+
+    @property
+    def phase_seconds(self) -> Dict[str, float]:
+        """Accumulated wall seconds per phase name (a fresh dict)."""
+        return {
+            labels[0][1]: instrument.value
+            for name, labels, instrument in self.registry.series()
+            if name == PHASE_METRIC
+        }
+
+    @phase_seconds.setter
+    def phase_seconds(self, values: Mapping[str, float]) -> None:
+        self.registry.clear_name(PHASE_METRIC)
+        for name, seconds in values.items():
+            self.registry.gauge(PHASE_METRIC, phase=name).set(float(seconds))
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Accumulated counter values per name (a fresh dict)."""
+        return {
+            labels[0][1]: instrument.value
+            for name, labels, instrument in self.registry.series()
+            if name == COUNT_METRIC
+        }
+
+    @counters.setter
+    def counters(self, values: Mapping[str, int]) -> None:
+        self.registry.clear_name(COUNT_METRIC)
+        for name, n in values.items():
+            self.registry.gauge(COUNT_METRIC, name=name).inc(n)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a ``with`` block under ``name`` (re-entries accumulate)."""
+        gauge = self.registry.gauge(PHASE_METRIC, phase=name)
         start = time.perf_counter()
         try:
             yield
+        except BaseException as exc:
+            tag_active_span(exc, name)
+            raise
         finally:
-            elapsed = time.perf_counter() - start
-            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            gauge.inc(time.perf_counter() - start)
 
     def count(self, name: str, n: int = 1) -> None:
         """Add ``n`` to the counter ``name`` (created on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        self.registry.gauge(COUNT_METRIC, name=name).inc(n)
 
     @property
     def total_seconds(self) -> float:
@@ -129,8 +209,8 @@ class PhaseProfile:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-serializable snapshot: ``{"phases": ..., "counters": ...}``."""
         return {
-            "phases": dict(self.phase_seconds),
-            "counters": dict(self.counters),
+            "phases": self.phase_seconds,
+            "counters": self.counters,
         }
 
 

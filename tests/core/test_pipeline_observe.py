@@ -1,0 +1,166 @@
+"""Pipeline-level guarantees of the observability layer.
+
+The contract under test:
+
+- **off = bit-identical**: ``observe=None`` and an observed run draw the
+  same random numbers, so the :class:`PipelineResult` matches exactly —
+  across seeds, wormhole placement, and fault injection;
+- observation is *additive*: the observed run also yields spans for
+  every phase, Figure-4-style RTT histograms, and the §3.1 alert/report
+  counters via ``telemetry()``;
+- ``telemetry()`` on an unobserved pipeline is an empty dict, not an
+  error.
+"""
+
+import pytest
+
+from repro.core.pipeline import (
+    PipelineConfig,
+    SecureLocalizationPipeline,
+)
+from repro.faults import FaultConfig
+from repro.obs import ObserveConfig
+
+
+def small_config(**overrides):
+    """A scaled-down deployment that keeps tests fast."""
+    defaults = dict(
+        n_total=220,
+        n_beacons=40,
+        n_malicious=4,
+        field_width_ft=500.0,
+        field_height_ft=500.0,
+        m_detecting_ids=4,
+        rtt_calibration_samples=500,
+        wormhole_endpoints=((50.0, 50.0), (400.0, 350.0)),
+        seed=5,
+    )
+    defaults.update(overrides)
+    return PipelineConfig(**defaults)
+
+
+SCENARIOS = [
+    pytest.param(dict(seed=5), id="wormhole-seed5"),
+    pytest.param(dict(seed=17), id="wormhole-seed17"),
+    pytest.param(dict(seed=5, wormhole_endpoints=None), id="benign-seed5"),
+    pytest.param(
+        dict(seed=5, faults=FaultConfig(packet_loss_rate=0.2)),
+        id="faulted-seed5",
+    ),
+    pytest.param(
+        dict(
+            seed=17,
+            faults=FaultConfig(packet_loss_rate=0.1, rtt_jitter_cycles=10.0),
+        ),
+        id="faulted-seed17",
+    ),
+]
+
+
+class TestObserveOffBitIdentical:
+    @pytest.mark.parametrize("overrides", SCENARIOS)
+    def test_observed_equals_unobserved(self, overrides):
+        baseline = SecureLocalizationPipeline(small_config(**overrides)).run()
+        observed = SecureLocalizationPipeline(
+            small_config(observe=ObserveConfig(), **overrides)
+        ).run()
+        assert observed == baseline
+
+    def test_unobserved_telemetry_is_empty(self):
+        pipeline = SecureLocalizationPipeline(small_config())
+        pipeline.run()
+        assert pipeline.telemetry() == {}
+
+
+class TestObservedTelemetry:
+    @pytest.fixture(scope="class")
+    def telemetry(self):
+        pipeline = SecureLocalizationPipeline(
+            small_config(observe=ObserveConfig())
+        )
+        pipeline.run()
+        return pipeline.telemetry()
+
+    def test_every_phase_has_a_span(self, telemetry):
+        names = {span["name"] for span in telemetry["spans"]}
+        assert names == {
+            "trial",
+            "phase:build",
+            "phase:collusion",
+            "phase:detection",
+            "phase:notices",
+            "phase:localization",
+            "phase:metrics",
+        }
+
+    def test_trial_span_is_root(self, telemetry):
+        trial = [s for s in telemetry["spans"] if s["name"] == "trial"][0]
+        assert trial["parent"] == 0
+        phases = [s for s in telemetry["spans"] if s["name"] != "trial"]
+        assert all(span["parent"] == trial["id"] for span in phases)
+
+    def test_rtt_histograms_present(self, telemetry):
+        histograms = telemetry["registry"]["histograms"]
+        calibration = histograms['rtt_cycles{kind="calibration"}']
+        exchange = histograms['rtt_cycles{kind="exchange"}']
+        assert calibration["count"] == 500  # rtt_calibration_samples
+        assert exchange["count"] > 0
+        # The honest-RTT band (~15.5-17.2k cycles) lands inside the fixed
+        # bucket layout, not in the +Inf overflow slot.
+        assert calibration["counts"][-1] == 0
+
+    def test_section3_counters_present(self, telemetry):
+        counters = telemetry["registry"]["counters"]
+        accepted = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("alerts_total{") and 'accepted="true"' in key
+        )
+        assert accepted > 0
+        assert counters["revocations_total"] > 0
+        assert counters["probes_sent_total"] > 0
+        assert counters["sim_events_total"] > 0
+        assert counters["net_deliveries_total"] > 0
+
+    def test_report_counters_present(self, telemetry):
+        gauges = telemetry["registry"]["gauges"]
+        assert any(key.startswith("bs_alert_counter{") for key in gauges)
+        assert any(key.startswith("bs_report_counter{") for key in gauges)
+
+    def test_span_events_in_event_stream(self, telemetry):
+        kinds = [event["kind"] for event in telemetry["events"]]
+        assert kinds.count("span.begin") == 7
+        assert kinds.count("span.end") == 7
+
+
+class TestObserveKnobs:
+    def test_spans_off_metrics_on(self):
+        pipeline = SecureLocalizationPipeline(
+            small_config(observe=ObserveConfig(spans=False))
+        )
+        pipeline.run()
+        telemetry = pipeline.telemetry()
+        assert telemetry["spans"] == []
+        assert telemetry["registry"]["counters"]
+
+    def test_rtt_histograms_off(self):
+        pipeline = SecureLocalizationPipeline(
+            small_config(observe=ObserveConfig(rtt_histograms=False))
+        )
+        pipeline.run()
+        histograms = pipeline.telemetry()["registry"]["histograms"]
+        assert histograms == {}
+
+    def test_per_node_rtt_labels(self):
+        pipeline = SecureLocalizationPipeline(
+            small_config(observe=ObserveConfig(per_node_rtt=True))
+        )
+        pipeline.run()
+        histograms = pipeline.telemetry()["registry"]["histograms"]
+        assert any("node=" in key for key in histograms)
+
+    def test_observe_rejects_non_config(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            small_config(observe={"spans": True})

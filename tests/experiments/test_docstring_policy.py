@@ -2,13 +2,14 @@
 
 Mirrors the ruff pydocstyle configuration in ``pyproject.toml`` (rules
 D100/D101/D103 scoped to ``src/repro/core``, ``src/repro/experiments``,
-and ``src/repro/faults``) so the policy is enforced in plain pytest runs
-even where ruff is not installed. Additionally, every ``repro.core`` and
-``repro.faults`` module must carry a ``Paper section:`` reference line
-tying it back to the source paper — the fault models exist to stress
-specific paper assumptions, and the citation is the map. The ARQ module
-``sim/reliable.py`` (the §3.2 retransmission machinery) is covered
-explicitly alongside the packages.
+``src/repro/faults``, and ``src/repro/obs``) so the policy is enforced
+in plain pytest runs even where ruff is not installed. Additionally,
+every ``repro.core``, ``repro.faults``, and ``repro.obs`` module must
+carry a ``Paper section:`` reference line tying it back to the source
+paper — the fault models exist to stress specific paper assumptions, the
+observability layer to measure them, and the citation is the map. The
+ARQ module ``sim/reliable.py`` (the §3.2 retransmission machinery) is
+covered explicitly alongside the packages.
 """
 
 import ast
@@ -19,7 +20,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-SCOPED_PACKAGES = ("core", "experiments", "faults")
+SCOPED_PACKAGES = ("core", "experiments", "faults", "obs")
 #: Individually covered modules outside the scoped packages: package-level
 #: rules applied, keyed by the package whose extra rules apply.
 EXTRA_MODULES = (("core", SRC / "sim" / "reliable.py"),)
@@ -53,10 +54,10 @@ def test_module_docstring_policy(package, path):
                 f"{path}: public {node.name!r} has no docstring"
             )
 
-    # Core and faults modules (and sim/reliable.py, which implements the
-    # §3.2 retransmission assumption) additionally cite the paper
-    # section they implement or stress.
-    if package in ("core", "faults"):
+    # Core, faults, and obs modules (and sim/reliable.py, which
+    # implements the §3.2 retransmission assumption) additionally cite
+    # the paper section they implement, stress, or measure.
+    if package in ("core", "faults", "obs"):
         assert "Paper section:" in docstring, (
             f"{path}: module docstring lacks a 'Paper section:' line"
         )

@@ -1,0 +1,187 @@
+"""Exporters: Prometheus text, Chrome trace JSON, JSONL event log.
+
+Every exported artifact must also satisfy ``tools/check_telemetry.py``
+(the stdlib validator CI runs), so the last test drives the real files
+through the real checker via subprocess.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    chrome_trace,
+    events_jsonl_lines,
+    prometheus_text,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_prometheus,
+)
+from repro.sim.trace import TraceRecorder
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_telemetry.py"
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("alerts_total", accepted="true").inc(3)
+    registry.counter("alerts_total", accepted="false").inc(1)
+    registry.gauge("pending").set(2.5)
+    histogram = registry.histogram("rtt_cycles", buckets=(10.0, 20.0))
+    for value in (5.0, 15.0, 99.0):
+        histogram.observe(value)
+    return registry
+
+
+def _sample_trial(key="trial:seed0", index=0):
+    trace = TraceRecorder(enabled=True)
+    clock = {"now": 0.0}
+    obs = Observability(trace=trace, sim_clock=lambda: clock["now"])
+    with obs.span("trial", seed=0):
+        with obs.span("phase:build"):
+            clock["now"] = 10.0
+        with obs.span("phase:detection"):
+            clock["now"] = 30.0
+    payload = obs.telemetry()
+    payload["events"] = [event.to_dict() for event in trace]
+    return {"key": key, "index": index, **payload}
+
+
+class TestPrometheusText:
+    def test_type_lines_and_samples(self):
+        text = prometheus_text(_sample_registry().snapshot())
+        lines = text.splitlines()
+        assert "# TYPE alerts_total counter" in lines
+        assert 'alerts_total{accepted="true"} 3' in lines
+        assert "# TYPE pending gauge" in lines
+        assert "pending 2.5" in lines
+
+    def test_histogram_cumulative_buckets(self):
+        text = prometheus_text(_sample_registry().snapshot())
+        lines = text.splitlines()
+        assert 'rtt_cycles_bucket{le="10"} 1' in lines
+        assert 'rtt_cycles_bucket{le="20"} 2' in lines
+        assert 'rtt_cycles_bucket{le="+Inf"} 3' in lines
+        assert "rtt_cycles_count 3" in lines
+        assert "rtt_cycles_sum 119.0" in lines
+
+    def test_type_line_emitted_once_per_name(self):
+        text = prometheus_text(_sample_registry().snapshot())
+        assert text.count("# TYPE alerts_total counter") == 1
+
+
+class TestChromeTrace:
+    def test_events_and_metadata(self):
+        data = chrome_trace([_sample_trial()])
+        events = data["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert metadata[0]["args"]["name"] == "trial:seed0"
+        assert metadata[0]["pid"] == 1
+        assert {e["name"] for e in complete} == {
+            "trial",
+            "phase:build",
+            "phase:detection",
+        }
+        for event in complete:
+            assert event["ts"] >= 0
+            assert event["dur"] >= 0
+
+    def test_concurrent_root_spans_get_own_lanes(self):
+        # Two runner task spans that overlap in wall time (2 workers)
+        # must land on different tids — Chrome lanes require nesting.
+        runner_trial = {
+            "key": "runner",
+            "index": -1,
+            "spans": [
+                {
+                    "name": "task:a",
+                    "id": 1,
+                    "parent": 0,
+                    "depth": 0,
+                    "t0_wall_s": 0.0,
+                    "dur_wall_s": 2.0,
+                    "t0_sim": 0.0,
+                    "t1_sim": 0.0,
+                    "attrs": {},
+                },
+                {
+                    "name": "task:b",
+                    "id": 2,
+                    "parent": 0,
+                    "depth": 0,
+                    "t0_wall_s": 1.0,
+                    "dur_wall_s": 2.0,
+                    "t0_sim": 0.0,
+                    "t1_sim": 0.0,
+                    "attrs": {},
+                },
+            ],
+        }
+        data = chrome_trace([runner_trial])
+        tids = [e["tid"] for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(set(tids)) == 2
+
+    def test_nested_spans_share_their_root_lane(self):
+        data = chrome_trace([_sample_trial()])
+        tids = {e["tid"] for e in data["traceEvents"] if e["ph"] == "X"}
+        assert len(tids) == 1  # one trial root -> one lane
+
+    def test_sim_times_in_args(self):
+        data = chrome_trace([_sample_trial()])
+        by_name = {
+            e["name"]: e for e in data["traceEvents"] if e["ph"] == "X"
+        }
+        assert by_name["phase:build"]["args"]["sim_t0"] == 0.0
+        assert by_name["phase:build"]["args"]["sim_t1"] == 10.0
+        assert by_name["trial"]["args"]["sim_t1"] == 30.0
+
+
+class TestEventsJsonl:
+    def test_one_json_object_per_line(self):
+        lines = list(events_jsonl_lines([_sample_trial()]))
+        assert len(lines) == 6  # three spans x begin+end
+        for line in lines:
+            event = json.loads(line)
+            assert event["trial"] == "trial:seed0"
+            assert "kind" in event and "time" in event
+
+
+class TestCheckerIntegration:
+    def test_exported_files_pass_check_telemetry(self, tmp_path):
+        trials = [_sample_trial("trial:seed0", 0), _sample_trial("trial:seed1", 1)]
+        prom = write_prometheus(
+            tmp_path / "metrics.prom", _sample_registry().snapshot()
+        )
+        chrome = write_chrome_trace(tmp_path / "trace.json", trials)
+        jsonl = write_events_jsonl(tmp_path / "trace.jsonl", trials)
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(CHECKER),
+                "--chrome",
+                str(chrome),
+                "--jsonl",
+                str(jsonl),
+                "--prom",
+                str(prom),
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 0, result.stderr + result.stdout
+
+    def test_checker_rejects_defects(self, tmp_path):
+        bad_prom = tmp_path / "bad.prom"
+        bad_prom.write_text("# TYPE x counter\nx -3\n")
+        result = subprocess.run(
+            [sys.executable, str(CHECKER), "--prom", str(bad_prom)],
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 1
+        assert "negative counter" in result.stderr

@@ -1,0 +1,236 @@
+"""MetricsRegistry: instruments, snapshots, and order-insensitive merge.
+
+The merge contract is the load-bearing one: worker registries reduced in
+*any* order must equal the serial registry bit-for-bit, or parallel runs
+would stop being reproducible. The property tests below exercise
+commutativity, associativity, and serial equality over seeded random
+workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series_key,
+    linear_buckets,
+    exponential_buckets,
+    merge_snapshots,
+)
+
+
+class TestSeriesKeys:
+    def test_no_labels(self):
+        assert format_series_key("events_total", {}) == "events_total"
+
+    def test_labels_sorted(self):
+        key = format_series_key("rtt", {"node": "n1", "kind": "exchange"})
+        assert key == 'rtt{kind="exchange",node="n1"}'
+
+    def test_label_values_escaped(self):
+        key = format_series_key("x", {"path": 'a\\b"c\nd'})
+        assert key == 'x{path="a\\\\b\\"c\\nd"}'
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("bad name")
+
+    def test_label_named_name_allowed(self):
+        # `name` is positional-only on the instrument factories precisely
+        # so a label may be called `name`.
+        registry = MetricsRegistry()
+        registry.counter("profile_count", name="deliveries").inc(3)
+        assert registry.snapshot()["counters"] == {
+            'profile_count{name="deliveries"}': 3
+        }
+
+
+class TestInstruments:
+    def test_counter_monotone(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_counter_int_stays_int(self):
+        counter = Counter()
+        counter.inc(2)
+        assert isinstance(counter.value, int)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge()
+        gauge.set(1.5)
+        gauge.inc(-0.5)
+        assert gauge.value == 1.0
+
+    def test_histogram_buckets(self):
+        histogram = Histogram(bounds=(1.0, 2.0, 3.0))
+        for value in (0.5, 1.5, 1.6, 2.5, 99.0):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert data["counts"] == [1, 2, 1, 1]  # last slot = +Inf overflow
+        assert data["count"] == 5
+        assert data["sum"] == pytest.approx(0.5 + 1.5 + 1.6 + 2.5 + 99.0)
+
+    def test_histogram_same_handle_for_same_series(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("rtt", buckets=(1.0, 2.0))
+        again = registry.histogram("rtt")
+        assert first is again
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("rtt", buckets=(1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("rtt", buckets=(1.0, 3.0))
+
+    def test_kind_clash_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_bucket_helpers(self):
+        assert linear_buckets(0.0, 10.0, 3) == (0.0, 10.0, 20.0)
+        assert exponential_buckets(1.0, 2.0, 4) == (1.0, 2.0, 4.0, 8.0)
+
+
+def _random_registry(rng):
+    """A registry filled with a random-but-seeded workload."""
+    registry = MetricsRegistry()
+    for _ in range(rng.randrange(1, 30)):
+        which = rng.randrange(3)
+        node = f"n{rng.randrange(4)}"
+        # Dyadic values keep every float sum exact, so nested merges
+        # (associativity) compare bit-for-bit.
+        if which == 0:
+            registry.counter("events_total", node=node).inc(rng.randrange(5))
+        elif which == 1:
+            registry.gauge("pending", node=node).inc(rng.randrange(-8, 9) * 0.25)
+        else:
+            registry.histogram(
+                "rtt", buckets=(10.0, 20.0, 30.0), node=node
+            ).observe(rng.randrange(0, 160) * 0.25)
+    return registry
+
+
+class TestMergeProperties:
+    """merge(any permutation of worker snapshots) == serial, exactly."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_merge_equals_serial(self, seed):
+        rng = random.Random(seed)
+        workloads = [
+            [
+                (rng.randrange(3), f"n{rng.randrange(3)}", rng.randrange(1, 5))
+                for _ in range(rng.randrange(1, 25))
+            ]
+            for _ in range(rng.randrange(2, 6))
+        ]
+
+        def apply(registry, workload):
+            for which, node, amount in workload:
+                if which == 0:
+                    registry.counter("events_total", node=node).inc(amount)
+                elif which == 1:
+                    registry.gauge("pending", node=node).inc(amount * 0.25)
+                else:
+                    # Dyadic values: incremental float addition is then
+                    # exact, so the single-registry serial run matches
+                    # the fsum-based merge bit-for-bit.
+                    registry.histogram(
+                        "rtt", buckets=(1.0, 2.0, 4.0), node=node
+                    ).observe(amount * 0.5)
+
+        serial = MetricsRegistry()
+        for workload in workloads:
+            apply(serial, workload)
+
+        workers = []
+        for workload in workloads:
+            worker = MetricsRegistry()
+            apply(worker, workload)
+            workers.append(worker.snapshot())
+
+        expected = serial.snapshot()
+        for trial in range(6):
+            shuffled = list(workers)
+            random.Random(100 + trial).shuffle(shuffled)
+            assert merge_snapshots(shuffled) == expected
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_merge_commutative(self, seed):
+        rng = random.Random(seed)
+        a = _random_registry(rng).snapshot()
+        b = _random_registry(rng).snapshot()
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    @pytest.mark.parametrize("seed", [20, 21, 22])
+    def test_merge_associative(self, seed):
+        rng = random.Random(seed)
+        a = _random_registry(rng).snapshot()
+        b = _random_registry(rng).snapshot()
+        c = _random_registry(rng).snapshot()
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+
+    def test_merge_idempotent_on_empty(self):
+        assert merge_snapshots([]) == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_merge_int_counters_stay_int(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc(3)
+        merged = merge_snapshots([registry.snapshot()] * 3)
+        assert merged["counters"]["x"] == 9
+        assert isinstance(merged["counters"]["x"], int)
+
+    def test_merge_rejects_bucket_layout_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("rtt", buckets=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("rtt", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(2.0)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert snapshot["histograms"]["h"]["buckets"] == [1.0]
+        assert snapshot["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", node="n1").inc(2)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        round_tripped = json.loads(json.dumps(registry.snapshot()))
+        assert round_tripped == registry.snapshot()
+
+    def test_clear_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", phase="a").set(1.0)
+        registry.gauge("g", phase="b").set(2.0)
+        registry.counter("keep").inc()
+        registry.clear_name("g")
+        snapshot = registry.snapshot()
+        assert snapshot["gauges"] == {}
+        assert snapshot["counters"] == {"keep": 1}

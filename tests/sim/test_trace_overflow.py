@@ -1,0 +1,87 @@
+"""TraceRecorder overflow: dropped counter, warn-once, spill-to-JSONL.
+
+Before this layer existed the recorder silently discarded events past
+``capacity`` — a run could look healthy while missing the evidence. The
+contract now: overflow is counted (``dropped``), warned about exactly
+once, and optionally preserved by spilling to a JSONL sink.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+def _fill(recorder, n, kind="tick"):
+    for i in range(n):
+        recorder.record(float(i), kind, seq=i)
+
+
+class TestDropCounting:
+    def test_drops_counted_past_capacity(self):
+        recorder = TraceRecorder(enabled=True, capacity=3)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            _fill(recorder, 10)
+        assert len(recorder) == 3
+        assert recorder.dropped == 7
+        assert recorder.spilled == 0
+
+    def test_no_drops_under_capacity(self):
+        recorder = TraceRecorder(enabled=True, capacity=10)
+        _fill(recorder, 5)
+        assert recorder.dropped == 0
+
+    def test_clear_resets_overflow_state(self):
+        recorder = TraceRecorder(enabled=True, capacity=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            _fill(recorder, 3)
+        recorder.clear()
+        assert recorder.dropped == 0
+        with pytest.warns(RuntimeWarning):
+            _fill(recorder, 3)  # warn-once latch reset too
+
+
+class TestWarnOnce:
+    def test_warns_exactly_once(self):
+        recorder = TraceRecorder(enabled=True, capacity=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _fill(recorder, 8)
+        overflow_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(overflow_warnings) == 1
+        assert "capacity 2 reached" in str(overflow_warnings[0].message)
+
+    def test_warning_mentions_spill_hint_without_sink(self):
+        recorder = TraceRecorder(enabled=True, capacity=1)
+        with pytest.warns(RuntimeWarning, match="spill_path"):
+            _fill(recorder, 2)
+
+
+class TestSpill:
+    def test_overflow_spills_to_jsonl(self, tmp_path):
+        spill = tmp_path / "spill.jsonl"
+        recorder = TraceRecorder(enabled=True, capacity=2, spill_path=spill)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            _fill(recorder, 5)
+        recorder.close()
+        assert recorder.spilled == 3
+        assert recorder.dropped == 0
+        lines = spill.read_text().splitlines()
+        assert len(lines) == 3
+        first = json.loads(lines[0])
+        assert first["kind"] == "tick"
+        assert first["seq"] == 2  # in-memory kept 0 and 1
+
+    def test_spill_file_created_lazily(self, tmp_path):
+        spill = tmp_path / "nested" / "spill.jsonl"
+        recorder = TraceRecorder(enabled=True, capacity=10, spill_path=spill)
+        _fill(recorder, 3)
+        recorder.close()
+        assert not spill.exists()  # never overflowed, never opened

@@ -1,0 +1,266 @@
+#!/usr/bin/env python3
+"""Validate exported telemetry: Chrome trace, JSONL event log, Prometheus dump.
+
+Stdlib-only, so CI (and anyone without the package installed) can sanity-
+check the artifacts a ``--trace-out``/``--metrics-out`` run produced:
+
+- **Chrome trace** (``--chrome``): a JSON object with a ``traceEvents``
+  list; every ``"X"`` event has non-negative ``ts``/``dur`` and numeric
+  ``pid``/``tid``; within each ``(pid, tid)`` lane, spans nest properly
+  (a span begun inside another ends inside it).
+- **JSONL event log** (``--jsonl``): every line is a JSON object with
+  ``trial``/``time``/``kind``; per trial, ``span.begin``/``span.end``
+  markers balance like parentheses with matching ids and depths, and
+  span-marker sim-times never decrease.
+- **Prometheus text** (``--prom``): comment/TYPE lines are well-formed;
+  every sample line parses as ``name{labels} value``; counter and
+  histogram samples are >= 0; per histogram series, ``_bucket``
+  cumulative counts are monotone in ``le`` and the ``+Inf`` bucket
+  equals ``_count``.
+
+Exit code 0 when every provided artifact validates; 1 with a message per
+defect otherwise.
+
+Usage::
+
+    python tools/check_telemetry.py --chrome out/trace.json \
+        --jsonl out/trace.jsonl --prom out/metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from typing import Dict, List, Tuple
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LE_RE = re.compile(r'le="([^"]+)"')
+
+
+def check_chrome(path: pathlib.Path, problems: List[str]) -> None:
+    """Validate a Chrome/Perfetto trace JSON file."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        problems.append(f"{path}: unreadable or invalid JSON: {exc}")
+        return
+    events = data.get("traceEvents") if isinstance(data, dict) else None
+    if not isinstance(events, list):
+        problems.append(f"{path}: no traceEvents list")
+        return
+    spans: Dict[Tuple[int, int], List[Tuple[float, float]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"{path}: traceEvents[{i}] is not an object")
+            continue
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        if phase != "X":
+            problems.append(f"{path}: traceEvents[{i}] has unknown ph {phase!r}")
+            continue
+        ts, dur = event.get("ts"), event.get("dur")
+        pid, tid = event.get("pid"), event.get("tid")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{path}: traceEvents[{i}] bad ts {ts!r}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            problems.append(f"{path}: traceEvents[{i}] bad dur {dur!r}")
+            continue
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"{path}: traceEvents[{i}] bad pid/tid")
+            continue
+        spans.setdefault((pid, tid), []).append((float(ts), float(ts + dur)))
+    for lane, intervals in spans.items():
+        # Proper nesting: sorted by start, every pair either nests or is
+        # disjoint (tiny float slop for microsecond rounding).
+        intervals.sort()
+        stack: List[Tuple[float, float]] = []
+        for start, end in intervals:
+            while stack and start >= stack[-1][1] - 1e-6:
+                stack.pop()
+            if stack and end > stack[-1][1] + 1e-6:
+                problems.append(
+                    f"{path}: lane {lane}: span [{start}, {end}] overlaps "
+                    f"but does not nest inside [{stack[-1][0]}, {stack[-1][1]}]"
+                )
+            stack.append((start, end))
+
+
+def check_jsonl(path: pathlib.Path, problems: List[str]) -> None:
+    """Validate a JSONL event log (span balance + monotone sim time)."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        problems.append(f"{path}: unreadable: {exc}")
+        return
+    if not lines:
+        problems.append(f"{path}: empty event log")
+        return
+    stacks: Dict[str, List[Tuple[int, int]]] = {}
+    last_time: Dict[str, float] = {}
+    for lineno, line in enumerate(lines, 1):
+        try:
+            event = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"{path}:{lineno}: invalid JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            problems.append(f"{path}:{lineno}: not a JSON object")
+            continue
+        for field in ("trial", "time", "kind"):
+            if field not in event:
+                problems.append(f"{path}:{lineno}: missing {field!r}")
+        kind = event.get("kind")
+        trial = str(event.get("trial"))
+        time = event.get("time")
+        if not isinstance(time, (int, float)):
+            problems.append(f"{path}:{lineno}: non-numeric time {time!r}")
+            continue
+        if kind in ("span.begin", "span.end"):
+            if time < last_time.get(trial, float("-inf")):
+                problems.append(
+                    f"{path}:{lineno}: span-marker time {time} decreases "
+                    f"(prev {last_time[trial]}) in trial {trial}"
+                )
+            last_time[trial] = float(time)
+            stack = stacks.setdefault(trial, [])
+            span_id, depth = event.get("id"), event.get("depth")
+            if kind == "span.begin":
+                if depth != len(stack):
+                    problems.append(
+                        f"{path}:{lineno}: span.begin depth {depth} != "
+                        f"open spans {len(stack)} in trial {trial}"
+                    )
+                stack.append((span_id, depth))
+            else:
+                if not stack:
+                    problems.append(
+                        f"{path}:{lineno}: span.end with no open span "
+                        f"in trial {trial}"
+                    )
+                    continue
+                open_id, open_depth = stack.pop()
+                if span_id != open_id:
+                    problems.append(
+                        f"{path}:{lineno}: span.end id {span_id} != open "
+                        f"id {open_id} in trial {trial}"
+                    )
+    for trial, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"{path}: trial {trial}: {len(stack)} span(s) never ended"
+            )
+
+
+def check_prom(path: pathlib.Path, problems: List[str]) -> None:
+    """Validate a Prometheus text-format metrics dump."""
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        problems.append(f"{path}: unreadable: {exc}")
+        return
+    types: Dict[str, str] = {}
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+    saw_sample = False
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                if parts[3] not in ("counter", "gauge", "histogram"):
+                    problems.append(
+                        f"{path}:{lineno}: unknown metric type {parts[3]!r}"
+                    )
+                types[parts[2]] = parts[3]
+            continue
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"{path}:{lineno}: unparsable sample: {line!r}")
+            continue
+        saw_sample = True
+        name = match.group("name")
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            problems.append(
+                f"{path}:{lineno}: non-numeric value {match.group('value')!r}"
+            )
+            continue
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                base = name[: -len(suffix)]
+                break
+        metric_type = types.get(base)
+        if metric_type is None:
+            problems.append(f"{path}:{lineno}: sample {name!r} has no TYPE line")
+            continue
+        if metric_type in ("counter", "histogram") and value < 0:
+            problems.append(f"{path}:{lineno}: negative {metric_type} {line!r}")
+        if metric_type == "histogram" and name.endswith("_bucket"):
+            labels = match.group("labels") or ""
+            le_match = LE_RE.search(labels)
+            if le_match is None:
+                problems.append(f"{path}:{lineno}: _bucket without le label")
+                continue
+            le_text = le_match.group(1)
+            bound = float("inf") if le_text == "+Inf" else float(le_text)
+            series = LE_RE.sub("", labels).strip(",")
+            buckets.setdefault(f"{base}{{{series}}}", []).append((bound, value))
+        if metric_type == "histogram" and name.endswith("_count"):
+            counts[f"{base}{{{match.group('labels') or ''}}}"] = value
+    for series, pairs in buckets.items():
+        pairs.sort()
+        cumulative = [count for _, count in pairs]
+        if any(b > a for a, b in zip(cumulative[1:], cumulative)):
+            problems.append(
+                f"{path}: histogram {series}: bucket counts not monotone in le"
+            )
+        if pairs and pairs[-1][0] != float("inf"):
+            problems.append(f"{path}: histogram {series}: no +Inf bucket")
+        elif pairs and series in counts and pairs[-1][1] != counts[series]:
+            problems.append(
+                f"{path}: histogram {series}: +Inf bucket {pairs[-1][1]} "
+                f"!= _count {counts[series]}"
+            )
+    if not saw_sample:
+        problems.append(f"{path}: no samples found")
+
+
+def main(argv=None) -> int:
+    """Entry point; returns 0 when all provided artifacts validate."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chrome", type=pathlib.Path, default=None)
+    parser.add_argument("--jsonl", type=pathlib.Path, default=None)
+    parser.add_argument("--prom", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+    if args.chrome is None and args.jsonl is None and args.prom is None:
+        parser.error("nothing to check: pass --chrome, --jsonl, and/or --prom")
+    problems: List[str] = []
+    if args.chrome is not None:
+        check_chrome(args.chrome, problems)
+    if args.jsonl is not None:
+        check_jsonl(args.jsonl, problems)
+    if args.prom is not None:
+        check_prom(args.prom, problems)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"telemetry check FAILED ({len(problems)} problem(s))")
+        return 1
+    print("telemetry check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,6 +6,7 @@ imported), so it runs anywhere CI does. Covers the public surface of the
 fault-injection and experiment-execution layers:
 
 - ``repro.faults`` (config, models, injector)
+- ``repro.obs`` (config, metrics, spans, export)
 - ``repro.experiments.runner``
 - ``repro.sim.reliable``
 
@@ -38,6 +39,10 @@ MODULES = [
     ("repro.faults.config", SRC / "repro" / "faults" / "config.py"),
     ("repro.faults.models", SRC / "repro" / "faults" / "models.py"),
     ("repro.faults.injector", SRC / "repro" / "faults" / "injector.py"),
+    ("repro.obs.config", SRC / "repro" / "obs" / "config.py"),
+    ("repro.obs.metrics", SRC / "repro" / "obs" / "metrics.py"),
+    ("repro.obs.spans", SRC / "repro" / "obs" / "spans.py"),
+    ("repro.obs.export", SRC / "repro" / "obs" / "export.py"),
     ("repro.experiments.runner", SRC / "repro" / "experiments" / "runner.py"),
     ("repro.sim.reliable", SRC / "repro" / "sim" / "reliable.py"),
 ]
@@ -46,15 +51,17 @@ HEADER = """\
 # API reference
 
 Public classes and functions of the fault-injection layer
-(`repro.faults`), the experiment runner (`repro.experiments.runner`),
-and the ARQ reliable-delivery channel (`repro.sim.reliable`).
+(`repro.faults`), the observability layer (`repro.obs`), the experiment
+runner (`repro.experiments.runner`), and the ARQ reliable-delivery
+channel (`repro.sim.reliable`).
 
 **Generated file — do not edit by hand.** Regenerate with::
 
     python tools/gen_api_docs.py
 
 CI runs ``python tools/gen_api_docs.py --check`` and fails when this
-file is stale. Background reading: [`FAULTS.md`](FAULTS.md).
+file is stale. Background reading: [`FAULTS.md`](FAULTS.md),
+[`OBSERVABILITY.md`](OBSERVABILITY.md).
 """
 
 
