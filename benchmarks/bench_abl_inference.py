@@ -26,7 +26,11 @@ from repro.wormhole.detector import ProbabilisticWormholeDetector
 
 
 def _duel(
-    randomization_ft: float, seed: int, *, mobility_step_ft: float = 0.0
+    randomization_ft: float,
+    seed: int,
+    *,
+    mobility_step_ft: float = 0.0,
+    lie_ft: float = 150.0,
 ) -> bool:
     """One detector-vs-inferring-attacker duel; True when an alert fired.
 
@@ -34,6 +38,12 @@ def _duel(
     ("if sensor nodes have certain mobility"): the detecting node moves a
     random step between probes, so its request distances no longer match
     the attacker's beacon-ring table.
+
+    ``lie_ft`` sizes the attacker's declared-location lie. A lie large
+    enough to push the declared location out of radio range is discarded
+    by the Section 2.2.1 range check as a wormhole replay (no alert, but
+    also no misled victim), so the mobility series uses an in-range lie
+    to measure detection of *effective* attacks.
     """
     engine = Engine()
     rngs = RngRegistry(seed)
@@ -73,7 +83,7 @@ def _duel(
             2,
             attacker_pos,
             km,
-            AdversaryStrategy(p_n=0.0, location_lie_ft=150.0, seed=seed),
+            AdversaryStrategy(p_n=0.0, location_lie_ft=lie_ft, seed=seed),
             known_beacon_positions={1: detector_pos},
             ring_tolerance_ft=22.0,
         )
@@ -83,11 +93,13 @@ def _duel(
         engine.run()
         return bs.is_revoked(2)
 
-    # Mobile detector: step to a new spot before each probe.
+    # Mobile detector: step to a new spot around home before each probe
+    # (stepping from home rather than a cumulative walk keeps the duel
+    # inside radio range of the attacker).
     for did in detector.detecting_ids:
         offset = Point(
-            detector.position.x + rng.uniform(-mobility_step_ft, mobility_step_ft),
-            detector.position.y + rng.uniform(-mobility_step_ft, mobility_step_ft),
+            detector_pos.x + rng.uniform(-mobility_step_ft, mobility_step_ft),
+            detector_pos.y + rng.uniform(-mobility_step_ft, mobility_step_ft),
         )
         net.update_position(detector, offset)
         detector.probe(2, did)
@@ -115,7 +127,7 @@ def sweep_randomization(levels=(0.0, 20.0, 40.0, 80.0), duels=40, seed=83):
         wins = sum(
             1
             for d in range(duels)
-            if _duel(0.0, seed + 101 * d, mobility_step_ft=40.0)
+            if _duel(0.0, seed + 101 * d, mobility_step_ft=40.0, lie_ft=50.0)
         )
         mobile.append(level, wins / duels)
     return fig

@@ -146,8 +146,12 @@ class DetectingBeacon(BeaconService):
         check = self.signal_detector.check(
             self.position, packet.claimed_point, reception.measured_distance_ft
         )
-        if not check.is_malicious:
-            self._record(packet.dst_id, packet.src_id, "consistent")
+        consistent = not check.is_malicious
+        if consistent:
+            self._record(
+                packet.dst_id, packet.src_id, "consistent",
+                signal_consistent=consistent,
+            )
             return
 
         # Malicious signal: make sure it is not a replay before indicting.
@@ -156,13 +160,21 @@ class DetectingBeacon(BeaconService):
             reception, self.position, rtt, receiver_knows_location=True
         )
         if decision is FilterDecision.REPLAYED_WORMHOLE:
-            self._record(packet.dst_id, packet.src_id, "replayed_wormhole")
+            self._record(
+                packet.dst_id, packet.src_id, "replayed_wormhole",
+                signal_consistent=consistent,
+            )
             return
         if decision is FilterDecision.REPLAYED_LOCAL:
-            self._record(packet.dst_id, packet.src_id, "replayed_local")
+            self._record(
+                packet.dst_id, packet.src_id, "replayed_local",
+                signal_consistent=consistent,
+            )
             return
 
-        self._record(packet.dst_id, packet.src_id, "alert")
+        self._record(
+            packet.dst_id, packet.src_id, "alert", signal_consistent=consistent
+        )
         self.report_alert(packet.src_id, time=reception.arrival_time)
 
     def _observe_rtt(self, reception: Reception) -> float:
@@ -210,9 +222,30 @@ class DetectingBeacon(BeaconService):
             return False
         return report.delivered
 
-    def _record(self, detecting_id: int, target_id: int, decision: str) -> None:
+    def _record(
+        self,
+        detecting_id: int,
+        target_id: int,
+        decision: str,
+        *,
+        signal_consistent: bool,
+    ) -> None:
         self.probe_outcomes.append(
             ProbeOutcome(
                 detecting_id=detecting_id, target_id=target_id, decision=decision
             )
         )
+        if self.network is not None:
+            # The §2.1 verdict is recorded alongside the final decision so
+            # post-hoc invariant checkers (repro.verify.invariants) can
+            # assert "a consistent signal never indicts" from the trace
+            # alone, without re-deriving the check.
+            self.network.trace.record(
+                self.network.engine.now(),
+                "probe",
+                detector=self.node_id,
+                detecting_id=detecting_id,
+                target=target_id,
+                decision=decision,
+                signal_consistent=signal_consistent,
+            )

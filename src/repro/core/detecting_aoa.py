@@ -93,8 +93,15 @@ class AngleDetectingBeacon(DetectingBeacon):
             reception.measured_distance_ft,
             bearing,
         )
-        if not check.is_malicious:
-            self._record(packet.dst_id, packet.src_id, "consistent")
+        # For an angle-aware beacon the consistency verdict is the
+        # *combined* check: a distance-consistent lie off the bearing ray
+        # is still inconsistent, and indicting it is correct (§2.3).
+        consistent = not check.is_malicious
+        if consistent:
+            self._record(
+                packet.dst_id, packet.src_id, "consistent",
+                signal_consistent=consistent,
+            )
             return
         if check.angle.is_malicious and not check.distance.is_malicious:
             self.angle_only_catches += 1
@@ -104,10 +111,18 @@ class AngleDetectingBeacon(DetectingBeacon):
             reception, self.position, rtt, receiver_knows_location=True
         )
         if decision is FilterDecision.REPLAYED_WORMHOLE:
-            self._record(packet.dst_id, packet.src_id, "replayed_wormhole")
+            self._record(
+                packet.dst_id, packet.src_id, "replayed_wormhole",
+                signal_consistent=consistent,
+            )
             return
         if decision is FilterDecision.REPLAYED_LOCAL:
-            self._record(packet.dst_id, packet.src_id, "replayed_local")
+            self._record(
+                packet.dst_id, packet.src_id, "replayed_local",
+                signal_consistent=consistent,
+            )
             return
-        self._record(packet.dst_id, packet.src_id, "alert")
+        self._record(
+            packet.dst_id, packet.src_id, "alert", signal_consistent=consistent
+        )
         self.report_alert(packet.src_id, time=reception.arrival_time)

@@ -324,16 +324,27 @@ class DistributedRevocationProtocol:
                 pairs += 1
         return total / pairs
 
-    def detection_rate(self, malicious_ids: Set[int], *, quorum: int = 1) -> float:
-        """Fraction of malicious beacons revoked by >= ``quorum`` nodes."""
+    def detection_rate(
+        self, malicious_ids: Set[int], *, quorum: int = 1
+    ) -> Optional[float]:
+        """Fraction of malicious beacons revoked by >= ``quorum`` nodes.
+
+        ``None`` when ``malicious_ids`` is empty (undefined rate), matching
+        :meth:`repro.core.revocation.BaseStation.detection_rate`.
+        """
         if not malicious_ids:
-            return 0.0
+            return None
         revoked = self.revoked_by_quorum(quorum)
         return len(revoked & malicious_ids) / len(malicious_ids)
 
-    def false_positive_rate(self, benign_ids: Set[int], *, quorum: int = 1) -> float:
-        """Fraction of benign beacons revoked by >= ``quorum`` nodes."""
+    def false_positive_rate(
+        self, benign_ids: Set[int], *, quorum: int = 1
+    ) -> Optional[float]:
+        """Fraction of benign beacons revoked by >= ``quorum`` nodes.
+
+        ``None`` when ``benign_ids`` is empty (undefined rate).
+        """
         if not benign_ids:
-            return 0.0
+            return None
         revoked = self.revoked_by_quorum(quorum)
         return len(revoked & benign_ids) / len(benign_ids)

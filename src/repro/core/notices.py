@@ -34,7 +34,14 @@ from repro.sim.radio import Reception
 
 @dataclass
 class AuthenticatedNotice(Packet):
-    """A flooded revocation notice carrying its µTESLA tag."""
+    """A flooded revocation notice carrying its µTESLA tag.
+
+    Receivers never range on notice signals, so deliveries draw no
+    ranging noise — flood-mode runs stay bit-identical to oracle-mode
+    runs on every ranging measurement.
+    """
+
+    carries_ranging_signal = False
 
     revoked_id: int = 0
     interval: int = 0
@@ -47,7 +54,13 @@ class AuthenticatedNotice(Packet):
 
 @dataclass
 class KeyDisclosure(Packet):
-    """A flooded µTESLA key disclosure from the base station."""
+    """A flooded µTESLA key disclosure from the base station.
+
+    Pure control traffic (see :class:`AuthenticatedNotice`): no ranging
+    noise is drawn for its deliveries.
+    """
+
+    carries_ranging_signal = False
 
     interval: int = 0
     key: bytes = b""

@@ -180,10 +180,16 @@ class PipelineConfig:
 
 @dataclass
 class PipelineResult:
-    """Evaluation metrics of one pipeline run."""
+    """Evaluation metrics of one pipeline run.
 
-    detection_rate: float
-    false_positive_rate: float
+    ``detection_rate`` / ``false_positive_rate`` are ``None`` when the
+    respective beacon population is empty — the rate is undefined, and
+    the aggregation layer excludes such trials rather than biasing the
+    Monte-Carlo mean toward zero.
+    """
+
+    detection_rate: Optional[float]
+    false_positive_rate: Optional[float]
     affected_non_beacons_per_malicious: float
     revoked_malicious: int
     revoked_benign: int
@@ -325,10 +331,18 @@ class SecureLocalizationPipeline:
             calibration_observe = obs.registry.histogram(
                 "rtt_cycles", buckets=RTT_BUCKETS_CYCLES, kind="calibration"
             ).observe
+        # Calibrate at the radio range, not at zero separation: the RTT
+        # includes a flight term that grows with distance, so a window
+        # measured at 0 ft sits ~2 cycles below what an honest in-range
+        # exchange can produce — with zero jitter the local-replay filter
+        # would then flag honest beacons at the field's edge. Calibrating
+        # at comm_range_ft makes x_max dominate every honest exchange
+        # (the §2.2.2 honest-window invariant in repro.verify).
         calibration = calibrate_rtt(
             self.network.rtt_model,
             self.rngs.stream("rtt-calibration"),
             samples=cfg.rtt_calibration_samples,
+            distance_ft=cfg.comm_range_ft,
             perturb=calibration_perturb,
             observe=calibration_observe,
         )
@@ -834,10 +848,10 @@ class SecureLocalizationPipeline:
         n_malicious = max(1, len(self.malicious_beacons))
         return PipelineResult(
             detection_rate=(
-                revoked_malicious / len(malicious_ids) if malicious_ids else 0.0
+                revoked_malicious / len(malicious_ids) if malicious_ids else None
             ),
             false_positive_rate=(
-                revoked_benign / len(benign_ids) if benign_ids else 0.0
+                revoked_benign / len(benign_ids) if benign_ids else None
             ),
             affected_non_beacons_per_malicious=victim_pairs / n_malicious,
             revoked_malicious=revoked_malicious,

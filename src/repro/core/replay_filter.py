@@ -5,9 +5,10 @@ accepts a beacon signal — the signal runs through two filters:
 
 1. **Wormhole filter** (Section 2.2.1): if the distance between the
    receiver and the location declared in the beacon packet exceeds the
-   target's radio range *and* the wormhole detector reports a tunnel, the
-   signal is a wormhole replay — discard it (it is not the target beacon's
-   fault).
+   target's radio range, the signal "cannot have arrived directly" — it
+   is a wormhole replay regardless of what the (imperfect, rate ``p_d``)
+   wormhole detector says. Otherwise the detector's verdict decides. The
+   signal is discarded either way (it is not the target beacon's fault).
 2. **Local-replay filter** (Section 2.2.2): if the observed round-trip time
    exceeds the calibrated ``x_max``, the signal was locally replayed —
    discard it.
@@ -90,11 +91,14 @@ class ReplayFilterCascade:
         receiver_position: Point,
         receiver_knows_location: bool,
     ) -> bool:
-        flagged = self.wormhole_detector.detect(reception, receiver_position)
-        if not flagged:
-            return False
-        if not receiver_knows_location:
-            return True
-        declared = reception.packet.claimed_point
-        calculated = distance(receiver_position, declared)
-        return calculated > self.comm_range_ft
+        # §2.2.1: the range check is decisive on its own — a declared
+        # location farther than the radio range cannot have arrived
+        # directly, so the signal is a wormhole replay even when the
+        # imperfect detector stays silent. The detector (rate p_d) only
+        # decides for in-range declarations, and is the sole filter for
+        # receivers that do not yet know their own location.
+        if receiver_knows_location:
+            declared = reception.packet.claimed_point
+            if distance(receiver_position, declared) > self.comm_range_ft:
+                return True
+        return self.wormhole_detector.detect(reception, receiver_position)

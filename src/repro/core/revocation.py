@@ -88,6 +88,8 @@ class BaseStation:
         self.report_counters: Dict[int, int] = {}
         self.revoked: Set[int] = set()
         self.log: List[AlertRecord] = []
+        self._metrics_cursor = 0
+        self._revocations_flushed = 0
         self._on_revoke = on_revoke
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
 
@@ -170,16 +172,26 @@ class BaseStation:
         """Total alerts accepted so far."""
         return sum(1 for r in self.log if r.accepted)
 
-    def detection_rate(self, malicious_ids: Set[int]) -> float:
-        """Fraction of known-malicious beacons revoked (evaluation metric)."""
+    def detection_rate(self, malicious_ids: Set[int]) -> Optional[float]:
+        """Fraction of known-malicious beacons revoked (evaluation metric).
+
+        Returns ``None`` when ``malicious_ids`` is empty: the rate is
+        undefined, and reporting ``0.0`` would silently drag Monte-Carlo
+        means toward zero in sweeps where some trials deploy no malicious
+        beacons. Aggregation layers skip ``None`` trials instead.
+        """
         if not malicious_ids:
-            return 0.0
+            return None
         return len(self.revoked & malicious_ids) / len(malicious_ids)
 
-    def false_positive_rate(self, benign_ids: Set[int]) -> float:
-        """Fraction of benign beacons incorrectly revoked."""
+    def false_positive_rate(self, benign_ids: Set[int]) -> Optional[float]:
+        """Fraction of benign beacons incorrectly revoked.
+
+        Returns ``None`` when ``benign_ids`` is empty (undefined rate);
+        see :meth:`detection_rate`.
+        """
         if not benign_ids:
-            return 0.0
+            return None
         return len(self.revoked & benign_ids) / len(benign_ids)
 
     def record_metrics(self, registry) -> None:
@@ -189,18 +201,26 @@ class BaseStation:
         alert and its fate), ``revocations_total``, and the paper's two
         per-beacon counters as ``bs_alert_counter{target=...}`` /
         ``bs_report_counter{reporter=...}`` gauges.
+
+        Idempotent per base station: the alert log and revocation set are
+        flushed incrementally from a cursor, and the per-beacon counters
+        use gauge *set* semantics, so calling this twice (e.g. a retried
+        finalization) never double-counts.
         """
-        for record in self.log:
+        for record in self.log[self._metrics_cursor :]:
             registry.counter(
                 "alerts_total",
                 accepted="true" if record.accepted else "false",
                 reason=record.reason,
             ).inc()
-        registry.counter("revocations_total").inc(len(self.revoked))
+        self._metrics_cursor = len(self.log)
+        new_revocations = len(self.revoked) - self._revocations_flushed
+        registry.counter("revocations_total").inc(new_revocations)
+        self._revocations_flushed = len(self.revoked)
         for target_id, count in self.alert_counters.items():
-            registry.gauge("bs_alert_counter", target=target_id).inc(count)
+            registry.gauge("bs_alert_counter", target=target_id).set(count)
         for reporter_id, count in self.report_counters.items():
-            registry.gauge("bs_report_counter", reporter=reporter_id).inc(count)
+            registry.gauge("bs_report_counter", reporter=reporter_id).set(count)
 
     def _log(
         self, detector_id: int, target_id: int, accepted: bool, reason: str, time: float

@@ -95,12 +95,27 @@ def calibrate_rtt(
     if observe is not None:
         for rtt in rtts:
             observe(rtt)
-    ecdf = Ecdf(rtts)
-    return RttCalibration(x_min=ecdf.x_min, x_max=ecdf.x_max, samples=samples)
+    return calibration_from_samples(rtts)
 
 
 def calibration_from_samples(rtts: Iterable[float]) -> RttCalibration:
-    """Build a calibration window from externally measured RTTs."""
+    """Build a calibration window from externally measured RTTs.
+
+    The recorded ``samples`` count is always the *observed* number of
+    measurements (``ecdf.n``) — the same convention
+    :func:`calibrate_rtt` and :meth:`RttCalibrationTable.calibrate_pair`
+    follow, so a window's provenance is comparable regardless of which
+    path built it.
+
+    Raises:
+        CalibrationError: ``rtts`` is empty — a window extracted from
+            zero measurements is meaningless.
+    """
+    rtts = list(rtts)
+    if not rtts:
+        raise CalibrationError(
+            "cannot calibrate an RTT window from zero samples"
+        )
     ecdf = Ecdf(rtts)
     return RttCalibration(x_min=ecdf.x_min, x_max=ecdf.x_max, samples=ecdf.n)
 
@@ -118,10 +133,17 @@ class RttCalibrationTable:
     from fast hardware, exchange on slow) — both failure modes are
     demonstrated in the tests.
 
-    Type keys are arbitrary hashables; pairs are unordered on the
-    *roles* — (requester, responder) matters because d1/d4 come from the
-    requester and d2/d3 from the responder, but for identical per-delay
-    models the window is symmetric.
+    Type keys are arbitrary hashables. Entries are keyed by the
+    **ordered** pair (requester type, responder type) and each direction
+    is calibrated independently: d1/d4 are drawn from the requester's
+    model and d2/d3 from the responder's. Note that the RTT *sum* is
+    role-symmetric in distribution — either way each endpoint
+    contributes exactly two delay draws — so the (A, B) and (B, A)
+    windows agree in distribution and cannot be systematically
+    asymmetric, even for different per-delay models. The two directions
+    still hold distinct realized windows (independent calibration
+    samples), and querying a direction that was never calibrated is an
+    error rather than a silent fallback to its mirror.
     """
 
     def __init__(self) -> None:
@@ -154,10 +176,7 @@ class RttCalibrationTable:
         rtts = [
             sample_mixed_rtt(req, resp, rng) for _ in range(samples)
         ]
-        ecdf = Ecdf(rtts)
-        calibration = RttCalibration(
-            x_min=ecdf.x_min, x_max=ecdf.x_max, samples=samples
-        )
+        calibration = calibration_from_samples(rtts)
         self._windows[(requester_type, responder_type)] = calibration
         return calibration
 

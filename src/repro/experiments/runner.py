@@ -67,12 +67,26 @@ PIPELINE_METRICS: Tuple[str, ...] = (
 )
 
 #: Cache entry layout version; bump on incompatible changes.
-CACHE_SCHEMA_VERSION = 1
+#: v2: §2.2.1 wormhole-filter fix changed seeded pipeline outputs, and
+#: undefined rates are now omitted from metric dicts instead of 0.0.
+CACHE_SCHEMA_VERSION = 2
 
 
 def collect_metrics(result: PipelineResult) -> Dict[str, float]:
-    """Flatten a pipeline result to the scalar metric dict tasks return."""
-    return {name: float(getattr(result, name)) for name in PIPELINE_METRICS}
+    """Flatten a pipeline result to the scalar metric dict tasks return.
+
+    Metrics whose value is ``None`` (undefined rates — e.g.
+    ``detection_rate`` in a trial with no malicious beacons) are omitted
+    so the Monte-Carlo aggregation averages only over trials where the
+    metric is defined, instead of biasing the mean with zeros.
+    """
+    metrics: Dict[str, float] = {}
+    for name in PIPELINE_METRICS:
+        value = getattr(result, name)
+        if value is None:
+            continue
+        metrics[name] = float(value)
+    return metrics
 
 
 def execute_pipeline(config: PipelineConfig) -> Dict[str, float]:

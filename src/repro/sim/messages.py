@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import ClassVar, Optional, Tuple
 
 from repro.utils.geometry import Point
 
@@ -40,6 +40,14 @@ class Packet:
     dst_id: int
     auth_tag: Optional[bytes] = field(default=None, compare=False)
     size_bits: int = field(default=288, compare=False)  # 36-byte TinyOS frame
+
+    #: Whether receivers extract a ranging feature (RSSI/ToF distance)
+    #: from this packet's signal. Control traffic that nobody ranges on
+    #: (e.g. flooded µTESLA notices) sets this False so its deliveries
+    #: never consume the shared ``ranging`` noise stream — otherwise
+    #: mere dissemination traffic would perturb every later ranging
+    #: measurement and break oracle-vs-flood determinism.
+    carries_ranging_signal: ClassVar[bool] = True
 
     def kind(self) -> str:
         """Short type name used in traces."""

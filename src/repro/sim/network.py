@@ -281,13 +281,22 @@ class Network:
         self, grid: Dict[tuple, List[Node]], center: Point, radius_ft: float
     ) -> List[Node]:
         """Range query over one grid; results sorted by ``node_id``."""
-        cx, cy = self._cell_of(center)
-        reach = int(math.ceil(radius_ft / self._cell))
+        # Prune with the bounding box of the query disc, padded by an
+        # epsilon scaled to the operand magnitudes: the membership test
+        # below uses the *rounded* float distance, which can admit a node
+        # whose true distance is a few ulps past ``radius_ft`` — such a
+        # node may sit one cell outside the exact box and must still be
+        # visited (otherwise grid and brute-force results diverge).
+        pad = 1e-9 * (abs(center.x) + abs(center.y) + radius_ft + 1.0)
+        gx_min = int(math.floor((center.x - radius_ft - pad) / self._cell))
+        gx_max = int(math.floor((center.x + radius_ft + pad) / self._cell))
+        gy_min = int(math.floor((center.y - radius_ft - pad) / self._cell))
+        gy_max = int(math.floor((center.y + radius_ft + pad) / self._cell))
         stats = self.stats
         stats.spatial_queries += 1
         found: List[Node] = []
-        for gx in range(cx - reach, cx + reach + 1):
-            for gy in range(cy - reach, cy + reach + 1):
+        for gx in range(gx_min, gx_max + 1):
+            for gy in range(gy_min, gy_max + 1):
                 bucket = grid.get((gx, gy))
                 if not bucket:
                     continue
@@ -525,7 +534,14 @@ class Network:
         )
         if injector is not None:
             delay += injector.delivery_delay()
-        noise = self.ranging_error(physical_dist, self.rngs.stream("ranging"))
+        if transmission.packet.carries_ranging_signal:
+            noise = self.ranging_error(
+                physical_dist, self.rngs.stream("ranging")
+            )
+        else:
+            # Nobody ranges on this packet: skip the noise draw so pure
+            # control traffic (notice floods) stays RNG-neutral.
+            noise = 0.0
         measured = max(
             0.0, physical_dist + noise + transmission.ranging_bias_ft
         )

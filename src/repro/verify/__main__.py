@@ -1,0 +1,11 @@
+"""``python -m repro.verify`` — run the conformance gate.
+
+Paper section: §4 (conformance gate entry point)
+"""
+
+import sys
+
+from repro.verify.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

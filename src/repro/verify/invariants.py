@@ -1,0 +1,235 @@
+"""Executable paper invariants, checked post-hoc over trace streams.
+
+Each checker consumes a :class:`repro.sim.trace.TraceRecorder` (or, for
+:func:`check_honest_rtt_window`, a calibration plus observed RTTs) and
+returns a list of :class:`InvariantViolation` — empty when the invariant
+holds. They never mutate the trace and can run over any recorded stream:
+a unit-test fixture, a full pipeline run, or a replayed log.
+
+The invariants, straight from the paper:
+
+- **Collusion quota** (§3.1): any single detector gets at most
+  ``tau_report + 1`` alerts accepted, so ``N_a`` colluding reporters can
+  land at most ``N_a * (tau_report + 1)`` accepted alerts in total.
+- **Revocation monotonicity** (§3.1): a beacon is revoked exactly at its
+  ``tau_alert + 1``-th accepted alert, exactly once, and no alert
+  against it is accepted afterwards.
+- **Consistent never indicts** (§2.1): a probe whose signal passes the
+  distance-consistency check ends in the ``"consistent"`` outcome —
+  never in a replay verdict or an alert (and vice versa: an
+  inconsistent signal is never recorded consistent).
+- **Honest RTT window** (§2.2.2): with zero jitter, an honest exchange's
+  RTT never exceeds the calibrated ``x_max`` — the local-replay filter
+  must not flag honest traffic.
+
+Paper section: §2.1, §2.2.2, §3.1 (invariants of the protocol)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.rtt import RttCalibration
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken paper invariant, with enough detail to debug it."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+# ----------------------------------------------------------------------
+# §3.1 — collusion quota
+# ----------------------------------------------------------------------
+def check_alert_quota(
+    trace: TraceRecorder,
+    tau_report: int,
+    reporter_ids: Optional[Set[int]] = None,
+) -> List[InvariantViolation]:
+    """No detector lands more than ``tau_report + 1`` accepted alerts.
+
+    Args:
+        trace: stream containing base-station ``"alert"`` events.
+        tau_report: the per-detector quota threshold.
+        reporter_ids: optionally, a set of (e.g. colluding/malicious)
+            detector ids; their combined accepted alerts must then also
+            stay within ``len(reporter_ids) * (tau_report + 1)`` — the
+            paper's bound on colluder damage.
+    """
+    violations: List[InvariantViolation] = []
+    per_detector: Dict[int, int] = {}
+    for event in trace.of_kind("alert"):
+        if event["accepted"]:
+            detector = event["detector"]
+            per_detector[detector] = per_detector.get(detector, 0) + 1
+    cap = tau_report + 1
+    for detector, count in sorted(per_detector.items()):
+        if count > cap:
+            violations.append(
+                InvariantViolation(
+                    "alert-quota",
+                    f"detector {detector} landed {count} accepted alerts; "
+                    f"quota allows {cap}",
+                )
+            )
+    if reporter_ids is not None:
+        pool_cap = len(reporter_ids) * cap
+        pool = sum(per_detector.get(d, 0) for d in reporter_ids)
+        if pool > pool_cap:
+            violations.append(
+                InvariantViolation(
+                    "alert-quota",
+                    f"{len(reporter_ids)} reporters landed {pool} accepted "
+                    f"alerts; N_a * (tau_report + 1) = {pool_cap}",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# §3.1 — revocation monotonicity
+# ----------------------------------------------------------------------
+def check_revocation_monotone(
+    trace: TraceRecorder, tau_alert: int
+) -> List[InvariantViolation]:
+    """Revocation happens exactly at the threshold, once, and is final.
+
+    Walks the interleaved ``"alert"``/``"revoke"`` stream in record
+    order and asserts:
+
+    - no alert against an already-revoked target is accepted;
+    - every ``"revoke"`` fires at exactly ``tau_alert + 1`` accepted
+      alerts against its target, and never twice;
+    - no target ends the trace above the threshold without a revocation.
+    """
+    violations: List[InvariantViolation] = []
+    accepted: Dict[int, int] = {}
+    revoked: Set[int] = set()
+    for event in trace:
+        if event.kind == "alert" and event["accepted"]:
+            target = event["target"]
+            if target in revoked:
+                violations.append(
+                    InvariantViolation(
+                        "revocation-monotone",
+                        f"alert against revoked beacon {target} was "
+                        f"accepted at t={event.time}",
+                    )
+                )
+            accepted[target] = accepted.get(target, 0) + 1
+        elif event.kind == "revoke":
+            target = event["target"]
+            if target in revoked:
+                violations.append(
+                    InvariantViolation(
+                        "revocation-monotone",
+                        f"beacon {target} revoked twice (t={event.time})",
+                    )
+                )
+                continue
+            revoked.add(target)
+            if accepted.get(target, 0) != tau_alert + 1:
+                violations.append(
+                    InvariantViolation(
+                        "revocation-monotone",
+                        f"beacon {target} revoked at {accepted.get(target, 0)} "
+                        f"accepted alerts; expected exactly {tau_alert + 1}",
+                    )
+                )
+    for target, count in sorted(accepted.items()):
+        if count > tau_alert and target not in revoked:
+            violations.append(
+                InvariantViolation(
+                    "revocation-monotone",
+                    f"beacon {target} crossed the threshold "
+                    f"({count} > {tau_alert}) but was never revoked",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# §2.1 — consistent never indicts
+# ----------------------------------------------------------------------
+def check_consistent_never_indicts(
+    trace: TraceRecorder,
+) -> List[InvariantViolation]:
+    """A signal passing the §2.1 check never reaches the replay filters.
+
+    Consumes the ``"probe"`` events recorded by
+    :class:`repro.core.detecting.DetectingBeacon`, which carry the §2.1
+    verdict (``signal_consistent``) next to the final ``decision``. The
+    two must agree in both directions: consistent ⇒ ``"consistent"``,
+    and ``"consistent"`` ⇒ consistent.
+    """
+    violations: List[InvariantViolation] = []
+    for event in trace.of_kind("probe"):
+        consistent = event["signal_consistent"]
+        decision = event["decision"]
+        if consistent and decision != "consistent":
+            violations.append(
+                InvariantViolation(
+                    "consistent-never-indicts",
+                    f"probe {event['detecting_id']}->{event['target']} "
+                    f"passed the signal check but ended as {decision!r}",
+                )
+            )
+        elif not consistent and decision == "consistent":
+            violations.append(
+                InvariantViolation(
+                    "consistent-never-indicts",
+                    f"probe {event['detecting_id']}->{event['target']} "
+                    "failed the signal check but was recorded consistent",
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# §2.2.2 — honest RTT window
+# ----------------------------------------------------------------------
+def check_honest_rtt_window(
+    calibration: RttCalibration, rtts: Iterable[float]
+) -> List[InvariantViolation]:
+    """Honest RTTs never trip the local-replay filter.
+
+    With zero per-hop jitter every honest exchange's RTT is bounded by
+    the calibration window's ``x_max`` (calibration at the radio range
+    dominates the flight term of any in-range exchange), so
+    ``rtt > x_max`` on honest traffic means the filter would flag an
+    honest beacon — a false local-replay verdict.
+    """
+    violations: List[InvariantViolation] = []
+    for index, rtt in enumerate(rtts):
+        if rtt > calibration.x_max:
+            violations.append(
+                InvariantViolation(
+                    "honest-rtt-window",
+                    f"honest RTT #{index} = {rtt!r} cycles exceeds "
+                    f"x_max = {calibration.x_max!r}: the local-replay "
+                    "filter would flag an honest exchange",
+                )
+            )
+    return violations
+
+
+def run_invariants(
+    trace: TraceRecorder,
+    *,
+    tau_report: int,
+    tau_alert: int,
+    reporter_ids: Optional[Set[int]] = None,
+) -> List[InvariantViolation]:
+    """Run every trace-based invariant over one recorded stream."""
+    violations: List[InvariantViolation] = []
+    violations.extend(check_alert_quota(trace, tau_report, reporter_ids))
+    violations.extend(check_revocation_monotone(trace, tau_alert))
+    violations.extend(check_consistent_never_indicts(trace))
+    return violations

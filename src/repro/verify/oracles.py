@@ -1,0 +1,132 @@
+"""Reference oracles: the paper's rules, reimplemented naively.
+
+Each oracle is written directly from the paper text with the simplest
+possible code — plain scalars in, plain values out, no shared helpers
+with the production modules — so that a semantic drift in production
+shows up as a differential divergence rather than being replicated here.
+They are deliberately slow and structure-free; never use them on a hot
+path.
+
+Correspondence:
+
+- :func:`oracle_signal_check`   <-> :class:`repro.core.signal_detector.MaliciousSignalDetector`
+- :func:`oracle_cascade`        <-> :class:`repro.core.replay_filter.ReplayFilterCascade`
+- :func:`oracle_rtt_window`     <-> :func:`repro.core.rtt.calibration_from_samples`
+- :class:`OracleBaseStation`    <-> :class:`repro.core.revocation.BaseStation`
+
+Paper section: §2.1, §2.2, §2.2.2, §3.1 (the checked rules)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Set, Tuple
+
+
+def oracle_signal_check(
+    own_x: float,
+    own_y: float,
+    declared_x: float,
+    declared_y: float,
+    measured_distance_ft: float,
+    max_error_ft: float,
+) -> bool:
+    """§2.1: True when the signal is malicious.
+
+    "A beacon signal is considered malicious when the difference between
+    the calculated distance and the measured distance is greater than
+    the maximum ranging error" — strictly greater: a discrepancy exactly
+    at the bound is still explainable by measurement error.
+    """
+    calculated = math.hypot(own_x - declared_x, own_y - declared_y)
+    return abs(calculated - measured_distance_ft) > max_error_ft
+
+
+def oracle_cascade(
+    *,
+    receiver_knows_location: bool,
+    distance_to_declared_ft: float,
+    comm_range_ft: float,
+    detector_flags: bool,
+    observed_rtt_cycles: float,
+    x_max_cycles: float,
+) -> str:
+    """§2.2: the filter cascade on one reception, as plain scalars.
+
+    Returns ``"replayed_wormhole"``, ``"replayed_local"``, or
+    ``"accept"`` — the first filter that fires wins:
+
+    1. §2.2.1 wormhole filter. For a receiver that knows its location, a
+       declared location strictly farther than the radio range "cannot
+       have arrived directly" — wormhole replay regardless of the
+       detector. Otherwise (in range, or location unknown) the imperfect
+       detector's verdict decides.
+    2. §2.2.2 local-replay filter: RTT strictly above the calibrated
+       ``x_max`` means the signal was replayed locally.
+    """
+    if receiver_knows_location and distance_to_declared_ft > comm_range_ft:
+        return "replayed_wormhole"
+    if detector_flags:
+        return "replayed_wormhole"
+    if observed_rtt_cycles > x_max_cycles:
+        return "replayed_local"
+    return "accept"
+
+
+def oracle_rtt_window(rtts: Iterable[float]) -> Tuple[float, float, int]:
+    """§2.2.2: ``(x_min, x_max, n)`` of an attack-free RTT sample.
+
+    "x_min is the largest x value for which F(x) = 0, and x_max the
+    smallest x value for which F(x) = 1" — for an empirical CDF these
+    are the observed minimum and maximum. ``n`` is the observed sample
+    count.
+
+    Raises:
+        ValueError: ``rtts`` is empty — no window without measurements.
+    """
+    data = sorted(float(r) for r in rtts)
+    if not data:
+        raise ValueError("oracle_rtt_window needs at least one sample")
+    return data[0], data[-1], len(data)
+
+
+class OracleBaseStation:
+    """§3.1: the two-counter revocation machine, minimally.
+
+    Processes already-authenticated ``(detector, target)`` alerts in
+    order. Per the paper:
+
+    - an alert from a detector whose **report counter** exceeds
+      ``tau_report`` is ignored (the collusion quota);
+    - an alert against an already-revoked target is ignored;
+    - otherwise the target's **alert counter** and the detector's report
+      counter both increment;
+    - a target whose alert counter exceeds ``tau_alert`` is revoked —
+      once, immediately, at the crossing;
+    - a revoked detector's alerts still count (no pre-emptive
+      silencing).
+    """
+
+    def __init__(self, tau_report: int, tau_alert: int) -> None:
+        self.tau_report = tau_report
+        self.tau_alert = tau_alert
+        self.alert_counters: Dict[int, int] = {}
+        self.report_counters: Dict[int, int] = {}
+        self.revoked: Set[int] = set()
+        #: Revocations in the order they happened (for order checks).
+        self.revocation_order: List[int] = []
+
+    def submit(self, detector_id: int, target_id: int) -> bool:
+        """Process one authenticated alert; True when accepted."""
+        if self.report_counters.get(detector_id, 0) > self.tau_report:
+            return False
+        if target_id in self.revoked:
+            return False
+        self.alert_counters[target_id] = self.alert_counters.get(target_id, 0) + 1
+        self.report_counters[detector_id] = (
+            self.report_counters.get(detector_id, 0) + 1
+        )
+        if self.alert_counters[target_id] > self.tau_alert:
+            self.revoked.add(target_id)
+            self.revocation_order.append(target_id)
+        return True

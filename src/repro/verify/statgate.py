@@ -1,0 +1,251 @@
+"""Statistical gate: reduced Figure 12-14 sweeps vs committed golden data.
+
+The gate re-runs the paper's simulation figures at drastically reduced
+grids (two ``P'`` points for Figures 12/13, one operating point for
+Figure 14 — five full-size pipeline runs in total), then asserts two
+independent things:
+
+1. **Trend directions** from the paper, with no reference data at all:
+   detection rate rises with ``P'`` and is upper-bounded by the
+   closed-form theory; only a few non-beacon nodes are ever affected;
+   the ROC operating point detects better than it false-positives.
+2. **Tolerance bands** against ``golden_figures.json``, committed next
+   to this module. All runs are seed-deterministic, so the bands only
+   need to absorb cross-platform float drift and deliberate, reviewed
+   semantic changes — when production behavior legitimately moves,
+   regenerate with ``repro-verify --update-golden`` and commit the diff.
+
+Paper section: §4 (Figures 12-14, simulation validation)
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments import figures
+from repro.experiments.runner import ExperimentRunner
+
+#: The committed golden data (regenerate via ``repro-verify --update-golden``).
+GOLDEN_PATH = pathlib.Path(__file__).with_name("golden_figures.json")
+
+#: Reduced P' grid shared by the Figure 12/13 gate runs.
+P_GRID: Tuple[float, float] = (0.1, 0.4)
+
+#: Band half-widths: rates (dimensionless) and N' (node counts).
+RATE_TOLERANCE = 0.15
+AFFECTED_TOLERANCE = 3.0
+
+#: The paper's qualitative bound: "only a few non-beacon nodes" accept a
+#: malicious signal before revocation cuts the beacon off.
+AFFECTED_CEILING = 15.0
+
+
+@dataclass(frozen=True)
+class StatGateViolation:
+    """One failed trend assertion or out-of-band comparison."""
+
+    figure: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.figure}] {self.detail}"
+
+
+def collect_observations(
+    *, trials: int = 1, runner: Optional[ExperimentRunner] = None
+) -> Dict[str, dict]:
+    """Run the reduced Figure 12-14 sweeps and flatten them to JSON form.
+
+    Keys mirror the figure series; ``P'`` points are string-keyed (JSON
+    objects cannot have float keys) with fixed one-decimal formatting.
+    """
+    fig12 = figures.figure12_sim_detection_rate(
+        p_grid=P_GRID, trials=trials, runner=runner
+    )
+    fig13 = figures.figure13_sim_affected(
+        p_grid=P_GRID, trials=trials, runner=runner
+    )
+    fig14 = figures.figure14_roc(
+        n_as=(5,), tau_reports=(2,), tau_alerts=(2,), trials=trials,
+        runner=runner,
+    )
+    (roc_series,) = fig14.series.values()
+    return {
+        "figure12": {
+            "simulation": {_key(p): fig12.series["simulation"].y_at(p) for p in P_GRID},
+            "theory": {_key(p): fig12.series["theory"].y_at(p) for p in P_GRID},
+        },
+        "figure13": {
+            "simulation": {_key(p): fig13.series["simulation"].y_at(p) for p in P_GRID},
+        },
+        "figure14": {
+            "false_positive": roc_series.x[0],
+            "detection": roc_series.y[0],
+        },
+    }
+
+
+def _key(p: float) -> str:
+    return f"{p:.1f}"
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def evaluate_statgate(
+    observed: Dict[str, dict], golden: Optional[Dict[str, dict]]
+) -> List[StatGateViolation]:
+    """Check trends (always) and tolerance bands (when golden exists)."""
+    violations: List[StatGateViolation] = []
+    violations.extend(_check_trends(observed))
+    if golden is not None:
+        violations.extend(_check_bands(observed, golden))
+    return violations
+
+
+def _check_trends(observed: Dict[str, dict]) -> List[StatGateViolation]:
+    violations: List[StatGateViolation] = []
+    low, high = _key(P_GRID[0]), _key(P_GRID[1])
+    sim12 = observed["figure12"]["simulation"]
+    theory12 = observed["figure12"]["theory"]
+    if not sim12[low] < sim12[high]:
+        violations.append(
+            StatGateViolation(
+                "figure12",
+                "detection rate must rise with P': "
+                f"sim({low})={sim12[low]:.3f} !< sim({high})={sim12[high]:.3f}",
+            )
+        )
+    for p in (low, high):
+        # The closed-form theory assumes every unmasked malicious signal
+        # reaches a detecting node; the §2.2.1 range check discards some,
+        # so theory upper-bounds simulation (small slack for seed noise).
+        if sim12[p] > theory12[p] + 0.05:
+            violations.append(
+                StatGateViolation(
+                    "figure12",
+                    f"simulation exceeds the theoretical bound at P'={p}: "
+                    f"{sim12[p]:.3f} > {theory12[p]:.3f} + 0.05",
+                )
+            )
+    for p, value in observed["figure13"]["simulation"].items():
+        if value > AFFECTED_CEILING:
+            violations.append(
+                StatGateViolation(
+                    "figure13",
+                    f"N'={value:.2f} at P'={p} exceeds the paper's "
+                    f"'only a few nodes' ceiling ({AFFECTED_CEILING})",
+                )
+            )
+    roc = observed["figure14"]
+    if not 0.0 <= roc["false_positive"] <= 0.5:
+        violations.append(
+            StatGateViolation(
+                "figure14",
+                f"false positive rate {roc['false_positive']:.3f} outside [0, 0.5]",
+            )
+        )
+    if roc["detection"] < roc["false_positive"]:
+        violations.append(
+            StatGateViolation(
+                "figure14",
+                "operating point detects worse than it false-positives: "
+                f"det={roc['detection']:.3f} < fp={roc['false_positive']:.3f}",
+            )
+        )
+    return violations
+
+
+def _check_bands(
+    observed: Dict[str, dict], golden: Dict[str, dict]
+) -> List[StatGateViolation]:
+    violations: List[StatGateViolation] = []
+
+    def band(figure: str, label: str, got: float, want: float, tol: float) -> None:
+        if abs(got - want) > tol:
+            violations.append(
+                StatGateViolation(
+                    figure,
+                    f"{label}: observed {got:.4f} vs golden {want:.4f} "
+                    f"(tolerance {tol})",
+                )
+            )
+
+    for series in ("simulation", "theory"):
+        for p, want in golden["figure12"][series].items():
+            band(
+                "figure12",
+                f"{series} @ P'={p}",
+                observed["figure12"][series][p],
+                want,
+                RATE_TOLERANCE,
+            )
+    for p, want in golden["figure13"]["simulation"].items():
+        band(
+            "figure13",
+            f"N' @ P'={p}",
+            observed["figure13"]["simulation"][p],
+            want,
+            AFFECTED_TOLERANCE,
+        )
+    band(
+        "figure14",
+        "false positive rate",
+        observed["figure14"]["false_positive"],
+        golden["figure14"]["false_positive"],
+        RATE_TOLERANCE,
+    )
+    band(
+        "figure14",
+        "detection rate",
+        observed["figure14"]["detection"],
+        golden["figure14"]["detection"],
+        RATE_TOLERANCE,
+    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Golden file I/O
+# ----------------------------------------------------------------------
+def load_golden(path: Optional[pathlib.Path] = None) -> Optional[Dict[str, dict]]:
+    """The committed golden data, or None when the file does not exist."""
+    golden_path = path if path is not None else GOLDEN_PATH
+    if not golden_path.exists():
+        return None
+    return json.loads(golden_path.read_text())
+
+
+def write_golden(
+    observed: Dict[str, dict], path: Optional[pathlib.Path] = None
+) -> pathlib.Path:
+    """Commit ``observed`` as the new golden data; returns the path."""
+    golden_path = path if path is not None else GOLDEN_PATH
+    golden_path.write_text(json.dumps(observed, indent=2, sort_keys=True) + "\n")
+    return golden_path
+
+
+def run_statgate(
+    *,
+    trials: int = 1,
+    runner: Optional[ExperimentRunner] = None,
+    golden_path: Optional[pathlib.Path] = None,
+    update_golden: bool = False,
+) -> Tuple[Dict[str, dict], List[StatGateViolation]]:
+    """Run the gate end to end; returns ``(observations, violations)``.
+
+    With ``update_golden=True`` the observations are written as the new
+    golden file after the trend checks pass (never commit data that
+    breaks the paper's own trends), and band checks are skipped.
+    """
+    observed = collect_observations(trials=trials, runner=runner)
+    if update_golden:
+        violations = _check_trends(observed)
+        if not violations:
+            write_golden(observed, golden_path)
+        return observed, violations
+    golden = load_golden(golden_path)
+    return observed, evaluate_statgate(observed, golden)

@@ -57,13 +57,15 @@ class World:
             self.net.add_alias(did, node_id)
         return beacon
 
-    def add_inferring(self, node_id, pos, beacon_positions, tolerance=20.0):
+    def add_inferring(
+        self, node_id, pos, beacon_positions, tolerance=20.0, lie_ft=150.0
+    ):
         self.km.enroll(node_id, is_beacon=True)
         mal = InferringMaliciousBeacon(
             node_id,
             pos,
             self.km,
-            AdversaryStrategy(p_n=0.0, location_lie_ft=150.0),
+            AdversaryStrategy(p_n=0.0, location_lie_ft=lie_ft),
             known_beacon_positions=beacon_positions,
             ring_tolerance_ft=tolerance,
         )
@@ -108,8 +110,11 @@ class TestInference:
         detector = world.add_detecting(
             1, Point(0, 0), randomization=60.0
         )
+        # A 50 ft lie keeps the declared location inside the detector's
+        # radio range, so the Section 2.2.1 range check does not mask
+        # the inconsistency as a wormhole replay.
         mal = world.add_inferring(
-            2, Point(100, 0), beacon_positions={1: Point(0, 0)}
+            2, Point(100, 0), beacon_positions={1: Point(0, 0)}, lie_ft=50.0
         )
         detector.probe_all_ids(2)
         world.engine.run()

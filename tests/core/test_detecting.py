@@ -100,9 +100,13 @@ class TestProbing:
         net.add_node(MaliciousBeacon(2, Point(100, 0), km, strategy))
         detector.probe_all_ids(2)
         engine.run()
-        assert all(
-            o.decision == "replayed_local" for o in detector.probe_outcomes
-        )
+        # Every masked reply is filtered, never indicted: lies whose
+        # declared location stays within range are caught by the RTT
+        # filter; lies displaced out of range hit the §2.2.1 range check
+        # first (the cascade runs the wormhole filter before the RTT one).
+        decisions = {o.decision for o in detector.probe_outcomes}
+        assert decisions <= {"replayed_local", "replayed_wormhole"}
+        assert "replayed_local" in decisions
         assert not bs.revoked
 
     def test_probe_requires_own_detecting_id(self, world):

@@ -30,8 +30,9 @@ class TestDegenerateDeployments:
         # No benign beacons: nobody probes, nothing is revoked honestly.
         assert result.probes_sent == 0
         assert result.detection_rate == 0.0
-        # And nobody can localize (all references are from liars or none).
-        assert result.false_positive_rate == 0.0
+        # No benign beacons exist, so the false-positive rate is
+        # undefined (None), not a misleading 0.0.
+        assert result.false_positive_rate is None
 
     def test_no_beacons_at_all(self):
         result = SecureLocalizationPipeline(

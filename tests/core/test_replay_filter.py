@@ -53,19 +53,38 @@ class TestWormholeBranch:
         decision = cascade.evaluate(r, Point(0, 0), cal.x_min)
         assert decision is FilterDecision.REPLAYED_WORMHOLE
 
-    def test_wormhole_with_near_location_not_wormhole_branch(self):
-        # Distance condition fails (declared location within range), so the
-        # wormhole branch does not fire for a location-knowing receiver.
+    def test_wormhole_with_near_location_detector_decides(self):
+        # Declared location within range: the range check is inconclusive,
+        # so the detector's verdict (p_d=1 here) decides.
         cascade, cal = make_cascade(p_d=1.0)
+        r = make_reception(Point(100, 0), via_wormhole=True)
+        decision = cascade.evaluate(r, Point(0, 0), cal.x_min)
+        assert decision is FilterDecision.REPLAYED_WORMHOLE
+
+    def test_out_of_range_location_fires_without_detector(self):
+        # §2.2.1 regression: a declared location beyond the radio range
+        # "cannot have arrived directly" — the wormhole branch fires even
+        # when the imperfect detector misses the tunnel (flagged=False).
+        cascade, cal = make_cascade(p_d=0.0)
+        r = make_reception(Point(800, 700), via_wormhole=True)
+        decision = cascade.evaluate(r, Point(0, 0), cal.x_min)
+        assert decision is FilterDecision.REPLAYED_WORMHOLE
+
+    def test_undetected_wormhole_slips_through_when_in_range(self):
+        # The only escape: tunnel missed by the detector (p_d=0) *and* a
+        # declared location the receiver could plausibly hear directly.
+        cascade, cal = make_cascade(p_d=0.0)
         r = make_reception(Point(100, 0), via_wormhole=True)
         decision = cascade.evaluate(r, Point(0, 0), cal.x_min)
         assert decision is FilterDecision.ACCEPT
 
-    def test_undetected_wormhole_slips_through(self):
+    def test_out_of_range_benign_signal_discarded(self):
+        # False-alert risk case from the audit: no tunnel at all, detector
+        # silent, but the declared location is out of range — discard.
         cascade, cal = make_cascade(p_d=0.0)
-        r = make_reception(Point(800, 700), via_wormhole=True)
+        r = make_reception(Point(800, 700))
         decision = cascade.evaluate(r, Point(0, 0), cal.x_min)
-        assert decision is FilterDecision.ACCEPT
+        assert decision is FilterDecision.REPLAYED_WORMHOLE
 
     def test_receiver_without_location_skips_distance_check(self):
         cascade, cal = make_cascade(p_d=1.0)

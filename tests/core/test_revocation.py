@@ -110,9 +110,11 @@ class TestMetrics:
         assert station.detection_rate(malicious) == 0.5
         assert station.false_positive_rate(benign) == pytest.approx(0.2)
 
-    def test_rates_with_empty_sets(self, station):
-        assert station.detection_rate(set()) == 0.0
-        assert station.false_positive_rate(set()) == 0.0
+    def test_rates_with_empty_sets_are_undefined(self, station):
+        # Undefined rates are None, not 0.0 — a zero would bias
+        # Monte-Carlo means in sweeps with empty populations.
+        assert station.detection_rate(set()) is None
+        assert station.false_positive_rate(set()) is None
 
     def test_accepted_alert_count(self, station):
         submit(station, 1, 5)
@@ -135,6 +137,32 @@ class TestMetrics:
         for d in (1, 2, 3):
             submit(station, d, 5)
         assert station.trace.count("revoke") == 1
+
+    def test_record_metrics_is_idempotent(self, station):
+        from repro.obs import MetricsRegistry
+
+        for d in (1, 2, 3):
+            submit(station, d, 5)
+        registry = MetricsRegistry()
+        station.record_metrics(registry)
+        once = registry.snapshot()
+        # A retried finalization must not double-count: the alert log
+        # flushes from a cursor and the per-beacon counters are gauges.
+        station.record_metrics(registry)
+        assert registry.snapshot() == once
+
+    def test_record_metrics_flushes_only_new_events_after_cursor(self, station):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        submit(station, 1, 5)
+        station.record_metrics(registry)
+        submit(station, 2, 5)
+        submit(station, 3, 5)  # third alert revokes target 5
+        station.record_metrics(registry)
+        counters = registry.snapshot()["counters"]
+        assert counters['alerts_total{accepted="true",reason="accepted"}'] == 3
+        assert counters["revocations_total"] == 1
 
 
 class TestCollusionBound:

@@ -41,6 +41,18 @@ class TestCalibration:
         assert cal.x_max == 150.0
         assert cal.samples == 3
 
+    def test_samples_reflect_observed_count_from_iterator(self):
+        # ``samples`` is the *observed* ECDF count, not a requested
+        # number — a generator of unknown length must be counted exactly.
+        cal = calibration_from_samples(100.0 + float(i) for i in range(17))
+        assert cal.samples == 17
+
+    def test_empty_samples_raise_calibration_error(self):
+        with pytest.raises(CalibrationError):
+            calibration_from_samples([])
+        with pytest.raises(CalibrationError):
+            calibration_from_samples(iter(()))
+
 
 class TestLocalReplayDetector:
     def _detector(self, seed=0):

@@ -68,6 +68,45 @@ class TestCalibrationTable:
         with pytest.raises(CalibrationError):
             table.window("fast", "fast")
 
+    def test_detector_for_uncalibrated_pair_raises(self):
+        # detector_for must fail eagerly at lookup, not hand back a
+        # detector that explodes (or silently accepts) at check time.
+        table = RttCalibrationTable()
+        table.register_type("fast", FAST)
+        table.register_type("slow", SLOW)
+        table.calibrate_pair("fast", "slow", random.Random(0))
+        with pytest.raises(CalibrationError):
+            table.detector_for("slow", "fast")
+
+    def test_ordered_pairs_calibrated_independently(self):
+        # (A, B) and (B, A) are distinct table entries: calibrating one
+        # direction says nothing about the other.
+        table = RttCalibrationTable()
+        table.register_type("fast", FAST)
+        table.register_type("slow", SLOW)
+        table.calibrate_pair("fast", "slow", random.Random(0))
+        assert table.window("fast", "slow") is not None
+        with pytest.raises(CalibrationError):
+            table.window("slow", "fast")
+
+    def test_ordered_pair_windows_agree_in_distribution(self):
+        # Conformance note: the RTT sum is role-symmetric in
+        # distribution (each endpoint contributes one TX-side and one
+        # RX-side delay in either role), so the (A,B) and (B,A) windows
+        # can differ only by sampling noise — never systematically, even
+        # for very different per-delay models like FAST vs SLOW.
+        table = self.make_table()
+        ab = table.window("fast", "slow")
+        ba = table.window("slow", "fast")
+        # Window endpoints are extremum estimators, so they carry more
+        # sampling noise than a mean; a fifth of the combined jitter is
+        # far below the systematic offset a true asymmetry would show.
+        jitter = FAST.jitter_cycles + SLOW.jitter_cycles
+        assert ab.x_min == pytest.approx(ba.x_min, abs=0.2 * jitter)
+        assert ab.x_max == pytest.approx(ba.x_max, abs=0.2 * jitter)
+        # Independent samples: realized endpoints are distinct draws.
+        assert (ab.x_min, ab.x_max) != (ba.x_min, ba.x_max)
+
     def test_unknown_type_raises(self):
         table = RttCalibrationTable()
         with pytest.raises(CalibrationError):

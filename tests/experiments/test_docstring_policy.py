@@ -2,14 +2,15 @@
 
 Mirrors the ruff pydocstyle configuration in ``pyproject.toml`` (rules
 D100/D101/D103 scoped to ``src/repro/core``, ``src/repro/experiments``,
-``src/repro/faults``, and ``src/repro/obs``) so the policy is enforced
-in plain pytest runs even where ruff is not installed. Additionally,
-every ``repro.core``, ``repro.faults``, and ``repro.obs`` module must
-carry a ``Paper section:`` reference line tying it back to the source
-paper — the fault models exist to stress specific paper assumptions, the
-observability layer to measure them, and the citation is the map. The
-ARQ module ``sim/reliable.py`` (the §3.2 retransmission machinery) is
-covered explicitly alongside the packages.
+``src/repro/faults``, ``src/repro/obs``, and ``src/repro/verify``) so
+the policy is enforced in plain pytest runs even where ruff is not
+installed. Additionally, every ``repro.core``, ``repro.faults``,
+``repro.obs``, and ``repro.verify`` module must carry a ``Paper
+section:`` reference line tying it back to the source paper — the fault
+models exist to stress specific paper assumptions, the observability
+layer to measure them, the conformance harness to check them, and the
+citation is the map. The ARQ module ``sim/reliable.py`` (the §3.2
+retransmission machinery) is covered explicitly alongside the packages.
 """
 
 import ast
@@ -20,7 +21,7 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-SCOPED_PACKAGES = ("core", "experiments", "faults", "obs")
+SCOPED_PACKAGES = ("core", "experiments", "faults", "obs", "verify")
 #: Individually covered modules outside the scoped packages: package-level
 #: rules applied, keyed by the package whose extra rules apply.
 EXTRA_MODULES = (("core", SRC / "sim" / "reliable.py"),)
@@ -54,10 +55,10 @@ def test_module_docstring_policy(package, path):
                 f"{path}: public {node.name!r} has no docstring"
             )
 
-    # Core, faults, and obs modules (and sim/reliable.py, which
+    # Core, faults, obs, and verify modules (and sim/reliable.py, which
     # implements the §3.2 retransmission assumption) additionally cite
-    # the paper section they implement, stress, or measure.
-    if package in ("core", "faults", "obs"):
+    # the paper section they implement, stress, measure, or check.
+    if package in ("core", "faults", "obs", "verify"):
         assert "Paper section:" in docstring, (
             f"{path}: module docstring lacks a 'Paper section:' line"
         )

@@ -135,8 +135,15 @@ class TestSimulationFigures:
         fig = figures.figure12_sim_detection_rate(p_grid=(0.1, 0.4), trials=1)
         sim = fig.series["simulation"]
         theory = fig.series["theory"]
+        # The closed-form theory assumes every unmasked malicious signal
+        # is accepted by the detecting node; with the Section 2.2.1 range
+        # check, a uniform-direction lie sometimes declares a location
+        # outside the prober's range and is discarded instead — so the
+        # theory upper-bounds the simulation, and both rise with P'.
+        assert sim.y_at(0.1) < sim.y_at(0.4)
         for p in (0.1, 0.4):
-            assert abs(sim.y_at(p) - theory.y_at(p)) < 0.35
+            assert 0.0 <= sim.y_at(p) <= theory.y_at(p) + 0.05
+        assert sim.y_at(0.4) > 0.6
 
     def test_figure13_affected_small(self):
         fig = figures.figure13_sim_affected(p_grid=(0.2,), trials=1)

@@ -79,6 +79,22 @@ class TestRunTrials:
         with pytest.raises(ConfigurationError):
             run_trials(lambda s: {}, trials=0)
 
+    def test_undefined_metrics_excluded_from_mean(self):
+        # An experiment omits a metric on some trials (the pipeline does
+        # this for undefined rates, e.g. detection_rate with zero
+        # malicious beacons). The mean must be over defined trials only —
+        # not dragged toward zero by the undefined ones.
+        def experiment(seed):
+            metrics = {"always": 0.5}
+            if seed % 2 == 0:
+                metrics["sometimes"] = 1.0
+            return metrics
+
+        summaries = run_trials(experiment, trials=20, base_seed=3)
+        assert summaries["always"].n == 20
+        assert 0 < summaries["sometimes"].n < 20
+        assert summaries["sometimes"].mean == 1.0
+
     def test_ci_covers_true_mean_of_coin(self):
         import random
 

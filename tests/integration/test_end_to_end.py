@@ -87,14 +87,39 @@ class TestDetectionToRevocationFlow:
         world = World()
         d1 = world.add_detecting(1, Point(0, 0))
         d2 = world.add_detecting(2, Point(200, 0))
+        # A 50 ft lie keeps the declared location inside both detectors'
+        # radio range (100 +/- 50 <= 150), so the Section 2.2.1 range
+        # check stays quiet and the inconsistency indicts the liar.
         world.add_malicious(
-            3, Point(100, 0), AdversaryStrategy(p_n=0.0, location_lie_ft=150.0)
+            3, Point(100, 0), AdversaryStrategy(p_n=0.0, location_lie_ft=50.0)
         )
         d1.probe_all_ids(3)
         d2.probe_all_ids(3)
         world.engine.run()
         # tau_alert=1: two alerts suffice.
         assert world.bs.is_revoked(3)
+
+    def test_oversized_lie_discarded_not_indicted(self):
+        """Section 2.2.1: a declared location beyond the radio range
+        "cannot have arrived directly" — detecting nodes discard the
+        signal as a wormhole replay instead of indicting, so an attacker
+        lying by more than the communication range escapes revocation
+        (at the price of every location-aware receiver discarding it)."""
+        world = World()
+        d1 = world.add_detecting(1, Point(0, 0))
+        d2 = world.add_detecting(2, Point(200, 0))
+        # 400 ft displacement: the declared location is at least 300 ft
+        # from either detector — always out of range.
+        world.add_malicious(
+            3, Point(100, 0), AdversaryStrategy(p_n=0.0, location_lie_ft=400.0)
+        )
+        d1.probe_all_ids(3)
+        d2.probe_all_ids(3)
+        world.engine.run()
+        outcomes = d1.probe_outcomes + d2.probe_outcomes
+        assert outcomes
+        assert all(o.decision == "replayed_wormhole" for o in outcomes)
+        assert not world.bs.is_revoked(3)
 
     def test_benign_beacon_survives_probing(self):
         world = World()
@@ -108,26 +133,43 @@ class TestDetectionToRevocationFlow:
 
 
 class TestWormholeFalseAlertPath:
+    """The residual (1 - p_d) false-alert channel of Section 2.2.1.
+
+    Since the range check discards any signal whose declared location is
+    beyond the radio range regardless of the detector's verdict, the
+    channel only survives in the *overlap* geometry: the benign target
+    sits within the detecting node's direct range (declared location
+    passes the range check) while a short tunnel also re-emits its reply
+    nearby with a corrupted ranging measurement. Only the imperfect
+    detector (rate p_d) stands between that copy and a false alert.
+    """
+
     def _run(self, p_d):
         world = World(p_d=p_d)
-        build_wormhole(world.net, Point(0, 0), Point(2000, 2000))
-        d1 = world.add_detecting(1, Point(10, 0))
-        world.add_benign(2, Point(2000, 2010))
+        # Entrance 20 ft from the benign beacon, exit 30 ft from the
+        # detector: the tunnelled reply copy measures ~30 ft against a
+        # declared (true) location 100 ft away — inconsistent, yet the
+        # declared location is well inside the 150 ft range.
+        build_wormhole(world.net, Point(120, 0), Point(0, 30))
+        d1 = world.add_detecting(1, Point(0, 0))
+        world.add_benign(2, Point(100, 0))
         d1.probe_all_ids(2)
         world.engine.run()
         return world, d1
 
     def test_perfect_detector_no_false_alert(self):
         world, d1 = self._run(p_d=1.0)
-        assert all(
-            o.decision == "replayed_wormhole" for o in d1.probe_outcomes
-        )
+        decisions = {o.decision for o in d1.probe_outcomes}
+        # Direct copies are consistent; tunnelled copies are flagged.
+        assert "replayed_wormhole" in decisions
+        assert decisions <= {"consistent", "replayed_wormhole"}
         assert not world.bs.revoked
 
     def test_blind_detector_false_alerts(self):
         world, d1 = self._run(p_d=0.0)
-        # The tunnel is never flagged; RTT is clean (latency 0), distance
-        # is inconsistent => false alert against the benign far beacon.
+        # The tunnel is never flagged; RTT is clean (latency 0), the
+        # declared location is in range, but the tunnelled copy's ranging
+        # is inconsistent => false alert against the benign beacon.
         assert any(o.decision == "alert" for o in d1.probe_outcomes)
 
 

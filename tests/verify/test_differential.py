@@ -1,0 +1,69 @@
+"""Differential conformance: production must match the oracles.
+
+CI runs the full 1000-scenario sweep through ``repro-verify``; here a
+smaller seeded slice keeps the unit suite fast while still exercising
+every component and the divergence-reporting plumbing.
+"""
+
+import pytest
+
+from repro.verify import (
+    DifferentialReport,
+    differential_base_station,
+    differential_cascade,
+    differential_pipeline_axes,
+    differential_rtt_window,
+    differential_signal_check,
+    run_differential_suite,
+)
+
+SCENARIOS = 150
+
+
+class TestComponents:
+    @pytest.mark.parametrize(
+        "component",
+        [
+            differential_signal_check,
+            differential_cascade,
+            differential_rtt_window,
+            differential_base_station,
+        ],
+    )
+    def test_no_divergences(self, component):
+        report = component(SCENARIOS, seed=0)
+        assert report.ok, "\n".join(d.detail for d in report.divergences)
+        assert report.scenarios == SCENARIOS
+
+    @pytest.mark.parametrize(
+        "component",
+        [differential_signal_check, differential_base_station],
+    )
+    def test_seed_changes_scenarios_not_verdict(self, component):
+        assert component(40, seed=1).ok
+        assert component(40, seed=2).ok
+
+
+@pytest.mark.slow
+class TestPipelineAxes:
+    def test_axes_bit_identical(self):
+        report = differential_pipeline_axes(2, seed=0)
+        assert report.ok, "\n".join(d.detail for d in report.divergences)
+
+
+class TestReport:
+    def test_summary_counts_divergences(self):
+        report = DifferentialReport("demo", 5)
+        assert report.ok
+        assert "OK" in report.summary()
+
+    def test_full_suite_shape(self):
+        reports = run_differential_suite(10, seed=0, axes_scenarios=0)
+        assert [r.component for r in reports] == [
+            "signal_check",
+            "cascade",
+            "rtt_window",
+            "base_station",
+            "pipeline_axes",
+        ]
+        assert all(r.ok for r in reports)

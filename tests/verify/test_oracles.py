@@ -1,0 +1,133 @@
+"""Unit tests for the naive reference oracles themselves.
+
+The oracles are the measuring stick of the differential suite, so their
+boundary behavior is pinned directly: strict inequalities at every
+threshold, filter precedence, and the counter machine's exact crossing
+points.
+"""
+
+import math
+
+import pytest
+
+from repro.verify.oracles import (
+    OracleBaseStation,
+    oracle_cascade,
+    oracle_rtt_window,
+    oracle_signal_check,
+)
+
+
+class TestOracleSignalCheck:
+    def test_exact_threshold_is_benign(self):
+        # own at origin, declared 100 ft away, measured off by exactly 10.
+        assert not oracle_signal_check(0.0, 0.0, 100.0, 0.0, 110.0, 10.0)
+        assert not oracle_signal_check(0.0, 0.0, 100.0, 0.0, 90.0, 10.0)
+
+    def test_one_ulp_past_threshold_is_malicious(self):
+        measured = math.nextafter(110.0, math.inf)
+        assert oracle_signal_check(0.0, 0.0, 100.0, 0.0, measured, 10.0)
+
+    def test_symmetric_in_sign_of_discrepancy(self):
+        assert oracle_signal_check(0.0, 0.0, 100.0, 0.0, 130.0, 10.0)
+        assert oracle_signal_check(0.0, 0.0, 100.0, 0.0, 70.0, 10.0)
+
+    def test_uses_euclidean_distance(self):
+        # 3-4-5 triangle: declared 50 ft away.
+        assert not oracle_signal_check(0.0, 0.0, 30.0, 40.0, 50.0, 0.5)
+
+
+class TestOracleCascade:
+    BASE = dict(
+        receiver_knows_location=True,
+        distance_to_declared_ft=100.0,
+        comm_range_ft=150.0,
+        detector_flags=False,
+        observed_rtt_cycles=16_000.0,
+        x_max_cycles=17_000.0,
+    )
+
+    def test_accept_when_nothing_fires(self):
+        assert oracle_cascade(**self.BASE) == "accept"
+
+    def test_out_of_range_decides_alone(self):
+        args = {**self.BASE, "distance_to_declared_ft": 151.0}
+        assert oracle_cascade(**args) == "replayed_wormhole"
+
+    def test_exactly_at_range_defers_to_detector(self):
+        args = {**self.BASE, "distance_to_declared_ft": 150.0}
+        assert oracle_cascade(**args) == "accept"
+        assert (
+            oracle_cascade(**{**args, "detector_flags": True})
+            == "replayed_wormhole"
+        )
+
+    def test_location_unaware_ignores_range(self):
+        args = {
+            **self.BASE,
+            "receiver_knows_location": False,
+            "distance_to_declared_ft": 1_000.0,
+        }
+        assert oracle_cascade(**args) == "accept"
+
+    def test_wormhole_shadows_local_replay(self):
+        args = {
+            **self.BASE,
+            "detector_flags": True,
+            "observed_rtt_cycles": 99_999.0,
+        }
+        assert oracle_cascade(**args) == "replayed_wormhole"
+
+    def test_rtt_strictly_above_x_max_is_local_replay(self):
+        at = {**self.BASE, "observed_rtt_cycles": 17_000.0}
+        past = {**self.BASE, "observed_rtt_cycles": math.nextafter(17_000.0, math.inf)}
+        assert oracle_cascade(**at) == "accept"
+        assert oracle_cascade(**past) == "replayed_local"
+
+
+class TestOracleRttWindow:
+    def test_min_max_count(self):
+        assert oracle_rtt_window([3.0, 1.0, 2.0]) == (1.0, 3.0, 3)
+
+    def test_single_sample_degenerate_window(self):
+        assert oracle_rtt_window([5.0]) == (5.0, 5.0, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            oracle_rtt_window([])
+
+
+class TestOracleBaseStation:
+    def test_revokes_at_threshold_crossing(self):
+        bs = OracleBaseStation(tau_report=5, tau_alert=2)
+        assert bs.submit(1, 9) and bs.submit(2, 9)
+        assert not bs.revoked
+        assert bs.submit(3, 9)
+        assert bs.revoked == {9}
+        assert bs.revocation_order == [9]
+
+    def test_alerts_against_revoked_target_ignored(self):
+        bs = OracleBaseStation(tau_report=5, tau_alert=0)
+        assert bs.submit(1, 9)
+        assert not bs.submit(2, 9)
+        assert bs.alert_counters[9] == 1
+        assert 2 not in bs.report_counters
+
+    def test_quota_caps_each_detector(self):
+        bs = OracleBaseStation(tau_report=1, tau_alert=99)
+        assert bs.submit(1, 7) and bs.submit(1, 8)
+        assert not bs.submit(1, 9)  # third alert: quota exceeded
+        assert bs.report_counters[1] == 2
+
+    def test_revoked_detector_still_reports(self):
+        bs = OracleBaseStation(tau_report=5, tau_alert=0)
+        assert bs.submit(2, 1)  # revokes 1 immediately
+        assert 1 in bs.revoked
+        assert bs.submit(1, 3)  # revoked node 1 reporting still counts
+        assert 3 in bs.revoked
+
+    def test_zero_thresholds(self):
+        bs = OracleBaseStation(tau_report=0, tau_alert=0)
+        assert bs.submit(1, 9)
+        assert bs.revoked == {9}
+        assert not bs.submit(1, 8)  # quota: second alert from 1 rejected

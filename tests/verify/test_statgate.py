@@ -1,0 +1,97 @@
+"""Statistical-gate logic, tested on synthetic observations.
+
+The full gate (five pipeline runs) is CI's job via ``repro-verify``;
+here the evaluation logic is pinned against hand-built observation and
+golden dicts, plus the committed golden file's shape.
+"""
+
+import json
+
+from repro.verify import GOLDEN_PATH, evaluate_statgate, load_golden, write_golden
+from repro.verify.statgate import AFFECTED_CEILING, RATE_TOLERANCE
+
+
+def _observed(
+    sim12=(0.3, 0.9),
+    theory12=(0.75, 0.97),
+    sim13=(1.7, 0.0),
+    fp=0.05,
+    det=0.6,
+):
+    return {
+        "figure12": {
+            "simulation": {"0.1": sim12[0], "0.4": sim12[1]},
+            "theory": {"0.1": theory12[0], "0.4": theory12[1]},
+        },
+        "figure13": {"simulation": {"0.1": sim13[0], "0.4": sim13[1]}},
+        "figure14": {"false_positive": fp, "detection": det},
+    }
+
+
+class TestTrends:
+    def test_healthy_observations_pass_without_golden(self):
+        assert evaluate_statgate(_observed(), None) == []
+
+    def test_flat_detection_rate_fails(self):
+        violations = evaluate_statgate(_observed(sim12=(0.9, 0.9)), None)
+        assert any("rise with P'" in str(v) for v in violations)
+
+    def test_simulation_above_theory_fails(self):
+        violations = evaluate_statgate(
+            _observed(sim12=(0.3, 0.99), theory12=(0.75, 0.8)), None
+        )
+        assert any("theoretical bound" in str(v) for v in violations)
+
+    def test_too_many_affected_fails(self):
+        bad = _observed(sim13=(AFFECTED_CEILING + 1.0, 0.0))
+        violations = evaluate_statgate(bad, None)
+        assert any("only a few nodes" in str(v) for v in violations)
+
+    def test_detection_below_false_positive_fails(self):
+        violations = evaluate_statgate(_observed(fp=0.4, det=0.3), None)
+        assert any("worse than it false-positives" in str(v) for v in violations)
+
+
+class TestBands:
+    def test_identical_golden_passes(self):
+        observed = _observed()
+        assert evaluate_statgate(observed, observed) == []
+
+    def test_out_of_band_detection_rate_fails(self):
+        golden = _observed()
+        drifted = _observed(sim12=(0.3 + 2 * RATE_TOLERANCE, 0.9))
+        violations = evaluate_statgate(drifted, golden)
+        assert any("simulation @ P'=0.1" in str(v) for v in violations)
+
+    def test_within_band_drift_passes(self):
+        golden = _observed()
+        drifted = _observed(sim12=(0.3 + RATE_TOLERANCE / 2, 0.9))
+        assert evaluate_statgate(drifted, golden) == []
+
+
+class TestGoldenFile:
+    def test_committed_golden_exists_and_has_shape(self):
+        golden = load_golden()
+        assert golden is not None
+        assert set(golden) == {"figure12", "figure13", "figure14"}
+        assert set(golden["figure12"]["simulation"]) == {"0.1", "0.4"}
+        assert 0.0 <= golden["figure14"]["detection"] <= 1.0
+
+    def test_committed_golden_satisfies_its_own_trends(self):
+        # A golden file that fails the paper's trends should never have
+        # been committed (write path enforces this; assert it held).
+        assert evaluate_statgate(load_golden(), None) == []
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "golden.json"
+        observed = _observed()
+        write_golden(observed, path)
+        assert load_golden(path) == observed
+        assert json.loads(path.read_text()) == observed
+
+    def test_missing_golden_is_none(self, tmp_path):
+        assert load_golden(tmp_path / "nope.json") is None
+
+    def test_golden_path_is_packaged_next_to_module(self):
+        assert GOLDEN_PATH.name == "golden_figures.json"
+        assert GOLDEN_PATH.parent.name == "verify"

@@ -9,6 +9,7 @@ fault-injection and experiment-execution layers:
 - ``repro.obs`` (config, metrics, spans, export)
 - ``repro.experiments.runner``
 - ``repro.sim.reliable``
+- ``repro.verify`` (oracles, differential, invariants, statgate, cli)
 
 For every module it emits the docstring summary (plus its ``Paper
 section:`` line when the module carries one); for every public class,
@@ -45,6 +46,11 @@ MODULES = [
     ("repro.obs.export", SRC / "repro" / "obs" / "export.py"),
     ("repro.experiments.runner", SRC / "repro" / "experiments" / "runner.py"),
     ("repro.sim.reliable", SRC / "repro" / "sim" / "reliable.py"),
+    ("repro.verify.oracles", SRC / "repro" / "verify" / "oracles.py"),
+    ("repro.verify.differential", SRC / "repro" / "verify" / "differential.py"),
+    ("repro.verify.invariants", SRC / "repro" / "verify" / "invariants.py"),
+    ("repro.verify.statgate", SRC / "repro" / "verify" / "statgate.py"),
+    ("repro.verify.cli", SRC / "repro" / "verify" / "cli.py"),
 ]
 
 HEADER = """\
@@ -52,8 +58,9 @@ HEADER = """\
 
 Public classes and functions of the fault-injection layer
 (`repro.faults`), the observability layer (`repro.obs`), the experiment
-runner (`repro.experiments.runner`), and the ARQ reliable-delivery
-channel (`repro.sim.reliable`).
+runner (`repro.experiments.runner`), the ARQ reliable-delivery channel
+(`repro.sim.reliable`), and the paper-fidelity conformance harness
+(`repro.verify`).
 
 **Generated file — do not edit by hand.** Regenerate with::
 
@@ -61,7 +68,7 @@ channel (`repro.sim.reliable`).
 
 CI runs ``python tools/gen_api_docs.py --check`` and fails when this
 file is stale. Background reading: [`FAULTS.md`](FAULTS.md),
-[`OBSERVABILITY.md`](OBSERVABILITY.md).
+[`OBSERVABILITY.md`](OBSERVABILITY.md), [`VERIFY.md`](VERIFY.md).
 """
 
 
