@@ -25,6 +25,25 @@ from repro.experiments.runner import ExperimentRunner
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
+def pytest_addoption(parser):
+    """Register the smoke-mode flag for CI bench runs."""
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "smoke mode: smaller workloads, correctness asserted, "
+            "speedup floors relaxed (for CI legs where timing is noisy)"
+        ),
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the bench run is in --quick smoke mode."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture
 def save_figure():
     """Persist a FigureData table and echo it to stdout."""

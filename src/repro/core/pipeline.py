@@ -24,6 +24,7 @@ Paper section: §4 (end-to-end simulation evaluation)
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Set, Tuple
@@ -67,6 +68,16 @@ RTT_BUCKETS_CYCLES = linear_buckets(14_000.0, 250.0, 17) + (
     100_000.0,
     1_000_000.0,
 )
+
+
+def _vec_core_default() -> bool:
+    """Default for ``use_vectorized_core``: the env switch, else False.
+
+    Setting ``REPRO_USE_VECTORIZED_CORE=1`` flips the default on — this
+    is how the CI matrix runs the whole tier-1 suite through the batch
+    path without editing every test's config.
+    """
+    return os.environ.get("REPRO_USE_VECTORIZED_CORE", "") == "1"
 
 
 @dataclass(frozen=True)
@@ -121,6 +132,16 @@ class PipelineConfig:
     #: scans — kept as a reference oracle; results are bit-identical
     #: either way (asserted by tests/core/test_pipeline_spatial.py).
     use_spatial_index: bool = True
+    #: Route the detection/localization phases and the metrics scans
+    #: through the :mod:`repro.vec` batch kernels. Falls back to the
+    #: scalar path silently when NumPy is absent or the configuration
+    #: is outside the batch path's supported envelope (ARQ loss,
+    #: flooded revocation, event budgets — see
+    #: :func:`repro.vec.vectorized_core_supported`). Results match the
+    #: scalar path under the parity rules in docs/PERFORMANCE.md:
+    #: everything bit-identical except localization errors (≤ ~1e-3 ft).
+    #: Defaults to the ``REPRO_USE_VECTORIZED_CORE=1`` env switch.
+    use_vectorized_core: bool = field(default_factory=_vec_core_default)
     #: Declarative fault-injection scenario (see :mod:`repro.faults` and
     #: docs/FAULTS.md). ``None`` — or an all-zero :class:`FaultConfig` —
     #: leaves every code path bit-identical to the fault-free pipeline
@@ -265,6 +286,13 @@ class SecureLocalizationPipeline:
         self.notice_distributor = None
         self._built = False
         self._probes_sent = 0
+        #: Lazily resolved: config switch AND supported envelope AND
+        #: NumPy importable. None until first queried.
+        self._vec_active: Optional[bool] = None
+        #: Batch-path work counters (waves closed, deliveries batched,
+        #: noise/RTT draws batched); folded into observability at
+        #: finalize and into :meth:`profile_snapshot` as ``vec_*``.
+        self._vec_counters: Dict[str, int] = {}
         #: Per-phase wall clock + hot-path counters; populated by
         #: :meth:`run` and read back via :meth:`profile_snapshot`.
         self.profile = PhaseProfile()
@@ -603,6 +631,28 @@ class SecureLocalizationPipeline:
             node.node_id, self.engine.now()
         )
 
+    def _vectorized_active(self) -> bool:
+        """Whether this run goes through the :mod:`repro.vec` batch path.
+
+        Resolved once per pipeline: the config must opt in *and* the
+        configuration must be inside the batch path's supported
+        envelope (NumPy present, no ARQ channels, oracle revocation, no
+        event budget). Unsupported combinations fall back to the scalar
+        path silently — same results, scalar speed.
+        """
+        if self._vec_active is None:
+            if not self.config.use_vectorized_core:
+                self._vec_active = False
+            else:
+                from repro.vec import vectorized_core_supported
+
+                self._vec_active = vectorized_core_supported(self.config)
+        return self._vec_active
+
+    def _vec_bump(self, name: str, amount: int) -> None:
+        """Accumulate one batch-path work counter (hot path: one dict op)."""
+        self._vec_counters[name] = self._vec_counters.get(name, 0) + amount
+
     def run_detection(self) -> None:
         """Every benign beacon probes each reachable beacon per detecting ID.
 
@@ -610,6 +660,11 @@ class SecureLocalizationPipeline:
         detection coverage is simply lost, which is exactly the
         degradation the fault benches measure.
         """
+        if self._vectorized_active():
+            from repro.vec.detection import run_detection_vectorized
+
+            run_detection_vectorized(self)
+            return
         for beacon in self.benign_beacons:
             if self._initiator_down(beacon):
                 continue
@@ -624,6 +679,11 @@ class SecureLocalizationPipeline:
         Crashed agents (node-crash fault) request nothing and therefore
         neither localize nor count as affected requesters.
         """
+        if self._vectorized_active():
+            from repro.vec.localization import run_localization_vectorized
+
+            run_localization_vectorized(self)
+            return
         for agent in self.agents:
             if self._initiator_down(agent):
                 continue
@@ -717,6 +777,10 @@ class SecureLocalizationPipeline:
         ):
             if channel is not None:
                 channel.record_metrics(registry)
+        for name in sorted(self._vec_counters):
+            registry.counter("vec_batch_total", kind=name).inc(
+                self._vec_counters[name]
+            )
 
     def telemetry(self) -> dict:
         """The trial's exportable telemetry (empty dict when not observing).
@@ -753,6 +817,8 @@ class SecureLocalizationPipeline:
         if self.network is not None:
             snapshot["counters"].update(self.network.stats.to_dict())
         snapshot["counters"]["probes"] = self._probes_sent
+        for name in sorted(self._vec_counters):
+            snapshot["counters"][f"vec_{name}"] = self._vec_counters[name]
         if self.fault_injector is not None:
             snapshot["counters"].update(self.fault_injector.counters())
         for channel in (
@@ -772,6 +838,15 @@ class SecureLocalizationPipeline:
         """Per-malicious-beacon count of in-range agents + benign beacons."""
         assert self.network is not None
         cfg = self.config
+        if self._vectorized_active():
+            from repro.vec.arrays import requester_counts_vectorized
+
+            return requester_counts_vectorized(
+                self.network,
+                self.malicious_beacons,
+                malicious_ids,
+                cfg.comm_range_ft,
+            )
         if cfg.use_spatial_index:
             # One grid query per malicious beacon; everything in range
             # that is not itself malicious is an agent or benign beacon.
@@ -830,13 +905,18 @@ class SecureLocalizationPipeline:
                     affected.add(agent.node_id)
                     victim_pairs += 1
 
-        errors: List[float] = []
-        for agent in self.agents:
-            try:
-                agent.estimate_position()
-            except InsufficientReferencesError:
-                continue
-            errors.append(agent.location_error_ft())
+        if self._vectorized_active():
+            from repro.vec.localization import batched_estimate_errors
+
+            errors = batched_estimate_errors(self.agents)
+        else:
+            errors = []
+            for agent in self.agents:
+                try:
+                    agent.estimate_position()
+                except InsufficientReferencesError:
+                    continue
+                errors.append(agent.location_error_ft())
 
         requesters = self._requester_counts(malicious_ids)
         mean_requesters = (

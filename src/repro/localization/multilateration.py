@@ -7,11 +7,17 @@ estimation error."
 
 Implementation: a linearized least-squares seed (subtracting the last
 range equation turns the system linear) refined by Gauss–Newton iterations
-on the true nonlinear residual ``||x - b_i|| - d_i``.
+on the true nonlinear residual ``||x - b_i|| - d_i``. Both stages solve
+their 2-unknown normal equations in closed form (Cramer's rule on the
+2x2 system) rather than through LAPACK: every floating-point operation
+is then an elementwise ufunc or a contiguous 1-D ``np.sum``, which the
+batched solver in :mod:`repro.vec.localization` reproduces bit-for-bit
+across whole agent populations at once.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -23,6 +29,12 @@ from repro.utils.geometry import Point
 
 #: Minimum references for an unambiguous 2-D fix.
 MIN_REFERENCES = 3
+
+#: Safety factor on the machine-epsilon degeneracy threshold below.
+_DEGENERACY_FACTOR = 64.0
+
+#: Keep candidate-anchor distances away from exact zero.
+_MIN_DISTANCE_FT = 1e-9
 
 
 @dataclass(frozen=True)
@@ -71,28 +83,50 @@ def mmse_multilaterate(
     ranges = np.array([r.measured_distance_ft for r in references], dtype=float)
 
     seed = _linearized_seed(anchors, ranges)
-    position = seed.copy()
+    x = float(seed[0])
+    y = float(seed[1])
+    ax = anchors[:, 0]
+    ay = anchors[:, 1]
 
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        deltas = position - anchors  # (n, 2)
-        dists = np.linalg.norm(deltas, axis=1)
+        dx = x - ax
+        dy = y - ay
+        dists = np.sqrt(dx * dx + dy * dy)
         # Guard against a candidate landing exactly on an anchor.
-        dists = np.maximum(dists, 1e-9)
+        dists = np.maximum(dists, _MIN_DISTANCE_FT)
         residuals = dists - ranges
-        jacobian = deltas / dists[:, None]  # d residual / d position
-        update, *_ = np.linalg.lstsq(jacobian, -residuals, rcond=None)
-        position = position + update
-        if not np.all(np.isfinite(position)):
+        jx = dx / dists  # d residual / d position, columnwise
+        jy = dy / dists
+        # Normal equations (J^T J) u = -J^T r for the 2-vector update u,
+        # solved by Cramer's rule.
+        a = float(np.sum(jx * jx))
+        b = float(np.sum(jx * jy))
+        c = float(np.sum(jy * jy))
+        gx = float(np.sum(jx * residuals))
+        gy = float(np.sum(jy * residuals))
+        det = a * c - b * b
+        if not (det > 0.0 and math.isfinite(det)):
+            # Numerically singular normal matrix: every anchor points the
+            # same way from the iterate (far-field divergence on mutually
+            # inconsistent ranges). No descent direction is recoverable —
+            # return the iterate and let the residual diagnostics flag it.
+            break
+        ux = (b * gy - c * gx) / det
+        uy = (b * gx - a * gy) / det
+        x = x + ux
+        y = y + uy
+        if not (math.isfinite(x) and math.isfinite(y)):
             raise SolverError("Gauss-Newton diverged to non-finite position")
-        if float(np.linalg.norm(update)) < tolerance_ft:
+        if math.sqrt(ux * ux + uy * uy) < tolerance_ft:
             break
 
-    deltas = position - anchors
-    dists = np.maximum(np.linalg.norm(deltas, axis=1), 1e-9)
+    dx = x - ax
+    dy = y - ay
+    dists = np.maximum(np.sqrt(dx * dx + dy * dy), _MIN_DISTANCE_FT)
     rms = float(np.sqrt(np.mean((dists - ranges) ** 2)))
     return MultilaterationResult(
-        position=Point(float(position[0]), float(position[1])),
+        position=Point(x, y),
         rms_residual_ft=rms,
         iterations=iterations,
     )
@@ -102,22 +136,38 @@ def _linearized_seed(anchors: np.ndarray, ranges: np.ndarray) -> np.ndarray:
     """Classic linearization: subtract the last equation from the others.
 
     ``||x - b_i||^2 - ||x - b_n||^2 = d_i^2 - d_n^2`` is linear in x.
+    The 2-unknown least-squares system is solved through its normal
+    equations in closed form; rank deficiency (collinear or duplicated
+    anchors) is detected on the normal-matrix determinant against a
+    trace-scaled machine-epsilon threshold, which flags exact and
+    near-exact degeneracy with orders-of-magnitude margin while leaving
+    well-spread geometries untouched.
     """
-    last = anchors[-1]
+    lx = anchors[-1, 0]
+    ly = anchors[-1, 1]
     d_last = ranges[-1]
-    a_rows = 2.0 * (last - anchors[:-1])
+    mx = 2.0 * (lx - anchors[:-1, 0])
+    my = 2.0 * (ly - anchors[:-1, 1])
     b_rows = (
         ranges[:-1] ** 2
         - d_last**2
-        - np.sum(anchors[:-1] ** 2, axis=1)
-        + np.sum(last**2)
+        - (anchors[:-1, 0] ** 2 + anchors[:-1, 1] ** 2)
+        + (lx**2 + ly**2)
     )
-    if np.linalg.matrix_rank(a_rows) < 2:
+    p = float(np.sum(mx * mx))
+    q = float(np.sum(mx * my))
+    r = float(np.sum(my * my))
+    det = p * r - q * q
+    trace = p + r
+    rows = max(anchors.shape[0] - 1, 2)
+    threshold = trace * trace * rows * float(np.finfo(float).eps) * _DEGENERACY_FACTOR
+    if det <= threshold:
         raise InsufficientReferencesError(
             "beacon locations are collinear or duplicated; 2-D fix is ambiguous"
         )
-    seed, *_ = np.linalg.lstsq(a_rows, b_rows, rcond=None)
-    return seed
+    tx = float(np.sum(mx * b_rows))
+    ty = float(np.sum(my * b_rows))
+    return np.array([(r * tx - q * ty) / det, (p * ty - q * tx) / det])
 
 
 def location_error_ft(estimate: Point, truth: Point) -> float:

@@ -146,6 +146,28 @@ class Engine:
             self.clock.now() + delay, action, priority=priority, label=label
         )
 
+    def absorb_batch(self, events: int, advance_to: float) -> None:
+        """Fold an externally simulated batch of events into the engine.
+
+        The vectorized batch core (``repro.vec``) replays whole phases
+        without materializing :class:`Event` objects; it reports back the
+        number of deliveries it emulated and the timestamp of the last
+        one, so ``events_processed`` and the clock read exactly as if the
+        calendar queue had executed the same schedule event by event.
+
+        Args:
+            events: emulated event count to add to ``events_processed``.
+            advance_to: clock target; ignored when it is not ahead of now.
+
+        Raises:
+            ScheduleError: ``events`` is negative.
+        """
+        if events < 0:
+            raise ScheduleError(f"events must be >= 0, got {events}")
+        self._events_processed += events
+        if advance_to > self.clock.now():
+            self.clock.advance_to(advance_to)
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

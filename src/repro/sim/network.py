@@ -66,6 +66,11 @@ def uniform_ranging_error(max_error_ft: float) -> RangingErrorModel:
     def model(true_distance_ft: float, rng) -> float:
         return rng.uniform(-max_error_ft, max_error_ft)
 
+    # Tag the closure so batch consumers (repro.vec) can recognize the
+    # default model and reproduce its draws array-wide; a custom model
+    # without the tag falls back to per-copy scalar calls.
+    model.max_error_ft = max_error_ft
+
     return model
 
 
@@ -228,6 +233,17 @@ class Network:
         """Install a wormhole tunnel in the field."""
         self._wormholes.append(link)
         self._topology_version += 1
+
+    @property
+    def topology_version(self) -> int:
+        """Monotone counter bumped on every topology mutation.
+
+        Node additions, moves, and wormhole installs all advance it, so
+        derived views (the wormhole-endpoint cache here, the
+        struct-of-arrays views in :mod:`repro.vec.arrays`) can be cached
+        against a version number instead of re-deriving per query.
+        """
+        return self._topology_version
 
     @property
     def wormholes(self) -> List[WormholeLink]:

@@ -1,0 +1,434 @@
+"""Event-free replay of the delivery substrate for whole phases.
+
+The scalar pipeline pushes every packet through the calendar queue: one
+closure-carrying :class:`~repro.sim.engine.Event` per delivery, one
+MAC sign/verify per packet, one RNG call per noise or jitter draw. The
+replay engine produces the identical protocol outcome without any of
+that machinery, by exploiting two structural facts of the supported
+configurations (see ``docs/PERFORMANCE.md`` for the full argument):
+
+1. **Two-wave structure.** A phase schedules all its requests at one
+   instant; request deliveries schedule replies; reply handlers never
+   transmit. So a phase is exactly two delivery waves, and processing
+   wave 1 fully before wave 2 — each internally sorted by the engine's
+   ``(time, seq)`` order — visits every delivery.
+2. **Disjoint stream sets.** Scheduling-time streams ("network-loss",
+   fault loss/duplication/delay, "ranging") are only touched while
+   transmissions are being scheduled; reply-time streams ("rtt", fault
+   RTT/drift, "wormhole-detector") only while reply receptions are
+   processed. Even when a delayed request would, in global event order,
+   arrive after an early reply, the grouped processing consumes every
+   stream in the scalar order — so all protocol-relevant draws are
+   bit-identical.
+
+Everything stateful stays real: loss models, fault injector hooks,
+adversary strategies, filter cascades, the base station. Only the event
+objects, the per-packet crypto (every enrolled key verifies, so the
+sign/verify round trip is a no-op), and the per-draw RNG calls are
+replaced — the latter by batched kernels from
+:mod:`repro.vec.measurement` with exact stream parity.
+
+Paper section: §4 (simulation substrate for the batched pipeline)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.attacks.compromised import MaliciousBeacon
+from repro.attacks.strategy import ResponseKind
+from repro.errors import DeliveryError
+from repro.sim.messages import BeaconPacket, BeaconRequest
+from repro.sim.node import Node
+from repro.sim.radio import Reception, Transmission
+from repro.sim.timing import packet_transmission_cycles
+from repro.utils.geometry import distance
+from repro.vec.measurement import batched_uniform
+
+
+@dataclass
+class Delivery:
+    """One scheduled packet arrival — the replay's analogue of an Event.
+
+    Attributes:
+        time: emulated arrival cycle (schedule time + delay).
+        seq: monotone ticket breaking same-time ties, assigned in the
+            scalar engine's scheduling order.
+        transmission: the real in-flight metadata object (shared with
+            the Reception handed to protocol code).
+        dst: the receiving node (aliases already resolved).
+        dist: physical emitter-to-receiver distance (feet).
+        noise_slot: index into the wave's ranging-noise batch, or -1
+            when the packet carries no ranging signal.
+        measured: the receiver's ranging estimate; patched in by
+            :meth:`PhaseReplay.close_wave` once the noise batch is
+            drawn.
+    """
+
+    time: float
+    seq: int
+    transmission: Transmission
+    dst: Node
+    dist: float
+    noise_slot: int
+    measured: float = field(default=0.0)
+
+
+class PhaseReplay:
+    """Mirror of ``Network.unicast``/``_schedule_delivery`` minus events.
+
+    One instance drives one pipeline phase. Usage is two rounds of
+    *schedule -> close_wave -> deliver*: the caller emulates the
+    phase's initiating transmissions, closes the wave (which draws the
+    wave's ranging-noise batch and sorts deliveries into engine event
+    order), feeds request deliveries through :meth:`serve_request`
+    (scheduling the reply wave), closes again, and processes replies.
+    :meth:`finish` folds the emulated event count and clock into the
+    engine, so ``events_processed`` and ``now()`` read exactly as if
+    the calendar queue had run the schedule.
+    """
+
+    def __init__(self, pipeline) -> None:
+        """Bind to the pipeline's live network/engine/fault objects."""
+        network = pipeline.network
+        self.pipeline = pipeline
+        self.network = network
+        self.engine = pipeline.engine
+        self.radio = network.radio
+        self.trace = network.trace
+        self.loss_model = network.loss_model
+        self.injector = network.fault_injector
+        self.comm_range_ft = network.radio.comm_range_ft
+        self.wormholes = network.wormholes
+        self._tickets = itertools.count()
+        self._entries: List[Delivery] = []
+        self._noise_dists: List[float] = []
+        #: Total deliveries scheduled across all waves (the scalar
+        #: engine would have executed exactly this many events).
+        self.total_events = 0
+        #: Latest emulated delivery timestamp seen so far.
+        self.max_time = self.engine.now()
+
+    # ------------------------------------------------------------------
+    # Scheduling (mirrors Network.unicast / _tunnel / _schedule_delivery)
+    # ------------------------------------------------------------------
+    def unicast(
+        self,
+        sender: Node,
+        packet,
+        now: float,
+        *,
+        ranging_bias_ft: float = 0.0,
+        extra_delay_cycles: float = 0.0,
+        fake_wormhole_symptoms: bool = False,
+    ) -> bool:
+        """Emulate ``Network.unicast`` at emulated time ``now``.
+
+        Same draw sequence, trace records, and copy semantics (direct
+        plus one tunnelled copy per wormhole in range) as the scalar
+        method; deliveries land in the current wave instead of the
+        engine queue.
+        """
+        network = self.network
+        dst = network.node(packet.dst_id)
+        injector = self.injector
+        if injector is not None and injector.is_crashed(sender.node_id, now):
+            self.trace.record(now, "drop.crashed_sender", src=sender.node_id)
+            return False
+        origin = sender.position
+        transmission = Transmission(
+            packet=packet,
+            tx_origin=origin,
+            departure_time=now,
+            ranging_bias_ft=ranging_bias_ft,
+            replayed_by=None,
+            via_wormhole=False,
+            extra_delay_cycles=extra_delay_cycles,
+            tx_node_id=sender.node_id,
+            fake_wormhole_symptoms=fake_wormhole_symptoms,
+        )
+        delivered = False
+        true_dist = distance(origin, dst.position)
+        if true_dist <= self.comm_range_ft:
+            self._schedule(transmission, dst, true_dist, now)
+            delivered = True
+        for link in self.wormholes:
+            far = link.far_end(origin, self.comm_range_ft)
+            if far is None:
+                continue
+            exit_dist = distance(far, dst.position)
+            if exit_dist > self.comm_range_ft:
+                continue
+            replayed = Transmission(
+                packet=packet,
+                tx_origin=far,
+                departure_time=now,
+                ranging_bias_ft=ranging_bias_ft,
+                replayed_by=None,
+                via_wormhole=True,
+                extra_delay_cycles=extra_delay_cycles + link.latency_cycles,
+                tx_node_id=sender.node_id,
+                fake_wormhole_symptoms=fake_wormhole_symptoms,
+            )
+            self._schedule(replayed, dst, exit_dist, now)
+            delivered = True
+        if not delivered:
+            self.trace.record(
+                now,
+                "drop.out_of_range",
+                src=sender.node_id,
+                dst=dst.node_id,
+                packet_kind=packet.kind(),
+            )
+            if not network.drop_out_of_range:
+                raise DeliveryError(
+                    f"node {dst.node_id} out of range of {origin} "
+                    f"(d={true_dist:.1f} ft > {self.comm_range_ft} ft)"
+                )
+        return delivered
+
+    def _schedule(
+        self, transmission: Transmission, dst: Node, physical_dist: float,
+        now: float,
+    ) -> None:
+        """Mirror ``Network._schedule_delivery``, deferring the noise draw.
+
+        Loss, fault-drop, duplication, and fault-delay draws happen
+        here, per copy, in the scalar order (the recursive duplicate
+        precedes the original's delay/noise draws, exactly as in the
+        scalar method). The ranging-noise draw is *deferred*: the
+        entry records its position in the wave's draw order and
+        :meth:`close_wave` performs the whole batch at once — "ranging"
+        is only consumed at scheduling time, so the batch sees the
+        scalar order.
+        """
+        if self.loss_model is not None and not self.loss_model.attempt_succeeds():
+            self.trace.record(
+                now,
+                "drop.loss",
+                src=transmission.packet.src_id,
+                dst=dst.node_id,
+                packet_kind=transmission.packet.kind(),
+            )
+            return
+        injector = self.injector
+        if injector is not None:
+            if injector.drop_delivery():
+                self.trace.record(
+                    now,
+                    "drop.fault",
+                    src=transmission.packet.src_id,
+                    dst=dst.node_id,
+                    packet_kind=transmission.packet.kind(),
+                )
+                return
+            dup_delay = injector.duplicate_delay()
+            if dup_delay is not None and not transmission.duplicated:
+                duplicate = dataclasses.replace(
+                    transmission,
+                    duplicated=True,
+                    extra_delay_cycles=transmission.extra_delay_cycles
+                    + dup_delay,
+                )
+                self._schedule(duplicate, dst, physical_dist, now)
+        delay = (
+            self.radio.packet_time_cycles(transmission.packet, physical_dist)
+            + transmission.extra_delay_cycles
+        )
+        if injector is not None:
+            delay += injector.delivery_delay()
+        if transmission.packet.carries_ranging_signal:
+            noise_slot = len(self._noise_dists)
+            self._noise_dists.append(physical_dist)
+        else:
+            noise_slot = -1
+        self._entries.append(
+            Delivery(
+                time=now + delay,
+                seq=next(self._tickets),
+                transmission=transmission,
+                dst=dst,
+                dist=physical_dist,
+                noise_slot=noise_slot,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Wave processing
+    # ------------------------------------------------------------------
+    def close_wave(self) -> List[Delivery]:
+        """Finalize the current wave: noise batch, measured distances, sort.
+
+        Draws the wave's ranging noise in one batch from the shared
+        ``"ranging"`` stream (bit-identical to the per-copy scalar
+        draws when the network uses the default bounded-uniform model;
+        a custom model is called per copy at the same point in stream
+        order), computes each delivery's measured distance with the
+        scalar expression, and returns the deliveries sorted by the
+        engine's ``(time, seq)`` event order.
+        """
+        entries = self._entries
+        dists = self._noise_dists
+        self._entries = []
+        self._noise_dists = []
+        if dists:
+            model = self.network.ranging_error
+            stream = self.network.rngs.stream("ranging")
+            max_error_ft = getattr(model, "max_error_ft", None)
+            if max_error_ft is not None:
+                noise = batched_uniform(
+                    stream, len(dists), -max_error_ft, max_error_ft
+                )
+            else:
+                noise = [model(d, stream) for d in dists]
+        else:
+            noise = ()
+        for entry in entries:
+            drawn = (
+                float(noise[entry.noise_slot]) if entry.noise_slot >= 0 else 0.0
+            )
+            entry.measured = max(
+                0.0,
+                entry.dist + drawn + entry.transmission.ranging_bias_ft,
+            )
+        entries.sort(key=lambda e: (e.time, e.seq))
+        self.total_events += len(entries)
+        self.pipeline._vec_bump("deliveries", len(entries))
+        self.pipeline._vec_bump("noise_batched", len(dists))
+        self.pipeline._vec_bump("waves", 1)
+        return entries
+
+    def deliver(
+        self, entries: List[Delivery]
+    ) -> Iterator[Tuple[Delivery, Reception]]:
+        """Yield surviving deliveries with traces/stats/counters mirrored.
+
+        Per entry, in event order: advance the emulated clock, apply
+        the receiver-crash check at arrival time, then count the
+        delivery, build the real :class:`Reception`, record the
+        ``deliver`` trace, and bump the receiver's ``received_count``
+        exactly as ``Node.handle`` would before dispatching.
+        """
+        stats = self.network.stats
+        injector = self.injector
+        for entry in entries:
+            if entry.time > self.max_time:
+                self.max_time = entry.time
+            transmission = entry.transmission
+            packet = transmission.packet
+            if injector is not None and injector.is_crashed(
+                entry.dst.node_id, entry.time
+            ):
+                self.trace.record(
+                    entry.time,
+                    "drop.crashed",
+                    src=packet.src_id,
+                    dst=entry.dst.node_id,
+                    packet_kind=packet.kind(),
+                )
+                continue
+            stats.deliveries += 1
+            reception = Reception(
+                packet=packet,
+                arrival_time=entry.time,
+                measured_distance_ft=entry.measured,
+                transmission=transmission,
+            )
+            self.trace.record(
+                entry.time,
+                "deliver",
+                src=packet.src_id,
+                dst=entry.dst.node_id,
+                packet_kind=packet.kind(),
+                wormhole=transmission.via_wormhole,
+                replayed=transmission.is_replayed(),
+            )
+            entry.dst.received_count += 1
+            yield entry, reception
+
+    def finish(self) -> None:
+        """Fold the emulated batch into the engine (count + clock)."""
+        self.engine.absorb_batch(self.total_events, self.max_time)
+
+    # ------------------------------------------------------------------
+    # Protocol emulation (mirrors BeaconService / MaliciousBeacon)
+    # ------------------------------------------------------------------
+    def serve_request(
+        self, beacon: Node, request: BeaconRequest, now: float
+    ) -> None:
+        """Emulate ``_serve_request``/``respond_to`` for one request.
+
+        Every enrolled key verifies, so the scalar path's MAC
+        verify/sign round trip is a provable no-op and is skipped;
+        the protocol state mutations (``requests_served``, the
+        sequence counter, the sticky strategy decision and its
+        per-kind counter) hit the *real* node objects in the scalar
+        order.
+        """
+        beacon.requests_served += 1
+        beacon._sequence += 1
+        if isinstance(beacon, MaliciousBeacon):
+            decision = beacon.strategy.decide(request.src_id)
+            beacon.responses_by_kind[decision] += 1
+            if decision is ResponseKind.NORMAL:
+                self._reply(beacon, request, beacon.position, now)
+            elif decision is ResponseKind.MALICIOUS:
+                self._reply(
+                    beacon,
+                    request,
+                    beacon.lie_location_for(request.src_id),
+                    now,
+                    ranging_bias_ft=beacon.strategy.ranging_bias_ft,
+                )
+            elif decision is ResponseKind.MASK_WORMHOLE:
+                self._reply(
+                    beacon,
+                    request,
+                    beacon._far_location_for(request.src_id),
+                    now,
+                    fake_wormhole_symptoms=True,
+                )
+            else:  # ResponseKind.MASK_LOCAL_REPLAY
+                reply_bits = BeaconPacket(
+                    src_id=beacon.node_id, dst_id=0
+                ).size_bits
+                self._reply(
+                    beacon,
+                    request,
+                    beacon.lie_location_for(request.src_id),
+                    now,
+                    extra_delay_cycles=packet_transmission_cycles(reply_bits),
+                )
+            return
+        self._reply(beacon, request, beacon.declared_location, now)
+
+    def _reply(
+        self,
+        beacon: Node,
+        request: BeaconRequest,
+        declared,
+        now: float,
+        *,
+        ranging_bias_ft: float = 0.0,
+        extra_delay_cycles: float = 0.0,
+        fake_wormhole_symptoms: bool = False,
+    ) -> None:
+        """Build and emit one beacon reply (scalar ``_reply`` shape)."""
+        reply = BeaconPacket(
+            src_id=beacon.node_id,
+            dst_id=request.src_id,
+            claimed_location=(declared.x, declared.y),
+            nonce=request.nonce,
+            sequence=beacon._sequence,
+        )
+        self.unicast(
+            beacon,
+            reply,
+            now,
+            ranging_bias_ft=ranging_bias_ft,
+            extra_delay_cycles=extra_delay_cycles,
+            fake_wormhole_symptoms=fake_wormhole_symptoms,
+        )

@@ -11,9 +11,10 @@ holds three independent instruments:
   production code's structure;
 - :mod:`repro.verify.differential` — seeded scenario generators that
   drive production and oracle side by side over thousands of randomized
-  cases (boundary-heavy), plus the bit-identity check over the
-  semantics-neutral pipeline axes (``use_spatial_index``, ``observe``,
-  all-zero ``faults``);
+  cases (boundary-heavy), plus two whole-pipeline bit-identity checks:
+  the semantics-neutral axes (``use_spatial_index``, ``observe``,
+  all-zero ``faults``) and the scalar-vs-vectorized batch core
+  (``use_vectorized_core``, across wormhole/fault/loss envelopes);
 - :mod:`repro.verify.invariants` — executable paper invariants replayed
   over any :class:`repro.sim.trace.TraceRecorder` stream post-hoc;
 - :mod:`repro.verify.statgate` — a statistical gate re-running the
@@ -35,6 +36,7 @@ from repro.verify.differential import (
     differential_pipeline_axes,
     differential_rtt_window,
     differential_signal_check,
+    differential_vectorized_core,
     run_differential_suite,
 )
 from repro.verify.invariants import (
@@ -76,6 +78,7 @@ __all__ = [
     "differential_pipeline_axes",
     "differential_rtt_window",
     "differential_signal_check",
+    "differential_vectorized_core",
     "evaluate_statgate",
     "load_golden",
     "oracle_cascade",

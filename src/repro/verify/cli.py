@@ -53,6 +53,12 @@ def _parser() -> argparse.ArgumentParser:
         help="pipeline bit-identity scenarios (default: 4)",
     )
     parser.add_argument(
+        "--vec-scenarios",
+        type=int,
+        default=6,
+        help="vectorized-core bit-identity scenarios (default: 6)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="master scenario seed (default: 0)"
     )
     parser.add_argument(
@@ -78,7 +84,10 @@ def _parser() -> argparse.ArgumentParser:
 def _run_differential(args: argparse.Namespace) -> int:
     failures = 0
     reports = run_differential_suite(
-        args.scenarios, args.seed, axes_scenarios=args.axes_scenarios
+        args.scenarios,
+        args.seed,
+        axes_scenarios=args.axes_scenarios,
+        vec_scenarios=args.vec_scenarios,
     )
     for report in reports:
         print(report.summary())

@@ -416,6 +416,76 @@ def differential_pipeline_axes(
     return report
 
 
+def differential_vectorized_core(
+    scenarios: int = 6, seed: int = 0
+) -> DifferentialReport:
+    """Bit-identity of the vectorized batch core against the scalar path.
+
+    Each scenario builds one small randomized deployment and runs it
+    twice — ``use_vectorized_core`` off and on — cycling the wormhole
+    axis every scenario and the delivery envelope every other one
+    (clean, injected faults, link loss), so both tiers of the batch
+    path are exercised: the fully array-built turbo tier on clean
+    configurations and the per-delivery replay tier under faults/loss.
+    The complete ``PipelineResult`` objects must compare equal — every
+    rate, every localization error, every affected-node id, to the
+    last bit. "Tolerance-identical" for this substrate *is* exact
+    equality; ``docs/PERFORMANCE.md`` makes the argument (shared RNG
+    streams consumed in scalar order, scalar ``math.hypot`` for every
+    protocol-feeding distance, closed-form solver arithmetic).
+    """
+    import dataclasses as _dc
+
+    from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+    from repro.faults.config import FaultConfig
+
+    report = DifferentialReport("vectorized_core", scenarios)
+    for i in range(scenarios):
+        rng = _rng(seed, "veccore", i)
+        envelope = (i // 2) % 3  # 0: clean, 1: faulted, 2: lossy
+        kwargs = dict(
+            n_total=rng.randint(40, 70),
+            n_beacons=rng.randint(8, 14),
+            n_malicious=rng.randint(0, 3),
+            field_width_ft=500.0,
+            field_height_ft=500.0,
+            m_detecting_ids=4,
+            p_prime=rng.choice([0.1, 0.3, 0.6]),
+            rtt_calibration_samples=500,
+            seed=derive_seed(seed, f"veccore-config:{i}") % (2**31),
+            wormhole_endpoints=(
+                ((100.0, 100.0), (400.0, 350.0)) if i % 2 == 0 else None
+            ),
+        )
+        if envelope == 1:
+            kwargs["faults"] = FaultConfig(
+                packet_loss_rate=0.05,
+                delivery_delay_rate=0.1,
+                delivery_delay_cycles=1500.0,
+                rtt_jitter_cycles=40.0,
+            )
+        elif envelope == 2:
+            kwargs["network_loss_rate"] = 0.1
+        scalar = SecureLocalizationPipeline(PipelineConfig(**kwargs)).run()
+        vectorized = SecureLocalizationPipeline(
+            PipelineConfig(**kwargs, use_vectorized_core=True)
+        ).run()
+        if scalar != vectorized:
+            diff_fields = sorted(
+                f.name
+                for f in _dc.fields(scalar)
+                if getattr(scalar, f.name) != getattr(vectorized, f.name)
+            )
+            report.divergences.append(
+                Divergence(
+                    "vectorized_core",
+                    i,
+                    f"scalar/vectorized results differ on {diff_fields}",
+                )
+            )
+    return report
+
+
 #: Component name -> differential runner, in CLI order.
 COMPONENTS: Dict[str, Callable[[int, int], DifferentialReport]] = {
     "signal_check": differential_signal_check,
@@ -430,8 +500,16 @@ def run_differential_suite(
     seed: int = 0,
     *,
     axes_scenarios: int = 4,
+    vec_scenarios: int = 6,
 ) -> List[DifferentialReport]:
-    """Run every differential component plus the pipeline-axes check."""
+    """Run every differential component plus the whole-pipeline checks.
+
+    The oracle components run ``scenarios`` cases each; the two
+    whole-pipeline bit-identity checks (semantics-neutral axes and the
+    vectorized batch core) run their own, much smaller counts — each
+    of their scenarios is a pair of full pipeline executions.
+    """
     reports = [fn(scenarios, seed) for fn in COMPONENTS.values()]
     reports.append(differential_pipeline_axes(axes_scenarios, seed))
+    reports.append(differential_vectorized_core(vec_scenarios, seed))
     return reports

@@ -1,0 +1,238 @@
+"""Property tests: the ``repro.vec`` kernels vs their scalar references.
+
+Every kernel claims *bit-identity* with the scalar code it replaces, so
+these tests compare with ``==`` — never ``approx``. Hypothesis drives
+randomized shapes (including empty and single-element batches), values
+snapped onto the awkward range boundary, and NaN/inf coordinates, and
+each RNG-consuming kernel is additionally checked to advance its stream
+exactly as far as the scalar loop would.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.timing import RttModel
+from repro.vec.geometry import (
+    count_within_range,
+    pairwise_distances,
+    within_range_mask,
+    within_range_matrix,
+)
+from repro.vec.measurement import (
+    batched_rtt,
+    batched_uniform,
+    discrepancy_mask,
+    raw_uniforms,
+    rtt_exceeds_mask,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+coordinate = st.one_of(
+    finite, st.sampled_from([0.0, -0.0, float("nan"), float("inf")])
+)
+
+
+# ----------------------------------------------------------------------
+# RNG-stream kernels
+# ----------------------------------------------------------------------
+@given(seed=st.integers(0, 2**31), n=st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_raw_uniforms_matches_scalar_draw_sequence(seed, n):
+    vec_rng = random.Random(seed)
+    ref_rng = random.Random(seed)
+    raws = raw_uniforms(vec_rng, n)
+    assert raws.tolist() == [ref_rng.random() for _ in range(n)]
+    # Both streams ended in the same state: the next draw agrees.
+    assert vec_rng.random() == ref_rng.random()
+
+
+def test_raw_uniforms_rejects_negative_and_handles_empty():
+    rng = random.Random(7)
+    assert raw_uniforms(rng, 0).shape == (0,)
+    assert rng.random() == random.Random(7).random()  # no draws consumed
+    with pytest.raises(ConfigurationError):
+        raw_uniforms(rng, -1)
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    n=st.integers(0, 100),
+    low=finite,
+    high=finite,
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_uniform_bit_identical_to_scalar_uniform(seed, n, low, high):
+    vec_rng = random.Random(seed)
+    ref_rng = random.Random(seed)
+    batch = batched_uniform(vec_rng, n, low, high)
+    assert batch.tolist() == [ref_rng.uniform(low, high) for _ in range(n)]
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    specs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5e4, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+        ),
+        min_size=0,
+        max_size=40,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_batched_rtt_bit_identical_to_scalar_sample(seed, specs):
+    model = RttModel()
+    vec_rng = random.Random(seed)
+    ref_rng = random.Random(seed)
+    dists = np.array([s[0] for s in specs], dtype=np.float64)
+    extras = np.array([s[1] for s in specs], dtype=np.float64)
+    starts = np.array([s[2] for s in specs], dtype=np.float64)
+    batch = batched_rtt(vec_rng, model, dists, extras, starts)
+    reference = [
+        model.sample(
+            ref_rng,
+            distance_ft=d,
+            extra_delay_cycles=e,
+            start_time=t,
+        ).rtt
+        for d, e, t in specs
+    ]
+    assert batch.tolist() == reference
+    assert vec_rng.random() == ref_rng.random()
+
+
+def test_batched_rtt_validates_like_the_scalar_sampler():
+    model = RttModel()
+    rng = random.Random(0)
+    ok = np.zeros(2)
+    with pytest.raises(ConfigurationError):
+        batched_rtt(rng, model, np.array([-1.0, 0.0]), ok, ok)
+    with pytest.raises(ConfigurationError):
+        batched_rtt(rng, model, ok, np.array([0.0, -5.0]), ok)
+    with pytest.raises(ConfigurationError):
+        batched_rtt(rng, model, np.zeros(3), ok, ok)
+    # Validation and the empty batch consume no draws.
+    assert rng.random() == random.Random(0).random()
+    empty = np.empty(0)
+    assert batched_rtt(rng, model, empty, empty, empty).shape == (0,)
+
+
+# ----------------------------------------------------------------------
+# Geometry kernels
+# ----------------------------------------------------------------------
+@given(
+    points=st.lists(st.tuples(coordinate, coordinate), max_size=30),
+    center=st.tuples(finite, finite),
+    radius=st.one_of(
+        st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+        st.just(float("nan")),
+    ),
+    snap=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_within_range_mask_matches_scalar_hypot(points, center, radius, snap):
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    cx, cy = center
+    if snap and points and not math.isnan(radius):
+        # The adversarial case: the radius exactly equals one point's
+        # distance, putting it on the <= boundary.
+        candidate = math.hypot(xs[0] - cx, ys[0] - cy)
+        if math.isfinite(candidate):
+            radius = candidate
+    mask = within_range_mask(xs, ys, cx, cy, radius)
+    expected = [
+        math.hypot(float(x) - cx, float(y) - cy) <= radius
+        for x, y in zip(xs, ys)
+    ]
+    assert mask.tolist() == expected
+    assert count_within_range(xs, ys, cx, cy, radius) == sum(expected)
+
+
+@given(
+    points=st.lists(st.tuples(finite, finite), max_size=12),
+    centers=st.lists(st.tuples(finite, finite), max_size=12),
+    radius=st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+    snap=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_within_range_matrix_matches_scalar_all_pairs(
+    points, centers, radius, snap
+):
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    cxs = np.array([c[0] for c in centers], dtype=np.float64)
+    cys = np.array([c[1] for c in centers], dtype=np.float64)
+    if snap and points and centers:
+        radius = math.hypot(xs[0] - cxs[0], ys[0] - cys[0])
+    matrix = within_range_matrix(xs, ys, cxs, cys, radius)
+    assert matrix.shape == (len(centers), len(points))
+    expected = [
+        [
+            math.hypot(float(x) - cx, float(y) - cy) <= radius
+            for x, y in zip(xs, ys)
+        ]
+        for cx, cy in zip(cxs, cys)
+    ]
+    assert matrix.tolist() == expected
+    # Row i of the matrix is exactly the single-center mask for row i.
+    for i in range(len(centers)):
+        assert (
+            matrix[i].tolist()
+            == within_range_mask(
+                xs, ys, float(cxs[i]), float(cys[i]), radius
+            ).tolist()
+        )
+
+
+def test_pairwise_distances_single_node_and_empty():
+    assert pairwise_distances(np.empty(0), np.empty(0), 1.0, 2.0).shape == (0,)
+    d = pairwise_distances(np.array([3.0]), np.array([4.0]), 0.0, 0.0)
+    assert d.tolist() == [5.0]
+
+
+# ----------------------------------------------------------------------
+# Comparison-mask kernels
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore:invalid value:RuntimeWarning")
+@given(
+    rows=st.lists(
+        st.tuples(coordinate, coordinate, st.floats(allow_nan=True)),
+        max_size=30,
+    ),
+    scalar_threshold=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_discrepancy_mask_matches_scalar_comparison(rows, scalar_threshold):
+    calc = np.array([r[0] for r in rows], dtype=np.float64)
+    meas = np.array([r[1] for r in rows], dtype=np.float64)
+    if scalar_threshold:
+        thresholds = 42.5
+        per_row = [42.5] * len(rows)
+    else:
+        thresholds = np.array([r[2] for r in rows], dtype=np.float64)
+        per_row = [r[2] for r in rows]
+    mask = discrepancy_mask(calc, meas, thresholds)
+    expected = [
+        abs(float(c) - float(m)) > t for c, m, t in zip(calc, meas, per_row)
+    ]
+    assert mask.tolist() == expected
+
+
+@given(
+    rtts=st.lists(st.floats(allow_nan=True), max_size=30),
+    x_max=st.floats(allow_nan=True),
+)
+@settings(max_examples=60, deadline=None)
+def test_rtt_exceeds_mask_matches_scalar_comparison(rtts, x_max):
+    mask = rtt_exceeds_mask(np.array(rtts, dtype=np.float64), x_max)
+    assert mask.tolist() == [float(r) > x_max for r in rtts]

@@ -1,0 +1,118 @@
+"""Whole-pipeline parity: vectorized batch core vs the scalar oracle.
+
+``use_vectorized_core=True`` promises *bit-identical* trials, not
+statistically similar ones — the RNG stream-parity rules in
+``docs/PERFORMANCE.md`` are what make that possible. These tests run
+small deployments through both cores across the envelope axes that
+select different vec tiers (fault-free wormhole configs take the turbo
+tier; loss and fault envelopes take the per-delivery replay tier) and
+compare the results with ``==``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+from repro.faults.config import FaultConfig
+
+BASE = PipelineConfig(
+    n_total=120,
+    n_beacons=18,
+    n_malicious=3,
+    field_width_ft=500.0,
+    field_height_ft=500.0,
+    rtt_calibration_samples=200,
+    wormhole_endpoints=((100.0, 100.0), (380.0, 350.0)),
+    seed=13,
+)
+
+FAULTS = FaultConfig(
+    packet_loss_rate=0.05,
+    packet_duplication_rate=0.03,
+    duplicate_delay_cycles=5000.0,
+    delivery_delay_rate=0.1,
+    delivery_delay_cycles=2000.0,
+    rtt_jitter_cycles=50.0,
+    rtt_spike_rate=0.02,
+    rtt_spike_cycles=30000.0,
+    clock_drift_ppm=40.0,
+)
+
+CASES = {
+    # Fault-free wormhole deployment: the fully array-built turbo tier.
+    "turbo-wormhole": BASE,
+    "turbo-no-wormhole": replace(BASE, wormhole_endpoints=None),
+    "turbo-no-malicious": replace(BASE, n_malicious=0),
+    "turbo-other-seed": replace(BASE, seed=101),
+    # Loss and fault envelopes: the per-delivery replay tier.
+    "replay-loss": replace(BASE, network_loss_rate=0.12),
+    "replay-faults": replace(BASE, faults=FAULTS),
+    "replay-faults-loss": replace(
+        BASE, faults=FAULTS, network_loss_rate=0.08, wormhole_endpoints=None
+    ),
+}
+
+
+def _run(config, *, vectorized):
+    pipeline = SecureLocalizationPipeline(
+        replace(config, use_vectorized_core=vectorized)
+    )
+    return pipeline, pipeline.run()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_vectorized_core_reproduces_scalar_trial(name):
+    config = CASES[name]
+    scalar_pipeline, scalar_result = _run(config, vectorized=False)
+    vec_pipeline, vec_result = _run(config, vectorized=True)
+
+    assert not scalar_pipeline._vec_active
+    assert vec_pipeline._vec_active
+
+    # The headline contract: the PipelineResult compares equal — every
+    # rate, counter, and the full localization-error list, to the bit.
+    assert vec_result == scalar_result
+    assert list(vec_result.localization_errors_ft) == list(
+        scalar_result.localization_errors_ft
+    )
+
+    # Deeper state the result does not carry: per-prober probe verdicts
+    # in order, and per-agent replay rejections.
+    scalar_outcomes = [
+        [(o.detecting_id, o.target_id, o.decision) for o in b.probe_outcomes]
+        for b in scalar_pipeline.benign_beacons
+    ]
+    vec_outcomes = [
+        [(o.detecting_id, o.target_id, o.decision) for o in b.probe_outcomes]
+        for b in vec_pipeline.benign_beacons
+    ]
+    assert vec_outcomes == scalar_outcomes
+    assert [a.rejected_replays for a in vec_pipeline.agents] == [
+        a.rejected_replays for a in scalar_pipeline.agents
+    ]
+    # The simulated clock advanced to the same cycle in both worlds.
+    assert vec_pipeline.engine.now() == scalar_pipeline.engine.now()
+
+
+def test_turbo_tier_engaged_on_fault_free_config():
+    """The fast tier must actually be selected where it is claimed to."""
+    from repro.vec.turbo import turbo_supported
+
+    pipeline = SecureLocalizationPipeline(
+        replace(BASE, use_vectorized_core=True)
+    )
+    pipeline.build()
+    assert turbo_supported(pipeline)
+
+    lossy = SecureLocalizationPipeline(
+        replace(BASE, use_vectorized_core=True, network_loss_rate=0.1)
+    )
+    lossy.build()
+    assert not turbo_supported(lossy)
+
+    faulty = SecureLocalizationPipeline(
+        replace(BASE, use_vectorized_core=True, faults=FAULTS)
+    )
+    faulty.build()
+    assert not turbo_supported(faulty)

@@ -14,6 +14,7 @@ from repro.verify import (
     differential_pipeline_axes,
     differential_rtt_window,
     differential_signal_check,
+    differential_vectorized_core,
     run_differential_suite,
 )
 
@@ -51,6 +52,13 @@ class TestPipelineAxes:
         assert report.ok, "\n".join(d.detail for d in report.divergences)
 
 
+@pytest.mark.slow
+class TestVectorizedCore:
+    def test_scalar_vs_vectorized_bit_identical(self):
+        report = differential_vectorized_core(2, seed=0)
+        assert report.ok, "\n".join(d.detail for d in report.divergences)
+
+
 class TestReport:
     def test_summary_counts_divergences(self):
         report = DifferentialReport("demo", 5)
@@ -58,12 +66,15 @@ class TestReport:
         assert "OK" in report.summary()
 
     def test_full_suite_shape(self):
-        reports = run_differential_suite(10, seed=0, axes_scenarios=0)
+        reports = run_differential_suite(
+            10, seed=0, axes_scenarios=0, vec_scenarios=0
+        )
         assert [r.component for r in reports] == [
             "signal_check",
             "cascade",
             "rtt_window",
             "base_station",
             "pipeline_axes",
+            "vectorized_core",
         ]
         assert all(r.ok for r in reports)

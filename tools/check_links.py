@@ -15,6 +15,8 @@ Checked:
   document, and ``file.md#section`` must match a heading in the target
   (GitHub anchor rules: lowercase, punctuation stripped, spaces to
   dashes);
+- absolute filesystem links (``/...``) are flagged unconditionally —
+  they may resolve on the machine that wrote them and nowhere else;
 - ``http(s)``/``mailto`` links are skipped — CI must not depend on
   network reachability.
 
@@ -82,6 +84,14 @@ def check_document(doc, verbose=False):
         if verbose:
             print(f"  {doc.relative_to(REPO_ROOT)} -> {target}")
         path_part, _, fragment = target.partition("#")
+        if path_part.startswith("/"):
+            # Absolute filesystem paths may resolve on the machine that
+            # wrote them and nowhere else — always a doc bug.
+            problems.append(
+                f"{doc.relative_to(REPO_ROOT)}: absolute filesystem link "
+                f"{target} (use a repo-relative path)"
+            )
+            continue
         if not path_part:
             if fragment and github_anchor(fragment) not in anchors_of(doc):
                 problems.append(f"{doc.relative_to(REPO_ROOT)}: no heading "

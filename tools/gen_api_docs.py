@@ -10,6 +10,8 @@ fault-injection and experiment-execution layers:
 - ``repro.experiments.runner``
 - ``repro.sim.reliable``
 - ``repro.verify`` (oracles, differential, invariants, statgate, cli)
+- ``repro.vec`` (arrays, geometry, measurement, detection,
+  localization, replay, turbo)
 
 For every module it emits the docstring summary (plus its ``Paper
 section:`` line when the module carries one); for every public class,
@@ -51,6 +53,13 @@ MODULES = [
     ("repro.verify.invariants", SRC / "repro" / "verify" / "invariants.py"),
     ("repro.verify.statgate", SRC / "repro" / "verify" / "statgate.py"),
     ("repro.verify.cli", SRC / "repro" / "verify" / "cli.py"),
+    ("repro.vec.arrays", SRC / "repro" / "vec" / "arrays.py"),
+    ("repro.vec.geometry", SRC / "repro" / "vec" / "geometry.py"),
+    ("repro.vec.measurement", SRC / "repro" / "vec" / "measurement.py"),
+    ("repro.vec.detection", SRC / "repro" / "vec" / "detection.py"),
+    ("repro.vec.localization", SRC / "repro" / "vec" / "localization.py"),
+    ("repro.vec.replay", SRC / "repro" / "vec" / "replay.py"),
+    ("repro.vec.turbo", SRC / "repro" / "vec" / "turbo.py"),
 ]
 
 HEADER = """\
@@ -59,8 +68,9 @@ HEADER = """\
 Public classes and functions of the fault-injection layer
 (`repro.faults`), the observability layer (`repro.obs`), the experiment
 runner (`repro.experiments.runner`), the ARQ reliable-delivery channel
-(`repro.sim.reliable`), and the paper-fidelity conformance harness
-(`repro.verify`).
+(`repro.sim.reliable`), the paper-fidelity conformance harness
+(`repro.verify`), and the vectorized batch simulation core
+(`repro.vec`).
 
 **Generated file — do not edit by hand.** Regenerate with::
 
@@ -68,7 +78,8 @@ runner (`repro.experiments.runner`), the ARQ reliable-delivery channel
 
 CI runs ``python tools/gen_api_docs.py --check`` and fails when this
 file is stale. Background reading: [`FAULTS.md`](FAULTS.md),
-[`OBSERVABILITY.md`](OBSERVABILITY.md), [`VERIFY.md`](VERIFY.md).
+[`OBSERVABILITY.md`](OBSERVABILITY.md), [`VERIFY.md`](VERIFY.md),
+[`PERFORMANCE.md`](PERFORMANCE.md).
 """
 
 
