@@ -5,18 +5,28 @@ beyond the paper's 1,000 nodes. Event count grows with the probe and
 localization traffic (~N * density); this bench records both so
 regressions in the engine or delivery path show up as timing outliers.
 
-Two runner workloads ride along:
+Runner workloads ride along:
 
 - ``test_parallel_speedup`` shards a multi-trial Monte-Carlo workload
   across 4 worker processes and records the speedup vs the serial path
   (asserted > 2x on machines with >= 4 CPUs; always asserted
   bit-identical to serial);
+- ``test_queue_backend_scaling`` runs the same workload through the
+  distributed file-queue backend at increasing worker counts, asserts
+  bit-identity to serial at every count (including a crash-injected
+  ``--keep-going`` run), and records throughput vs workers in
+  ``BENCH_scaling.json`` at the repo root. The >= 6x floor at 8 workers
+  is asserted only on machines with >= 8 CPUs; ``--quick`` asserts
+  identity without any clock gating.
 - ``test_cache_hit_skips_execution`` re-runs a figure workload against a
   warm result cache and asserts — via the runner's timing hooks — that
   the second invocation performs zero pipeline executions.
 """
 
+import json
 import os
+import pathlib
+import platform
 import time
 
 from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
@@ -24,6 +34,10 @@ from repro.experiments import figures
 from repro.experiments.montecarlo import run_trials
 from repro.experiments.runner import ExperimentRunner, PipelineExperiment
 from repro.experiments.series import FigureData
+
+SCALING_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_scaling.json"
+)
 
 #: A single trial of this config takes a few hundred ms — big enough that
 #: process overhead is amortized, small enough for a bench.
@@ -132,6 +146,141 @@ def test_parallel_speedup(save_figure):
     if (os.cpu_count() or 1) >= SPEEDUP_WORKERS:
         wall = fig.series["wall clock (s)"]
         assert wall.y_at(1) / wall.y_at(SPEEDUP_WORKERS) > 2.0
+
+
+#: Worker counts swept by the queue-backend scaling bench.
+QUEUE_WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _assert_identical_aggregates(serial, other):
+    """Bit-identity of two Monte-Carlo aggregate dicts."""
+    assert set(serial) == set(other)
+    for name in serial:
+        assert serial[name].mean == other[name].mean
+        assert serial[name].half_width == other[name].half_width
+
+
+def _record_scaling(trials, serial_s, by_workers):
+    """Merge the queue-backend sweep into BENCH_scaling.json."""
+    try:
+        data = json.loads(SCALING_PATH.read_text())
+    except (OSError, ValueError):
+        data = {}
+    data.setdefault("schema", 1)
+    data["environment"] = {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+    }
+    data.setdefault("benchmarks", {})["queue_scaling"] = {
+        "trials": trials,
+        "serial_s": round(serial_s, 6),
+        "workers": {
+            str(workers): {
+                "wall_s": round(wall_s, 6),
+                "throughput_trials_per_s": round(trials / wall_s, 4),
+                "speedup": round(serial_s / wall_s, 2),
+            }
+            for workers, wall_s in by_workers.items()
+        },
+    }
+    SCALING_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data["benchmarks"]["queue_scaling"]
+
+
+def queue_scaling_sweep(
+    queue_root,
+    trials=2 * SPEEDUP_TRIALS,
+    worker_counts=QUEUE_WORKER_COUNTS,
+    overrides=SPEEDUP_OVERRIDES,
+):
+    """Serial vs file-queue wall clock at increasing worker counts.
+
+    Returns ``(fig, serial_s, by_workers, serial, queue_results)`` where
+    ``queue_results[w]`` is the aggregate dict the w-worker queue run
+    produced (asserted bit-identical to ``serial`` by the caller).
+    """
+    experiment = PipelineExperiment(overrides=overrides)
+
+    start = time.perf_counter()
+    serial = run_trials(experiment, trials=trials, base_seed=31)
+    serial_s = time.perf_counter() - start
+
+    by_workers = {}
+    queue_results = {}
+    for workers in worker_counts:
+        runner = ExperimentRunner(
+            backend="queue",
+            n_workers=workers,
+            queue_dir=queue_root / f"w{workers}",
+        )
+        start = time.perf_counter()
+        queue_results[workers] = run_trials(
+            experiment, trials=trials, base_seed=31, runner=runner
+        )
+        by_workers[workers] = time.perf_counter() - start
+
+    fig = FigureData(
+        figure_id="perf_queue_scaling",
+        title="Monte-Carlo throughput vs queue-backend worker count",
+        x_label="worker processes",
+        y_label="trials / second",
+        notes=(
+            f"{trials} trials of a {overrides['n_total']}-node pipeline "
+            f"through the file-queue backend on {os.cpu_count()} CPU(s); "
+            f"serial baseline {trials / serial_s:.2f} trials/s"
+        ),
+    )
+    throughput = fig.new_series("throughput (trials/s)")
+    for workers, wall_s in by_workers.items():
+        throughput.append(workers, trials / wall_s)
+    return fig, serial_s, by_workers, serial, queue_results
+
+
+def test_queue_backend_scaling(save_figure, tmp_path, quick):
+    if quick:
+        # Smoke mode: tiny workload, identity asserted at two worker
+        # counts, no clock gating and no baseline rewrite.
+        trials, worker_counts = 4, (1, 2)
+        overrides = dict(
+            SPEEDUP_OVERRIDES, n_total=150, n_beacons=20, n_malicious=2,
+            field_width_ft=420.0, field_height_ft=420.0,
+            rtt_calibration_samples=200,
+        )
+    else:
+        trials, worker_counts = 2 * SPEEDUP_TRIALS, QUEUE_WORKER_COUNTS
+        overrides = SPEEDUP_OVERRIDES
+    fig, serial_s, by_workers, serial, queue_results = queue_scaling_sweep(
+        tmp_path / "queue", trials=trials, worker_counts=worker_counts,
+        overrides=overrides,
+    )
+    save_figure(fig)
+
+    # Determinism first: every worker count reproduces serial, bit for bit.
+    for workers in worker_counts:
+        _assert_identical_aggregates(serial, queue_results[workers])
+
+    # Fault tolerance rides the same bar: a worker crash mid-run changes
+    # nothing but the wall clock.
+    experiment = PipelineExperiment(overrides=overrides)
+    crashed = ExperimentRunner(
+        backend="queue",
+        n_workers=2,
+        queue_dir=tmp_path / "queue-crash",
+        keep_going=True,
+        queue_crash_after={0: 1},
+    )
+    _assert_identical_aggregates(
+        serial,
+        run_trials(experiment, trials=trials, base_seed=31, runner=crashed),
+    )
+    assert crashed.stats.requeues >= 1 and not crashed.stats.errors
+
+    if not quick:
+        entry = _record_scaling(trials, serial_s, by_workers)
+        # Near-linear scaling is only physically possible with the cores
+        # to back it; the baseline records the measured ratio either way.
+        if (os.cpu_count() or 1) >= 8 and 8 in by_workers:
+            assert entry["workers"]["8"]["speedup"] >= 6.0
 
 
 def test_cache_hit_skips_execution(save_figure, tmp_path):

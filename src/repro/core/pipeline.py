@@ -102,6 +102,12 @@ class PipelineConfig:
     tau_report: int = 2
     tau_alert: int = 2
     wormhole_p_d: float = 0.9
+    #: Probability the wormhole detector flags a *clean* direct signal
+    #: (§2.2.1 robustness ablation; the paper's model uses 0). Each
+    #: clean evaluated reception draws one coin on the
+    #: ``wormhole-detector`` stream, so 0.0 keeps the stream untouched
+    #: and bit-identical to earlier seeds.
+    wormhole_false_alarm_rate: float = 0.0
     p_prime: float = 0.2
     location_lie_ft: float = 100.0
     wormhole_endpoints: Optional[Tuple[Tuple[float, float], Tuple[float, float]]] = (
@@ -192,6 +198,9 @@ class PipelineConfig:
         check_int_in_range(self.n_malicious, "n_malicious", 0, self.n_beacons)
         check_int_in_range(self.m_detecting_ids, "m_detecting_ids", 0)
         check_probability(self.wormhole_p_d, "wormhole_p_d")
+        check_probability(
+            self.wormhole_false_alarm_rate, "wormhole_false_alarm_rate"
+        )
         check_probability(self.p_prime, "p_prime")
         if self.comm_range_ft <= 0:
             raise ConfigurationError(
@@ -366,6 +375,11 @@ class SecureLocalizationPipeline:
         # would then flag honest beacons at the field's edge. Calibrating
         # at comm_range_ft makes x_max dominate every honest exchange
         # (the §2.2.2 honest-window invariant in repro.verify).
+        calibration_sampler = None
+        if self._vectorized_active():
+            from repro.vec.measurement import batched_calibration_rtts
+
+            calibration_sampler = batched_calibration_rtts
         calibration = calibrate_rtt(
             self.network.rtt_model,
             self.rngs.stream("rtt-calibration"),
@@ -373,7 +387,10 @@ class SecureLocalizationPipeline:
             distance_ft=cfg.comm_range_ft,
             perturb=calibration_perturb,
             observe=calibration_observe,
+            sampler=calibration_sampler,
         )
+        if calibration_sampler is not None:
+            self._vec_bump("vec_calibration_rtts", cfg.rtt_calibration_samples)
         if rtt_histograms:
             self.network.rtt_observer = self._make_rtt_observer(obs)
 
@@ -385,6 +402,7 @@ class SecureLocalizationPipeline:
         wormhole_detector = ProbabilisticWormholeDetector(
             cfg.wormhole_p_d,
             self.rngs.stream("wormhole-detector"),
+            false_alarm_rate=cfg.wormhole_false_alarm_rate,
             identity_resolver=canonical_identity,
         )
         signal_detector = MaliciousSignalDetector(

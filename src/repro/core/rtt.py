@@ -66,6 +66,9 @@ def calibrate_rtt(
     distance_ft: float = 0.0,
     perturb: Optional[Callable[[float], float]] = None,
     observe: Optional[Callable[[float], None]] = None,
+    sampler: Optional[
+        Callable[[RttModel, random.Random, int, float], Iterable[float]]
+    ] = None,
 ) -> RttCalibration:
     """Measure ``samples`` attack-free RTTs and extract the window.
 
@@ -86,10 +89,20 @@ def calibrate_rtt(
             perturbed) calibration RTT — the observability layer feeds
             these into its ``rtt_cycles{kind="calibration"}`` histogram,
             reconstructing the Figure-4 distribution.
+        sampler: optional replacement for the scalar draw loop, called
+            as ``sampler(model, rng, samples, distance_ft)`` — the
+            vectorized pipeline passes
+            :func:`repro.vec.measurement.batched_calibration_rtts`,
+            whose output (and resulting ``rng`` state) is bit-identical
+            to the scalar loop. The perturb/observe hooks apply after
+            all draws in both paths, so the swap is order-safe.
     """
     if samples <= 0:
         raise ConfigurationError(f"samples must be > 0, got {samples}")
-    rtts = model.sample_rtts(rng, samples, distance_ft=distance_ft)
+    if sampler is not None:
+        rtts = list(sampler(model, rng, samples, distance_ft))
+    else:
+        rtts = model.sample_rtts(rng, samples, distance_ft=distance_ft)
     if perturb is not None:
         rtts = [perturb(rtt) for rtt in rtts]
     if observe is not None:

@@ -18,6 +18,7 @@ from repro.experiments.montecarlo import (
     summarize,
     trial_seeds,
 )
+from repro.experiments.distributed import run_worker
 from repro.experiments.runner import (
     ExperimentRunner,
     PipelineExperiment,
@@ -59,6 +60,7 @@ __all__ = [
     "TrialError",
     "cache_key",
     "execute_pipeline",
+    "run_worker",
     "render_svg",
     "save_svg",
     "FieldMap",

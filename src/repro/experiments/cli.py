@@ -8,6 +8,8 @@ Usage::
     python -m repro.experiments all --out results/ --workers 4 --cache-dir .cache
     python -m repro.experiments figure14 --workers 0 --progress
     python -m repro.experiments figure12 --profile --out results/
+    python -m repro.experiments figure12 --backend queue --workers 4
+    python -m repro.experiments --worker /shared/queue   # standalone worker
 
 Each figure command prints the data table; ``--out`` also writes
 ``<figure>.txt`` (``<figure>.svg`` with ``--svg``, ``<figure>.json`` with
@@ -17,6 +19,14 @@ result cache, so a re-run skips every already-computed pipeline point.
 ``--profile`` aggregates per-phase timings and hot-path counters across
 every executed trial and emits them as JSON (``profile.json`` under
 ``--out``).
+
+``--backend queue`` swaps the in-process pool for the distributed
+file-queue backend (``repro.experiments.distributed``): the CLI acts as
+the coordinator, spawns ``--workers`` worker processes against
+``--queue-dir`` (standalone workers started with ``--worker QUEUE_DIR``
+— on this or any host sharing the path — join in), and re-queues tasks
+whose worker crashes or stalls past ``--lease-timeout``. Results stay
+bit-identical to the serial path.
 
 Failure handling: the default is ``--fail-fast`` (first task exception
 aborts the run). ``--keep-going`` degrades gracefully instead — failed
@@ -86,9 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "target",
+        nargs="?",
+        default=None,
         help=(
             "figure name (e.g. figure05), 'all', 'list', 'report', or "
-            "'trial' (one fully observed paper-default pipeline run)"
+            "'trial' (one fully observed paper-default pipeline run); "
+            "optional with --worker"
         ),
     )
     parser.add_argument(
@@ -118,6 +131,55 @@ def build_parser() -> argparse.ArgumentParser:
         type=_workers_type,
         default=1,
         help="worker processes for simulation figures (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("pool", "queue"),
+        default="pool",
+        help=(
+            "execution backend: 'pool' (in-process worker pool, the "
+            "default) or 'queue' (distributed file-queue coordinator "
+            "with work stealing and crash re-queue; see --queue-dir)"
+        ),
+    )
+    parser.add_argument(
+        "--queue-dir",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "queue directory for --backend queue (shared path standalone "
+            "workers attach to; default: a fresh temporary directory)"
+        ),
+    )
+    parser.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "queue backend: seconds a claimed task's heartbeat may go "
+            "stale before it is re-queued (default: 30)"
+        ),
+    )
+    parser.add_argument(
+        "--worker",
+        type=pathlib.Path,
+        default=None,
+        metavar="QUEUE_DIR",
+        help=(
+            "run as a standalone queue worker serving this queue "
+            "directory instead of generating figures (see also "
+            "--worker-id; workers exit when the queue's runs stop)"
+        ),
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable name for --worker (default: w<pid>)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="with --worker: exit after the first run completes",
     )
     parser.add_argument(
         "--cache-dir",
@@ -221,6 +283,9 @@ def make_runner(args) -> ExperimentRunner:
         observe = ObserveConfig(trace_events=args.target == "trial")
     return ExperimentRunner(
         n_workers=workers,
+        backend=args.backend,
+        queue_dir=args.queue_dir,
+        lease_timeout_s=args.lease_timeout,
         cache_dir=args.cache_dir,
         progress=_print_progress if args.progress else None,
         profile=args.profile,
@@ -260,7 +325,17 @@ def _emit(fig, args) -> None:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.worker is not None:
+        from repro.experiments.distributed import run_worker
+
+        worker_id = args.worker_id or f"w{os.getpid()}"
+        return run_worker(args.worker, worker_id, once=args.once)
+
+    if args.target is None:
+        parser.error("a target is required unless --worker is given")
 
     if args.target == "list":
         for name in sorted(figures.ALL_FIGURES):

@@ -22,17 +22,28 @@ figure generators, sweeps, and benches route through:
   (``keep_going=False``) fails fast with :class:`ExperimentError`;
 - :class:`ResultCache` — JSON files on disk, content-addressed by a
   stable SHA-256 of the pipeline config + seed + library version, so
-  re-running a bench skips every already-computed point;
+  re-running a bench skips every already-computed point. Writes are
+  atomic (write-temp + :func:`os.replace`) and safe under concurrent
+  writers, and :meth:`ResultCache.claim`/:meth:`ResultCache.release`
+  give cooperating processes an exclusive compute claim so a shared
+  store never recomputes the same key twice;
+- ``backend="queue"`` — the distributed execution backend
+  (:mod:`repro.experiments.distributed`): a file-queue coordinator that
+  shards task manifests to standalone worker processes with work
+  stealing and lease-based crash recovery, still bit-identical to the
+  serial path;
 - :class:`PipelineExperiment` — a picklable ``seed -> metrics`` callable
   for :func:`repro.experiments.montecarlo.run_trials`.
 
 Determinism contract: for identical inputs, the runner returns results in
-input order and bit-identical to the serial path, for any ``n_workers``.
+input order and bit-identical to the serial path, for any ``n_workers``
+and any backend.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import pathlib
@@ -40,7 +51,7 @@ import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import dataclasses
 
@@ -168,7 +179,21 @@ class ResultCache:
     Entries live at ``<root>/<key>.json`` and carry their key material for
     debuggability. A missing, unreadable, or malformed file is simply a
     miss — the task recomputes and the entry is rewritten.
+
+    The store is safe to share between processes: :meth:`put` writes to a
+    uniquely named temp file and lands it with :func:`os.replace`, so a
+    reader never observes a torn entry and the last concurrent writer
+    wins whole-file (all writers of one key produce identical bytes —
+    results are content-addressed — so "last wins" is also "any wins").
+    :meth:`claim`/:meth:`release` additionally give cooperating writers
+    an exclusive *compute* claim per key (an ``O_EXCL`` lock file), which
+    the distributed backend uses so two workers never recompute the same
+    entry.
     """
+
+    #: Process-wide uniquifier so concurrent threads of one process never
+    #: collide on a temp-file name.
+    _tmp_ids = itertools.count()
 
     def __init__(self, root: Union[str, pathlib.Path]) -> None:
         self.root = pathlib.Path(root)
@@ -176,6 +201,37 @@ class ResultCache:
     def path(self, key: str) -> pathlib.Path:
         """Where the entry for ``key`` lives (whether or not it exists)."""
         return self.root / f"{key}.json"
+
+    def claim_path(self, key: str) -> pathlib.Path:
+        """Where the exclusive compute claim for ``key`` lives."""
+        return self.root / f"{key}.claim"
+
+    def claim(self, key: str) -> bool:
+        """Atomically acquire the exclusive compute claim for ``key``.
+
+        Returns True when this caller now holds the claim (it must
+        eventually :meth:`release`), False when another process already
+        holds it. Claiming is advisory — :meth:`put` works without one —
+        but cooperating workers use it to elect a single computer per
+        key.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(
+                self.claim_path(key), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps({"pid": os.getpid()}))
+        return True
+
+    def release(self, key: str) -> None:
+        """Drop the compute claim for ``key`` (idempotent)."""
+        try:
+            self.claim_path(key).unlink()
+        except OSError:
+            pass
 
     def get(self, key: str) -> Optional[Dict[str, float]]:
         """The cached metrics for ``key``, or None on miss/corruption."""
@@ -219,9 +275,19 @@ class ResultCache:
         if telemetry is not None:
             entry["telemetry"] = telemetry
         path = self.path(key)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
-        tmp.replace(path)
+        # Unique per (process, thread-call) so concurrent writers never
+        # share a temp file; os.replace is atomic, so readers see either
+        # the old complete entry or the new complete entry, never a mix.
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{next(self._tmp_ids)}")
+        try:
+            tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
 
 @dataclass(frozen=True)
@@ -309,6 +375,30 @@ class RunStats:
     #: Runner-level task spans (only when observing): one completed-span
     #: dict per executed task, on the runner's own wall clock.
     run_spans: List[Dict[str, Any]] = field(default_factory=list)
+    #: Queue backend only: leases expired and re-queued after a worker
+    #: crashed or stalled (each re-queue reruns one task elsewhere).
+    requeues: int = 0
+    #: Queue backend only: tasks a worker claimed from another worker's
+    #: shard (work stealing for stragglers).
+    steals: int = 0
+    #: Queue backend only: one summary dict per worker process
+    #: (``{"worker", "claims", "completed", "steals", "registry"}``),
+    #: sorted by worker id. Merge the registries with
+    #: :meth:`worker_registry`.
+    worker_snapshots: List[Dict[str, Any]] = field(default_factory=list)
+
+    def worker_registry(self) -> Dict[str, Any]:
+        """The workers' own metrics registries reduced into one.
+
+        Order-insensitive like :meth:`merged_registry`, but over the
+        queue workers' *process-level* counters (tasks completed, steals)
+        rather than the per-trial simulation telemetry.
+        """
+        return merge_snapshots(
+            entry["registry"]
+            for entry in self.worker_snapshots
+            if entry.get("registry") is not None
+        )
 
     @property
     def failed(self) -> int:
@@ -376,7 +466,29 @@ class ExperimentRunner:
 
     Args:
         n_workers: process count; 1 (the default) runs everything in the
-            calling process with zero multiprocessing machinery.
+            calling process with zero multiprocessing machinery (with
+            ``backend="queue"`` it is the spawned worker count instead,
+            and 1 still exercises the full queue protocol).
+        backend: ``"pool"`` (the default) shards over an in-process
+            :class:`~concurrent.futures.ProcessPoolExecutor`;
+            ``"queue"`` routes execution through the distributed
+            file-queue coordinator (:mod:`repro.experiments.distributed`)
+            — standalone worker processes claiming leased task manifests
+            with work stealing and crash re-queue. Both are bit-identical
+            to serial.
+        queue_dir: queue backend only — the queue directory (shared
+            filesystem path workers rendezvous on). Default: a fresh
+            temporary directory per runner call. Pre-started standalone
+            workers (``python -m repro.experiments --worker DIR``) attach
+            to the same directory.
+        lease_timeout_s: queue backend only — a claimed task whose lease
+            heartbeat goes stale for this long is treated as lost and
+            re-queued (crashed workers spawned by the coordinator are
+            detected immediately via their exit status).
+        queue_crash_after: queue backend only — fault injection for
+            tests/benches: maps a spawned worker's index to the claim
+            count after which it hard-crashes (``os._exit``) while still
+            holding its lease, exercising the re-queue path.
         cache_dir: enable the on-disk :class:`ResultCache` rooted here.
         progress: called with a :class:`ProgressEvent` after each task.
         profile: collect per-trial phase timings and hot-path counters
@@ -410,6 +522,10 @@ class ExperimentRunner:
         self,
         *,
         n_workers: int = 1,
+        backend: str = "pool",
+        queue_dir: Optional[Union[str, pathlib.Path]] = None,
+        lease_timeout_s: float = 30.0,
+        queue_crash_after: Optional[Mapping[int, int]] = None,
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         progress: Optional[Callable[[ProgressEvent], None]] = None,
         profile: bool = False,
@@ -420,6 +536,14 @@ class ExperimentRunner:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be an int >= 1, got {n_workers!r}"
+            )
+        if backend not in ("pool", "queue"):
+            raise ConfigurationError(
+                f"backend must be 'pool' or 'queue', got {backend!r}"
+            )
+        if not isinstance(lease_timeout_s, (int, float)) or lease_timeout_s <= 0:
+            raise ConfigurationError(
+                f"lease_timeout_s must be > 0, got {lease_timeout_s!r}"
             )
         if not isinstance(task_retries, int) or task_retries < 0:
             raise ConfigurationError(
@@ -434,6 +558,10 @@ class ExperimentRunner:
                 f"observe must be an ObserveConfig, bool, or None, got {observe!r}"
             )
         self.n_workers = n_workers
+        self.backend = backend
+        self.queue_dir = pathlib.Path(queue_dir) if queue_dir is not None else None
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.queue_crash_after = dict(queue_crash_after or {})
         self.cache = ResultCache(cache_dir) if cache_dir is not None else None
         self.progress = progress
         self.profile = bool(profile)
@@ -661,6 +789,14 @@ class ExperimentRunner:
         """Run ``fn`` over ``payloads[i] for i in pending`` into ``results``."""
         done = done_offset
         if not pending:
+            return
+        if self.backend == "queue":
+            from repro.experiments.distributed import execute_queue
+
+            execute_queue(
+                self, fn, payloads, pending, results, task_keys,
+                done_offset=done_offset, total=total,
+            )
             return
         if self.n_workers == 1:
             for index in pending:

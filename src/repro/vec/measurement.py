@@ -118,6 +118,37 @@ def batched_rtt(
     return (t4 - t1) - (t3 - t2)
 
 
+def batched_calibration_rtts(
+    model: RttModel, rng: random.Random, samples: int, distance_ft: float
+) -> list:
+    """The calibration phase's RTT draws as one array kernel.
+
+    Bit-identical to ``model.sample_rtts(rng, samples,
+    distance_ft=distance_ft)`` — the scalar loop behind
+    :func:`repro.core.rtt.calibrate_rtt` — and leaves ``rng`` in the
+    identical state (exactly ``5 * samples`` raw draws, in scalar
+    order). Calibration is attack-free by construction, so every sample
+    shares one distance, zero extra delay, and a zero start time; the
+    general :func:`batched_rtt` chain reduces to a constant-operand
+    evaluation over the raw draws.
+
+    Returns a plain list of floats so the result drops into
+    :func:`repro.core.rtt.calibration_from_samples` (and the perturb/
+    observe hooks) exactly like the scalar sampler's output.
+    """
+    if samples <= 0:
+        raise ConfigurationError(f"n must be > 0, got {samples}")
+    n = int(samples)
+    rtts = batched_rtt(
+        rng,
+        model,
+        np.full(n, float(distance_ft), dtype=np.float64),
+        np.zeros(n, dtype=np.float64),
+        np.zeros(n, dtype=np.float64),
+    )
+    return rtts.tolist()
+
+
 def discrepancy_mask(
     calculated_ft: np.ndarray,
     measured_ft: np.ndarray,

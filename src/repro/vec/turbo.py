@@ -64,8 +64,11 @@ def turbo_supported(pipeline) -> bool:
     randomness per copy and nothing ever crashes mid-phase), the
     default bounded-uniform ranging model (recognizable by its
     ``max_error_ft`` tag), out-of-range unicasts configured to drop
-    rather than raise, and the stock probabilistic wormhole detector
-    with a zero false-alarm rate (clean receptions then draw nothing).
+    rather than raise, and the stock probabilistic wormhole detector.
+    A positive false-alarm rate is supported: the verdict kernel then
+    walks the evaluated batch in delivery order so the per-clean-copy
+    coins interleave with the sticky tunnel coins exactly as the scalar
+    loop draws them (guarded by ``repro-verify --only vectorized_core``).
     Anything else falls back to the per-delivery replay engine, which
     handles the general envelope.
     """
@@ -84,10 +87,7 @@ def turbo_supported(pipeline) -> bool:
         cascade = pipeline.agents[0].filter_cascade
     else:
         return False
-    detector = cascade.wormhole_detector
-    if not isinstance(detector, ProbabilisticWormholeDetector):
-        return False
-    return detector.false_alarm_rate == 0.0
+    return isinstance(cascade.wormhole_detector, ProbabilisticWormholeDetector)
 
 
 def _exact_distances(ax, ay, bx, by) -> np.ndarray:
@@ -433,25 +433,48 @@ def _wormhole_verdicts(
 
     ``evaluated`` marks the copies the cascade actually hands to the
     detector (the §2.2.1 range check short-circuits the rest).
-    ``checks``/``flags`` are bulk-incremented; the only RNG the scalar
-    detector uses in the supported envelope — one ``p_d`` coin per
-    first-seen (requester, target) pair on a genuinely tunnelled copy
-    — is drawn in delivery order against the live sticky verdict
-    table, so every coin lands exactly where the scalar loop flips it.
+    ``checks``/``flags`` are bulk-incremented. RNG parity follows the
+    scalar branch structure: faked symptoms flag without a draw; a
+    genuinely tunnelled copy flips one ``p_d`` coin per first-seen
+    (requester, target) pair against the live sticky verdict table; a
+    clean copy draws a false-alarm coin only when ``false_alarm_rate``
+    is positive. With a zero false-alarm rate (the paper's model) clean
+    copies draw nothing, so the tunnel coins are the only draws and the
+    sparse loop below visits just those; with a positive rate every
+    evaluated copy may draw, so one ordered loop walks the whole batch
+    — either way each coin lands exactly where the scalar loop flips
+    it, because both loops run in delivery order.
     """
     flagged = np.zeros(evaluated.shape[0], dtype=bool)
-    flagged[evaluated & fakes] = True
     verdicts = detector._verdicts
     rng = detector._rng
     requester_list = requester_ids.tolist()
     src_list = src_ids.tolist()
-    for index in np.flatnonzero(evaluated & via_wormhole & ~fakes).tolist():
-        key = (requester_list[index], src_list[index])
-        verdict = verdicts.get(key)
-        if verdict is None:
-            verdict = rng.random() < detector.p_d
-            verdicts[key] = verdict
-        flagged[index] = verdict
+    if detector.false_alarm_rate > 0.0:
+        fakes_list = fakes.tolist()
+        via_list = via_wormhole.tolist()
+        rate = detector.false_alarm_rate
+        for index in np.flatnonzero(evaluated).tolist():
+            if fakes_list[index]:
+                flagged[index] = True
+            elif via_list[index]:
+                key = (requester_list[index], src_list[index])
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    verdict = rng.random() < detector.p_d
+                    verdicts[key] = verdict
+                flagged[index] = verdict
+            else:
+                flagged[index] = rng.random() < rate
+    else:
+        flagged[evaluated & fakes] = True
+        for index in np.flatnonzero(evaluated & via_wormhole & ~fakes).tolist():
+            key = (requester_list[index], src_list[index])
+            verdict = verdicts.get(key)
+            if verdict is None:
+                verdict = rng.random() < detector.p_d
+                verdicts[key] = verdict
+            flagged[index] = verdict
     detector.checks += int(np.count_nonzero(evaluated))
     detector.flags += int(np.count_nonzero(flagged))
     return flagged

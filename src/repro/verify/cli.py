@@ -55,8 +55,8 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--vec-scenarios",
         type=int,
-        default=6,
-        help="vectorized-core bit-identity scenarios (default: 6)",
+        default=8,
+        help="vectorized-core bit-identity scenarios (default: 8)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master scenario seed (default: 0)"

@@ -417,16 +417,17 @@ def differential_pipeline_axes(
 
 
 def differential_vectorized_core(
-    scenarios: int = 6, seed: int = 0
+    scenarios: int = 8, seed: int = 0
 ) -> DifferentialReport:
     """Bit-identity of the vectorized batch core against the scalar path.
 
     Each scenario builds one small randomized deployment and runs it
     twice — ``use_vectorized_core`` off and on — cycling the wormhole
     axis every scenario and the delivery envelope every other one
-    (clean, injected faults, link loss), so both tiers of the batch
-    path are exercised: the fully array-built turbo tier on clean
-    configurations and the per-delivery replay tier under faults/loss.
+    (clean, injected faults, link loss, probabilistic false alarms), so
+    both tiers of the batch path are exercised: the fully array-built
+    turbo tier on clean and false-alarm configurations and the
+    per-delivery replay tier under faults/loss.
     The complete ``PipelineResult`` objects must compare equal — every
     rate, every localization error, every affected-node id, to the
     last bit. "Tolerance-identical" for this substrate *is* exact
@@ -442,7 +443,8 @@ def differential_vectorized_core(
     report = DifferentialReport("vectorized_core", scenarios)
     for i in range(scenarios):
         rng = _rng(seed, "veccore", i)
-        envelope = (i // 2) % 3  # 0: clean, 1: faulted, 2: lossy
+        # 0: clean, 1: faulted, 2: lossy, 3: probabilistic false alarms
+        envelope = (i // 2) % 4
         kwargs = dict(
             n_total=rng.randint(40, 70),
             n_beacons=rng.randint(8, 14),
@@ -466,6 +468,8 @@ def differential_vectorized_core(
             )
         elif envelope == 2:
             kwargs["network_loss_rate"] = 0.1
+        elif envelope == 3:
+            kwargs["wormhole_false_alarm_rate"] = rng.choice([0.05, 0.2])
         scalar = SecureLocalizationPipeline(PipelineConfig(**kwargs)).run()
         vectorized = SecureLocalizationPipeline(
             PipelineConfig(**kwargs, use_vectorized_core=True)
@@ -500,7 +504,7 @@ def run_differential_suite(
     seed: int = 0,
     *,
     axes_scenarios: int = 4,
-    vec_scenarios: int = 6,
+    vec_scenarios: int = 8,
 ) -> List[DifferentialReport]:
     """Run every differential component plus the whole-pipeline checks.
 

@@ -25,6 +25,7 @@ from repro.vec.geometry import (
     within_range_matrix,
 )
 from repro.vec.measurement import (
+    batched_calibration_rtts,
     batched_rtt,
     batched_uniform,
     discrepancy_mask,
@@ -124,6 +125,35 @@ def test_batched_rtt_validates_like_the_scalar_sampler():
     assert rng.random() == random.Random(0).random()
     empty = np.empty(0)
     assert batched_rtt(rng, model, empty, empty, empty).shape == (0,)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    samples=st.integers(min_value=1, max_value=64),
+    distance=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_batched_calibration_rtts_bit_identical_to_scalar_loop(
+    seed, samples, distance
+):
+    model = RttModel()
+    vec_rng = random.Random(seed)
+    ref_rng = random.Random(seed)
+    batch = batched_calibration_rtts(model, vec_rng, samples, distance)
+    reference = model.sample_rtts(ref_rng, samples, distance_ft=distance)
+    assert batch == reference
+    # Both paths consumed exactly the same draws: streams stay in step.
+    assert vec_rng.random() == ref_rng.random()
+
+
+def test_batched_calibration_rtts_rejects_nonpositive_counts():
+    model = RttModel()
+    rng = random.Random(0)
+    with pytest.raises(ConfigurationError):
+        batched_calibration_rtts(model, rng, 0, 10.0)
+    with pytest.raises(ConfigurationError):
+        batched_calibration_rtts(model, rng, -3, 10.0)
+    assert rng.random() == random.Random(0).random()  # no draws consumed
 
 
 # ----------------------------------------------------------------------

@@ -45,8 +45,17 @@ CASES = {
     "turbo-no-wormhole": replace(BASE, wormhole_endpoints=None),
     "turbo-no-malicious": replace(BASE, n_malicious=0),
     "turbo-other-seed": replace(BASE, seed=101),
+    # Positive false-alarm rates stay turbo-eligible: the ordered
+    # verdict walk keeps the wormhole stream in scalar lockstep.
+    "turbo-false-alarm": replace(BASE, wormhole_false_alarm_rate=0.1),
+    "turbo-false-alarm-no-wormhole": replace(
+        BASE, wormhole_endpoints=None, wormhole_false_alarm_rate=0.3
+    ),
     # Loss and fault envelopes: the per-delivery replay tier.
     "replay-loss": replace(BASE, network_loss_rate=0.12),
+    "replay-loss-false-alarm": replace(
+        BASE, network_loss_rate=0.12, wormhole_false_alarm_rate=0.2
+    ),
     "replay-faults": replace(BASE, faults=FAULTS),
     "replay-faults-loss": replace(
         BASE, faults=FAULTS, network_loss_rate=0.08, wormhole_endpoints=None
@@ -116,3 +125,11 @@ def test_turbo_tier_engaged_on_fault_free_config():
     )
     faulty.build()
     assert not turbo_supported(faulty)
+
+    # A positive false-alarm rate no longer demotes the config to the
+    # replay tier (the ordered verdict walk preserves stream parity).
+    false_alarm = SecureLocalizationPipeline(
+        replace(BASE, use_vectorized_core=True, wormhole_false_alarm_rate=0.2)
+    )
+    false_alarm.build()
+    assert turbo_supported(false_alarm)

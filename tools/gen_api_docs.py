@@ -47,6 +47,10 @@ MODULES = [
     ("repro.obs.spans", SRC / "repro" / "obs" / "spans.py"),
     ("repro.obs.export", SRC / "repro" / "obs" / "export.py"),
     ("repro.experiments.runner", SRC / "repro" / "experiments" / "runner.py"),
+    (
+        "repro.experiments.distributed",
+        SRC / "repro" / "experiments" / "distributed.py",
+    ),
     ("repro.sim.reliable", SRC / "repro" / "sim" / "reliable.py"),
     ("repro.verify.oracles", SRC / "repro" / "verify" / "oracles.py"),
     ("repro.verify.differential", SRC / "repro" / "verify" / "differential.py"),
@@ -67,8 +71,9 @@ HEADER = """\
 
 Public classes and functions of the fault-injection layer
 (`repro.faults`), the observability layer (`repro.obs`), the experiment
-runner (`repro.experiments.runner`), the ARQ reliable-delivery channel
-(`repro.sim.reliable`), the paper-fidelity conformance harness
+runner (`repro.experiments.runner`) and its distributed file-queue
+backend (`repro.experiments.distributed`), the ARQ reliable-delivery
+channel (`repro.sim.reliable`), the paper-fidelity conformance harness
 (`repro.verify`), and the vectorized batch simulation core
 (`repro.vec`).
 
