@@ -42,7 +42,17 @@ from repro.core.notices import (
 )
 from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
 from repro.core.detecting import DetectingBeacon
-from repro.core.revocation import BaseStation, RevocationConfig
+from repro.core.revocation import (
+    AlertDecision,
+    AlertRecord,
+    BaseStation,
+    CounterState,
+    RevocationConfig,
+    apply_alert,
+    apply_target,
+    evaluate_alert,
+    evaluate_target,
+)
 from repro.core.distributed import (
     DistributedConfig,
     DistributedRevocationProtocol,
@@ -70,8 +80,15 @@ __all__ = [
     "FilterDecision",
     "ReplayFilterCascade",
     "DetectingBeacon",
+    "AlertDecision",
+    "AlertRecord",
     "BaseStation",
+    "CounterState",
     "RevocationConfig",
+    "apply_alert",
+    "apply_target",
+    "evaluate_alert",
+    "evaluate_target",
     "DistributedConfig",
     "DistributedRevocationProtocol",
     "RevocationLedger",

@@ -19,13 +19,19 @@ alerts still count (so colluders cannot silence a benign detector by
 getting it revoked first), and the per-detector quota caps how much damage
 colluding reporters can do (``N_a * (tau_report + 1)`` accepted alerts).
 
+The decision logic itself is factored out as a pure counter machine —
+:class:`CounterState` plus :func:`evaluate_alert` / :func:`evaluate_target`
+/ :func:`apply_alert` — so the in-process :class:`BaseStation` and the
+sharded, persistent :mod:`repro.revocation` service run the *same*
+transition function and stay bit-identical by construction.
+
 Paper section: §3.1 (base-station revocation)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, NamedTuple, Optional, Set
 
 from repro.crypto.manager import KeyManager
 from repro.errors import RevocationError
@@ -52,6 +58,152 @@ class RevocationConfig:
         check_int_in_range(self.tau_alert, "tau_alert", 0)
 
 
+class AlertDecision(NamedTuple):
+    """The outcome of evaluating one alert against a counter state.
+
+    Attributes:
+        accepted: whether the alert passed both §3.1 gates.
+        reason: ``"accepted"``, ``"quota-exceeded"``, or
+            ``"target-already-revoked"`` (``"bad-auth"`` is decided
+            upstream, before the counter machine sees the alert).
+        revokes_target: True when committing this (accepted) alert pushes
+            the target's alert counter past ``tau_alert`` — i.e. this is
+            the alert that revokes the target.
+    """
+
+    accepted: bool
+    reason: str
+    revokes_target: bool
+
+
+@dataclass
+class CounterState:
+    """The §3.1 counter-machine state, separated from transport concerns.
+
+    This is the *pure* core the paper's revocation scheme reduces to: two
+    counter maps plus the revoked set. :class:`BaseStation` wraps one of
+    these with authentication, logging, and dissemination;
+    :class:`repro.revocation.service.RevocationService` shards one across
+    per-target shard workers. Both apply alerts through the same
+    :func:`apply_alert` transition, so their decisions cannot drift.
+    """
+
+    alert_counters: Dict[int, int] = field(default_factory=dict)
+    report_counters: Dict[int, int] = field(default_factory=dict)
+    revoked: Set[int] = field(default_factory=set)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot (int keys become strings; sets, sorted lists)."""
+        return {
+            "alert_counters": {
+                str(k): v for k, v in sorted(self.alert_counters.items())
+            },
+            "report_counters": {
+                str(k): v for k, v in sorted(self.report_counters.items())
+            },
+            "revoked": sorted(self.revoked),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CounterState":
+        """Rebuild a state from :meth:`to_dict` output."""
+        return cls(
+            alert_counters={
+                int(k): int(v)
+                for k, v in (data.get("alert_counters") or {}).items()
+            },
+            report_counters={
+                int(k): int(v)
+                for k, v in (data.get("report_counters") or {}).items()
+            },
+            revoked={int(v) for v in (data.get("revoked") or ())},
+        )
+
+
+def evaluate_target(
+    state: CounterState, config: RevocationConfig, target_id: int
+) -> AlertDecision:
+    """The target-side half of the §3.1 decision (detector quota already
+    checked).
+
+    This is the exact decision a per-target shard makes once the
+    ingestion front-end has cleared the detector's report quota: reject
+    when the target is already revoked, otherwise accept and revoke when
+    the target's alert counter would pass ``tau_alert``. Pure — no
+    mutation; commit via :func:`apply_alert`.
+    """
+    if target_id in state.revoked:
+        return AlertDecision(False, "target-already-revoked", False)
+    return AlertDecision(
+        True,
+        "accepted",
+        state.alert_counters.get(target_id, 0) + 1 > config.tau_alert,
+    )
+
+
+def evaluate_alert(
+    state: CounterState,
+    config: RevocationConfig,
+    detector_id: int,
+    target_id: int,
+) -> AlertDecision:
+    """The full §3.1 decision for one (already authenticated) alert.
+
+    Check order matches the paper (and the reason strings the audit log
+    records): the detector's report quota first, then the target's
+    revocation status. Pure — no mutation; commit via
+    :func:`apply_alert`.
+    """
+    if state.report_counters.get(detector_id, 0) > config.tau_report:
+        return AlertDecision(False, "quota-exceeded", False)
+    return evaluate_target(state, config, target_id)
+
+
+def apply_target(
+    state: CounterState, config: RevocationConfig, target_id: int
+) -> AlertDecision:
+    """Commit the target-side half of one alert to ``state``.
+
+    This is the transition a per-target shard runs on its own state
+    (whose ``report_counters`` stay empty — detector quotas live at the
+    ingestion front-end): bump the target's alert counter and revoke at
+    the threshold crossing. Rejections mutate nothing.
+    """
+    decision = evaluate_target(state, config, target_id)
+    if decision.accepted:
+        state.alert_counters[target_id] = (
+            state.alert_counters.get(target_id, 0) + 1
+        )
+        if decision.revokes_target:
+            state.revoked.add(target_id)
+    return decision
+
+
+def apply_alert(
+    state: CounterState,
+    config: RevocationConfig,
+    detector_id: int,
+    target_id: int,
+) -> AlertDecision:
+    """Evaluate one alert and commit its effects to ``state``.
+
+    Composes the two halves exactly as the sharded service runs them —
+    detector quota at the front-end, then :func:`apply_target` at the
+    target's shard — so single-state and sharded execution share the
+    same committed transitions. Rejected alerts leave the state
+    untouched (the two §3.1 asymmetries — revoked detectors still count,
+    quota-exhausted detectors never do — fall out of the check order).
+    """
+    if state.report_counters.get(detector_id, 0) > config.tau_report:
+        return AlertDecision(False, "quota-exceeded", False)
+    decision = apply_target(state, config, target_id)
+    if decision.accepted:
+        state.report_counters[detector_id] = (
+            state.report_counters.get(detector_id, 0) + 1
+        )
+    return decision
+
+
 @dataclass
 class AlertRecord:
     """One submitted alert and its fate (for audit/tests)."""
@@ -61,6 +213,27 @@ class AlertRecord:
     accepted: bool
     reason: str
     time: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The record as a plain dict (ledger/JSON form)."""
+        return {
+            "detector": self.detector_id,
+            "target": self.target_id,
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "time": self.time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AlertRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            detector_id=int(data["detector"]),
+            target_id=int(data["target"]),
+            accepted=bool(data["accepted"]),
+            reason=str(data["reason"]),
+            time=float(data.get("time", 0.0)),
+        )
 
 
 class BaseStation:
@@ -84,14 +257,30 @@ class BaseStation:
     ) -> None:
         self.key_manager = key_manager
         self.config = config if config is not None else RevocationConfig()
-        self.alert_counters: Dict[int, int] = {}
-        self.report_counters: Dict[int, int] = {}
-        self.revoked: Set[int] = set()
+        self.state = CounterState()
         self.log: List[AlertRecord] = []
         self._metrics_cursor = 0
         self._revocations_flushed = 0
         self._on_revoke = on_revoke
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+
+    # The paper's two counter maps and the revoked set live in the
+    # extracted CounterState (shared with the sharded revocation
+    # service); these views keep the historical attribute surface.
+    @property
+    def alert_counters(self) -> Dict[int, int]:
+        """Per-target accepted-alert counts (suspiciousness levels)."""
+        return self.state.alert_counters
+
+    @property
+    def report_counters(self) -> Dict[int, int]:
+        """Per-detector accepted-alert counts (quota usage)."""
+        return self.state.report_counters
+
+    @property
+    def revoked(self) -> Set[int]:
+        """Identities of revoked beacons."""
+        return self.state.revoked
 
     # ------------------------------------------------------------------
     # Alert intake
@@ -124,22 +313,11 @@ class BaseStation:
                 self._log(detector_id, target_id, False, "bad-auth", time)
                 return False
 
-        if self.report_counters.get(detector_id, 0) > self.config.tau_report:
-            self._log(detector_id, target_id, False, "quota-exceeded", time)
-            return False
-        if target_id in self.revoked:
-            self._log(detector_id, target_id, False, "target-already-revoked", time)
-            return False
-
-        self.alert_counters[target_id] = self.alert_counters.get(target_id, 0) + 1
-        self.report_counters[detector_id] = (
-            self.report_counters.get(detector_id, 0) + 1
-        )
-        self._log(detector_id, target_id, True, "accepted", time)
-
-        if self.alert_counters[target_id] > self.config.tau_alert:
+        decision = apply_alert(self.state, self.config, detector_id, target_id)
+        self._log(detector_id, target_id, decision.accepted, decision.reason, time)
+        if decision.revokes_target:
             self._revoke(target_id, time)
-        return True
+        return decision.accepted
 
     @staticmethod
     def alert_payload(detector_id: int, target_id: int) -> bytes:
@@ -150,9 +328,13 @@ class BaseStation:
     # Revocation
     # ------------------------------------------------------------------
     def _revoke(self, target_id: int, time: float) -> None:
-        if target_id in self.revoked:
-            raise RevocationError(f"beacon {target_id} already revoked")
-        self.revoked.add(target_id)
+        # apply_alert has already moved the target into state.revoked
+        # (and can only do so once: later alerts against it are rejected
+        # as target-already-revoked); this hook adds the side effects.
+        if target_id not in self.revoked:
+            raise RevocationError(
+                f"beacon {target_id} not committed as revoked"
+            )
         self.trace.record(time, "revoke", target=target_id)
         if self._on_revoke is not None:
             self._on_revoke(target_id)

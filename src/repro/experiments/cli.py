@@ -10,6 +10,17 @@ Usage::
     python -m repro.experiments figure12 --profile --out results/
     python -m repro.experiments figure12 --backend queue --workers 4
     python -m repro.experiments --worker /shared/queue   # standalone worker
+    python -m repro.experiments revocation --trials 3 --shards 4
+    python -m repro.experiments revocation --persistence sqlite \
+        --state-dir /tmp/revocation --restart-fraction 0.5
+
+The ``revocation`` target captures each trial's §3.1 alert stream,
+replays it through the sharded, persistent revocation service
+(``repro.revocation``, see docs/REVOCATION.md), and verifies the
+service's decisions and final counter state are bit-identical to the
+in-process base station — optionally with a crash/recovery injected
+mid-stream (``--restart-fraction``). Capture fans out over ``--workers``;
+exit code 1 flags any divergence.
 
 Each figure command prints the data table; ``--out`` also writes
 ``<figure>.txt`` (``<figure>.svg`` with ``--svg``, ``<figure>.json`` with
@@ -99,8 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default=None,
         help=(
-            "figure name (e.g. figure05), 'all', 'list', 'report', or "
-            "'trial' (one fully observed paper-default pipeline run); "
+            "figure name (e.g. figure05), 'all', 'list', 'report', "
+            "'trial' (one fully observed paper-default pipeline run), or "
+            "'revocation' (replay captured alert streams through the "
+            "sharded revocation service and verify bit-identity); "
             "optional with --worker"
         ),
     )
@@ -225,6 +238,53 @@ def build_parser() -> argparse.ArgumentParser:
         type=_retries_type,
         default=0,
         help="extra executions of a failing task before giving up",
+    )
+    revocation = parser.add_argument_group(
+        "revocation", "options for the 'revocation' service-replay target"
+    )
+    revocation.add_argument(
+        "--trials",
+        type=_retries_type,
+        default=3,
+        help="revocation: captured pipeline trials to replay (default: 3)",
+    )
+    revocation.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="revocation: service shard count (default: 4)",
+    )
+    revocation.add_argument(
+        "--persistence",
+        choices=("memory", "jsonl", "sqlite"),
+        default="memory",
+        help="revocation: persistence backend (default: memory)",
+    )
+    revocation.add_argument(
+        "--state-dir",
+        type=pathlib.Path,
+        default=None,
+        help=(
+            "revocation: directory for jsonl/sqlite service state "
+            "(default: a fresh temporary directory)"
+        ),
+    )
+    revocation.add_argument(
+        "--restart-fraction",
+        type=float,
+        default=None,
+        metavar="F",
+        help=(
+            "revocation: crash the service after this fraction (0..1) of "
+            "each stream and recover from the ledger before continuing"
+        ),
+    )
+    revocation.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="revocation: write a state snapshot every N committed alerts",
     )
     parser.add_argument(
         "--metrics-out",
@@ -372,6 +432,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 3
         return 0
 
+    if args.target == "revocation":
+        return _run_revocation(args)
+
     if args.target == "all":
         names: List[str] = sorted(figures.ALL_FIGURES)
     elif args.target in figures.ALL_FIGURES:
@@ -407,6 +470,68 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _report_errors(runner.stats.errors, args)
         return 3
     return 0
+
+
+def _run_revocation(args) -> int:
+    """The ``revocation`` target: capture, replay, verify bit-identity.
+
+    Captures ``--trials`` reduced-deployment pipeline alert streams
+    (fanning out over the runner's workers), replays each through a
+    ``--shards``-way :class:`repro.revocation.RevocationService` on the
+    chosen ``--persistence`` backend (optionally crash-recovering after
+    ``--restart-fraction`` of the stream), and prints one JSON report
+    per stream. Exit code 1 means at least one replay diverged from the
+    in-process base station — which the tests assert never happens.
+    """
+    import tempfile
+
+    from repro.core.pipeline import PipelineConfig
+    from repro.revocation import capture_streams, make_backend, replay_sweep
+
+    configs = [
+        PipelineConfig(
+            n_total=200,
+            n_beacons=30,
+            n_malicious=6,
+            rtt_calibration_samples=200,
+            seed=seed,
+        )
+        for seed in range(args.trials)
+    ]
+    runner = make_runner(args)
+    streams = capture_streams(
+        configs, runner, keys=[f"revocation:seed{c.seed}" for c in configs]
+    )
+    state_dir = args.state_dir
+    if state_dir is None and args.persistence != "memory":
+        state_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-revocation-"))
+    backend_counter = iter(range(len(streams)))
+
+    def _next_backend():
+        index = next(backend_counter)
+        if args.persistence == "memory":
+            return make_backend("memory")
+        return make_backend(args.persistence, state_dir / f"stream-{index}")
+
+    reports = replay_sweep(
+        streams,
+        n_shards=args.shards,
+        restart_fraction=args.restart_fraction,
+        snapshot_every=args.snapshot_every,
+        make_backend=_next_backend,
+    )
+    if not args.quiet:
+        for report in reports:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    failures = [report for report in reports if not report.identical]
+    total_alerts = sum(report.n_alerts for report in reports)
+    print(
+        f"revocation: {len(reports)} stream(s), {total_alerts} alert(s), "
+        f"{args.shards} shard(s), {args.persistence} persistence, "
+        f"{len(failures)} divergence(s)",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
 
 
 def _export_telemetry(runner: ExperimentRunner, args) -> None:

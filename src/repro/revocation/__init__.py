@@ -1,0 +1,70 @@
+"""Revocation as a service: the §3.1 base station, sharded and durable.
+
+The paper's base station is an in-process counter machine
+(:class:`repro.core.revocation.BaseStation`). This package promotes it
+to a standalone trust service while preserving its decisions bit for
+bit:
+
+- :mod:`repro.revocation.service` — an asyncio ingestion front-end that
+  batches alert submissions, level-orders each batch into conflict-free
+  waves, and fans the waves out to per-target shards running the same
+  :func:`repro.core.revocation.apply_target` transition the base
+  station composes; shard metric snapshots merge through
+  :func:`repro.obs.merge_snapshots` into exactly the single-station
+  registry;
+- :mod:`repro.revocation.persistence` — pluggable durability (memory /
+  JSONL / SQLite) behind an append-only decision ledger plus periodic
+  state snapshots, so a restarted service reconverges bit-identically;
+- :mod:`repro.revocation.replay` — capture §4 pipeline alert streams
+  and replay them through the service, asserting identity with the
+  in-process base station (any shard count, any backend, with or
+  without an injected crash).
+
+See ``docs/REVOCATION.md`` for the architecture and the equivalence
+argument, and ``benchmarks/bench_revocation.py`` for throughput/latency
+numbers.
+
+Paper section: §3.1 (alert quotas, suspiciousness counters, revocation)
+"""
+
+from repro.revocation.persistence import (
+    BACKEND_KINDS,
+    JsonlBackend,
+    LEDGER_SCHEMA_VERSION,
+    MemoryBackend,
+    PersistenceBackend,
+    SqliteBackend,
+    make_backend,
+)
+from repro.revocation.replay import (
+    CapturedStream,
+    ReplayReport,
+    capture_stream,
+    capture_streams,
+    replay_stream,
+    replay_sweep,
+)
+from repro.revocation.service import (
+    AlertSubmission,
+    RevocationService,
+    partition_waves,
+)
+
+__all__ = [
+    "AlertSubmission",
+    "BACKEND_KINDS",
+    "CapturedStream",
+    "JsonlBackend",
+    "LEDGER_SCHEMA_VERSION",
+    "MemoryBackend",
+    "PersistenceBackend",
+    "ReplayReport",
+    "RevocationService",
+    "SqliteBackend",
+    "capture_stream",
+    "capture_streams",
+    "make_backend",
+    "partition_waves",
+    "replay_stream",
+    "replay_sweep",
+]

@@ -1,0 +1,688 @@
+"""Revocation as a service: asyncio alert ingestion over sharded counters.
+
+The paper's §3.1 base station is a sequential counter machine. This
+module promotes it to a long-running, auditable trust service without
+changing a single decision:
+
+- an **ingestion front-end** accepts alert submissions, buffers them into
+  batches (``batch_size``), and owns the per-detector report quotas;
+- a **wave scheduler** level-orders each batch: an alert's wave is one
+  past the latest wave of any earlier alert sharing its detector or its
+  target. Alerts inside one wave touch pairwise-disjoint counters, so
+  shards may process a wave in any order and the outcome still equals
+  sequential §3.1 processing (proved by the dependency argument in
+  ``docs/REVOCATION.md`` and asserted against :class:`BaseStation` in
+  tests);
+- **per-target shards** (``shard = target_id % n_shards``) each own the
+  alert counters and revoked flags of their targets and run
+  :func:`repro.core.revocation.apply_target` — the same committed
+  transition the in-process base station composes;
+- an **append-only decision ledger** records every processed alert's
+  fate in sequence order; batches land durably (see
+  :mod:`repro.revocation.persistence`) before any decision future
+  resolves, and periodic snapshots bound replay time. A restarted
+  service reconverges bit-identically — even under a *different* shard
+  count, because shard placement is derived, not stored.
+
+Shard/front-end telemetry is merged with the order-insensitive
+:func:`repro.obs.merge_snapshots` reduction, so the merged §3.1 registry
+of a sharded run equals the single base station's registry bit for bit.
+
+Paper section: §3.1 (alert quotas, suspiciousness counters, revocation)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.revocation import (
+    AlertRecord,
+    BaseStation,
+    CounterState,
+    RevocationConfig,
+    apply_target,
+    evaluate_alert,
+)
+from repro.errors import ConfigurationError, RevocationError
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    ObserveConfig,
+    merge_snapshots,
+)
+from repro.revocation.persistence import (
+    LEDGER_SCHEMA_VERSION,
+    MemoryBackend,
+    PersistenceBackend,
+)
+
+
+@dataclass(frozen=True)
+class AlertSubmission:
+    """One alert on its way into the service (submission order = seq)."""
+
+    detector_id: int
+    target_id: int
+    time: float = 0.0
+    tag: Optional[bytes] = None
+    verify: bool = False
+
+
+@dataclass
+class _PendingAlert:
+    """A buffered submission awaiting its batch: payload + result future."""
+
+    seq: int
+    submission: AlertSubmission
+    future: "asyncio.Future[AlertRecord]"
+
+
+def partition_waves(
+    items: Sequence[Tuple[int, int]]
+) -> List[List[int]]:
+    """Level-schedule a batch of ``(detector_id, target_id)`` pairs.
+
+    Returns wave lists of *indices* into ``items``. An item's wave is one
+    past the highest wave of any earlier item sharing its detector or its
+    target, so within a wave all detectors are distinct and all targets
+    are distinct. Two alerts that share neither counter commute — their
+    §3.1 decisions read and write disjoint state — hence processing wave
+    ``k`` completely before wave ``k+1`` reproduces sequential order
+    exactly, while everything inside a wave may run shard-parallel.
+    """
+    last_detector: Dict[int, int] = {}
+    last_target: Dict[int, int] = {}
+    waves: List[List[int]] = []
+    for index, (detector_id, target_id) in enumerate(items):
+        level = (
+            max(
+                last_detector.get(detector_id, -1),
+                last_target.get(target_id, -1),
+            )
+            + 1
+        )
+        if level == len(waves):
+            waves.append([])
+        waves[level].append(index)
+        last_detector[detector_id] = level
+        last_target[target_id] = level
+    return waves
+
+
+class _Shard:
+    """One per-target shard: its counter slice, queue, and registry."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.state = CounterState()
+        self.queue: "asyncio.Queue[Optional[Tuple[List[Tuple[int, int]], asyncio.Future]]]" = (
+            asyncio.Queue()
+        )
+        self.task: Optional[asyncio.Task] = None
+        self.alerts_processed = 0
+
+    def metric_snapshot(self) -> Dict[str, Any]:
+        """This shard's slice of the §3.1 registry (mergeable snapshot).
+
+        Emits ``bs_alert_counter{target=...}`` gauges for its targets and
+        its share of ``revocations_total``; shards own disjoint targets,
+        so :func:`repro.obs.merge_snapshots` over all shards (plus the
+        front-end's snapshot) reproduces the single base station's
+        registry exactly.
+        """
+        registry = MetricsRegistry()
+        registry.counter("revocations_total").inc(len(self.state.revoked))
+        for target_id, count in self.state.alert_counters.items():
+            registry.gauge("bs_alert_counter", target=target_id).set(count)
+        return registry.snapshot()
+
+
+class RevocationService:
+    """Sharded, persistent, asyncio front-end for §3.1 revocation.
+
+    Args:
+        config: the two thresholds (``tau_report`` / ``tau_alert``).
+        n_shards: per-target shard workers (``target_id % n_shards``).
+            Any count yields identical decisions; more shards spread the
+            per-wave work.
+        backend: persistence (ledger + snapshots); defaults to a fresh
+            :class:`repro.revocation.persistence.MemoryBackend`. The
+            caller owns the backend's lifetime (close it after
+            :meth:`stop`).
+        batch_size: submissions buffered before an automatic flush;
+            :meth:`flush` forces one earlier.
+        snapshot_every: write a state snapshot after this many committed
+            alerts (None = only on explicit :meth:`snapshot` calls).
+        key_manager: verifies alert MACs for ``verify=True`` submissions.
+        on_revoke: callback invoked (in ledger order) with each newly
+            revoked beacon id, after the revoking batch has committed.
+        observe: optional :class:`repro.obs.ObserveConfig` for service
+            operational metrics and flush spans; None (default) builds
+            no observability object at all.
+
+    Lifecycle: ``await start()`` (recovers from the backend's snapshot +
+    ledger tail, then spawns shard workers), ``await submit(...)`` /
+    ``await ingest(...)``, ``await stop()``. :meth:`crash` simulates a
+    hard failure for recovery tests.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RevocationConfig] = None,
+        *,
+        n_shards: int = 4,
+        backend: Optional[PersistenceBackend] = None,
+        batch_size: int = 256,
+        snapshot_every: Optional[int] = None,
+        key_manager=None,
+        on_revoke: Optional[Callable[[int], None]] = None,
+        observe: Optional[ObserveConfig] = None,
+    ) -> None:
+        if not isinstance(n_shards, int) or n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be an int >= 1, got {n_shards!r}"
+            )
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be an int >= 1, got {batch_size!r}"
+            )
+        if snapshot_every is not None and (
+            not isinstance(snapshot_every, int) or snapshot_every < 1
+        ):
+            raise ConfigurationError(
+                f"snapshot_every must be an int >= 1 or None, got {snapshot_every!r}"
+            )
+        self.config = config if config is not None else RevocationConfig()
+        self.n_shards = n_shards
+        self.backend = backend if backend is not None else MemoryBackend()
+        self.batch_size = batch_size
+        self.snapshot_every = snapshot_every
+        self.key_manager = key_manager
+        self.on_revoke = on_revoke
+        self.shards = [_Shard(i) for i in range(n_shards)]
+        #: Front-end state: detector report quotas (the other §3.1 map).
+        self.report_counters: Dict[int, int] = {}
+        #: Committed decision log in sequence order (rebuilt on recovery).
+        self.decisions: List[AlertRecord] = []
+        #: Highest committed (durable) sequence number.
+        self.last_seq = 0
+        self._snapshot_seq = 0
+        self._pending: List[_PendingAlert] = []
+        self._next_seq = 0
+        self._flush_lock = asyncio.Lock()
+        self._started = False
+        self._crashed = False
+        self.obs: Optional[Observability] = None
+        if observe is not None:
+            self.obs = Observability(observe, sim_clock=lambda: 0.0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "RevocationService":
+        """Recover state from the backend and spawn the shard workers."""
+        self._check_alive()
+        if self._started:
+            return self
+        self._recover()
+        for shard in self.shards:
+            shard.task = asyncio.create_task(self._shard_worker(shard))
+        self._started = True
+        return self
+
+    async def stop(self) -> None:
+        """Flush pending submissions and stop the shard workers.
+
+        The backend stays open (the caller owns it); call
+        :meth:`snapshot` first when a final snapshot is wanted.
+        """
+        if not self._started or self._crashed:
+            return
+        await self.flush()
+        for shard in self.shards:
+            await shard.queue.put(None)
+        for shard in self.shards:
+            if shard.task is not None:
+                await shard.task
+                shard.task = None
+        self._started = False
+
+    def crash(self) -> None:
+        """Simulate a hard crash: drop every in-memory structure.
+
+        Pending (unflushed) submissions are lost — their futures are
+        cancelled — and the service object becomes unusable. Recovery is
+        a *new* service on the same backend: only what the ledger had
+        committed survives, which is exactly the guarantee the recovery
+        tests pin down.
+        """
+        for shard in self.shards:
+            if shard.task is not None:
+                shard.task.cancel()
+                shard.task = None
+            shard.state = CounterState()
+        for pending in self._pending:
+            if not pending.future.done():
+                pending.future.cancel()
+        self._pending = []
+        self.report_counters = {}
+        self.decisions = []
+        self._crashed = True
+        self._started = False
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise RevocationError(
+                "service has crashed; recover by starting a new instance "
+                "on the same backend"
+            )
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        detector_id: int,
+        target_id: int,
+        *,
+        tag: Optional[bytes] = None,
+        verify: bool = False,
+        time: float = 0.0,
+    ) -> "asyncio.Future[AlertRecord]":
+        """Buffer one alert; returns a future resolved with its record.
+
+        The future resolves when the alert's batch commits (durably in
+        the ledger). A full buffer triggers an automatic :meth:`flush`.
+        """
+        self._check_alive()
+        if not self._started:
+            raise RevocationError("service not started; await start() first")
+        self._next_seq += 1
+        pending = _PendingAlert(
+            seq=self._next_seq,
+            submission=AlertSubmission(
+                detector_id=detector_id,
+                target_id=target_id,
+                time=time,
+                tag=tag,
+                verify=verify,
+            ),
+            future=asyncio.get_running_loop().create_future(),
+        )
+        self._pending.append(pending)
+        future = pending.future
+        if len(self._pending) >= self.batch_size:
+            await self.flush()
+        return future
+
+    async def ingest(
+        self, alerts: Iterable[Tuple[int, int, float]]
+    ) -> List[AlertRecord]:
+        """Submit a ``(detector, target, time)`` stream and flush it.
+
+        Returns the committed records in submission order — the bulk
+        entry point replay and the benches use.
+        """
+        futures = [
+            await self.submit(detector_id, target_id, time=time)
+            for detector_id, target_id, time in alerts
+        ]
+        await self.flush()
+        return [future.result() for future in futures]
+
+    async def flush(self) -> None:
+        """Process the buffered batch: waves, shards, ledger, futures."""
+        self._check_alive()
+        async with self._flush_lock:
+            batch, self._pending = self._pending, []
+            if not batch:
+                return
+            if self.obs is not None and self.obs.config.spans:
+                with self.obs.span("svc:flush", batch=len(batch)):
+                    await self._process_batch(batch)
+            else:
+                await self._process_batch(batch)
+
+    async def _process_batch(self, batch: List[_PendingAlert]) -> None:
+        """Decide one batch and commit it to the ledger in seq order."""
+        outcomes: Dict[int, Tuple[bool, str, bool]] = {}
+        eligible: List[_PendingAlert] = []
+        for pending in batch:
+            sub = pending.submission
+            if sub.verify and not self._verify_tag(sub):
+                outcomes[pending.seq] = (False, "bad-auth", False)
+                if self.obs is not None and self.obs.config.metrics:
+                    self.obs.registry.counter("svc_auth_failures_total").inc()
+                continue
+            eligible.append(pending)
+
+        waves = partition_waves(
+            [
+                (p.submission.detector_id, p.submission.target_id)
+                for p in eligible
+            ]
+        )
+        for wave_indices in waves:
+            await self._process_wave([eligible[i] for i in wave_indices], outcomes)
+
+        records: List[Dict[str, Any]] = []
+        revoked_now: List[int] = []
+        for pending in batch:
+            accepted, reason, revokes = outcomes[pending.seq]
+            records.append(
+                {
+                    "schema": LEDGER_SCHEMA_VERSION,
+                    "seq": pending.seq,
+                    "detector": pending.submission.detector_id,
+                    "target": pending.submission.target_id,
+                    "accepted": accepted,
+                    "reason": reason,
+                    "revokes": revokes,
+                    "time": pending.submission.time,
+                }
+            )
+            if revokes:
+                revoked_now.append(pending.submission.target_id)
+        # Durability point: the batch is visible to recovery exactly when
+        # this append returns; futures resolve only after it.
+        self.backend.append_records(records)
+        self.last_seq = batch[-1].seq
+        for pending in batch:
+            accepted, reason, _ = outcomes[pending.seq]
+            record = AlertRecord(
+                detector_id=pending.submission.detector_id,
+                target_id=pending.submission.target_id,
+                accepted=accepted,
+                reason=reason,
+                time=pending.submission.time,
+            )
+            self.decisions.append(record)
+            if not pending.future.done():
+                pending.future.set_result(record)
+        if self.obs is not None and self.obs.config.metrics:
+            registry = self.obs.registry
+            registry.counter("svc_batches_total").inc()
+            registry.counter("svc_waves_total").inc(len(waves))
+            registry.counter("svc_alerts_ingested_total").inc(len(batch))
+        for target_id in revoked_now:
+            if self.on_revoke is not None:
+                self.on_revoke(target_id)
+        if (
+            self.snapshot_every is not None
+            and self.last_seq - self._snapshot_seq >= self.snapshot_every
+        ):
+            await self.snapshot()
+
+    async def _process_wave(
+        self,
+        wave: List[_PendingAlert],
+        outcomes: Dict[int, Tuple[bool, str, bool]],
+    ) -> None:
+        """Quota-gate one wave, fan it out to shards, fold results back."""
+        by_shard: Dict[int, List[Tuple[int, int]]] = {}
+        for pending in wave:
+            sub = pending.submission
+            if (
+                self.report_counters.get(sub.detector_id, 0)
+                > self.config.tau_report
+            ):
+                outcomes[pending.seq] = (False, "quota-exceeded", False)
+                continue
+            by_shard.setdefault(sub.target_id % self.n_shards, []).append(
+                (pending.seq, sub.target_id)
+            )
+        if not by_shard:
+            return
+        loop = asyncio.get_running_loop()
+        replies = []
+        for shard_id, items in sorted(by_shard.items()):
+            reply: asyncio.Future = loop.create_future()
+            await self.shards[shard_id].queue.put((items, reply))
+            replies.append(reply)
+            if self.obs is not None and self.obs.config.metrics:
+                self.obs.registry.counter(
+                    "svc_shard_dispatch_total", shard=shard_id
+                ).inc(len(items))
+        shard_results: Dict[int, Tuple[bool, str, bool]] = {}
+        for reply in replies:
+            for seq, accepted, reason, revokes in await reply:
+                shard_results[seq] = (accepted, reason, revokes)
+        # Fold shard decisions back front-end side: accepted alerts spend
+        # one unit of their detector's report quota (each detector occurs
+        # at most once per wave, so this is race-free by construction).
+        for pending in wave:
+            if pending.seq not in shard_results:
+                continue
+            accepted, reason, revokes = shard_results[pending.seq]
+            outcomes[pending.seq] = (accepted, reason, revokes)
+            if accepted:
+                detector_id = pending.submission.detector_id
+                self.report_counters[detector_id] = (
+                    self.report_counters.get(detector_id, 0) + 1
+                )
+
+    async def _shard_worker(self, shard: _Shard) -> None:
+        """One shard's loop: apply the target-side transition per item."""
+        while True:
+            item = await shard.queue.get()
+            if item is None:
+                return
+            items, reply = item
+            results = []
+            for seq, target_id in items:
+                decision = apply_target(shard.state, self.config, target_id)
+                results.append(
+                    (seq, decision.accepted, decision.reason, decision.revokes_target)
+                )
+            shard.alerts_processed += len(items)
+            if not reply.done():
+                reply.set_result(results)
+
+    def _verify_tag(self, sub: AlertSubmission) -> bool:
+        """Check the per-beacon base-station MAC on one submission."""
+        if self.key_manager is None:
+            return False
+        payload = BaseStation.alert_payload(sub.detector_id, sub.target_id)
+        return sub.tag is not None and self.key_manager.verify_alert_payload(
+            sub.detector_id, payload, sub.tag
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / recovery
+    # ------------------------------------------------------------------
+    async def snapshot(self) -> Dict[str, Any]:
+        """Write (and return) a snapshot of the committed state."""
+        self._check_alive()
+        document = {
+            "schema": LEDGER_SCHEMA_VERSION,
+            "seq": self.last_seq,
+            "tau_report": self.config.tau_report,
+            "tau_alert": self.config.tau_alert,
+            "state": self.counter_state().to_dict(),
+        }
+        self.backend.write_snapshot(document)
+        self._snapshot_seq = self.last_seq
+        if self.obs is not None and self.obs.config.metrics:
+            self.obs.registry.counter("svc_snapshots_total").inc()
+        return document
+
+    def _recover(self) -> None:
+        """Rebuild committed state from snapshot + ledger tail.
+
+        Every replayed (non-``bad-auth``) record is *recomputed* through
+        :func:`repro.core.revocation.evaluate_alert` and must match its
+        recorded fate — a corrupted or reordered ledger fails loudly
+        instead of silently diverging. Shard placement is re-derived, so
+        recovery works under any ``n_shards``.
+        """
+        state = CounterState()
+        after_seq = 0
+        snapshot = self.backend.load_snapshot()
+        if snapshot is not None:
+            if (
+                snapshot.get("tau_report") != self.config.tau_report
+                or snapshot.get("tau_alert") != self.config.tau_alert
+            ):
+                raise ConfigurationError(
+                    "snapshot thresholds "
+                    f"({snapshot.get('tau_report')}, {snapshot.get('tau_alert')}) "
+                    f"do not match service config ({self.config.tau_report}, "
+                    f"{self.config.tau_alert})"
+                )
+            state = CounterState.from_dict(snapshot.get("state") or {})
+            after_seq = int(snapshot.get("seq", 0))
+        replayed = 0
+        last_seq = 0
+        # Read the whole ledger to rebuild the decision log; state is
+        # only recomputed past the snapshot's sequence number.
+        for record in self.backend.read_records(0):
+            seq = int(record["seq"])
+            if seq != last_seq + 1:
+                raise RevocationError(
+                    f"ledger gap: expected seq {last_seq + 1}, found {seq}"
+                )
+            last_seq = seq
+            detector_id = int(record["detector"])
+            target_id = int(record["target"])
+            if seq > after_seq and record["reason"] != "bad-auth":
+                decision = evaluate_alert(
+                    state, self.config, detector_id, target_id
+                )
+                recorded = (
+                    bool(record["accepted"]),
+                    str(record["reason"]),
+                    bool(record.get("revokes", False)),
+                )
+                if recorded != (
+                    decision.accepted,
+                    decision.reason,
+                    decision.revokes_target,
+                ):
+                    raise RevocationError(
+                        f"ledger record seq {seq} disagrees with the §3.1 "
+                        f"counter machine: recorded {recorded}, recomputed "
+                        f"{(decision.accepted, decision.reason, decision.revokes_target)}"
+                    )
+                if decision.accepted:
+                    state.alert_counters[target_id] = (
+                        state.alert_counters.get(target_id, 0) + 1
+                    )
+                    state.report_counters[detector_id] = (
+                        state.report_counters.get(detector_id, 0) + 1
+                    )
+                    if decision.revokes_target:
+                        state.revoked.add(target_id)
+            self.decisions.append(
+                AlertRecord(
+                    detector_id=detector_id,
+                    target_id=target_id,
+                    accepted=bool(record["accepted"]),
+                    reason=str(record["reason"]),
+                    time=float(record.get("time", 0.0)),
+                )
+            )
+            replayed += 1
+        if last_seq < after_seq:
+            raise RevocationError(
+                f"ledger ends at seq {last_seq}, before the snapshot's "
+                f"seq {after_seq}"
+            )
+        # Re-shard the recovered state: report quotas stay front-end,
+        # target counters and revocations land on their derived shard.
+        self.report_counters = dict(state.report_counters)
+        for target_id, count in state.alert_counters.items():
+            shard = self.shards[target_id % self.n_shards]
+            shard.state.alert_counters[target_id] = count
+        for target_id in state.revoked:
+            shard = self.shards[target_id % self.n_shards]
+            shard.state.revoked.add(target_id)
+        self.last_seq = last_seq
+        self._next_seq = last_seq
+        self._snapshot_seq = after_seq
+        if self.obs is not None and self.obs.config.metrics and replayed:
+            self.obs.registry.counter("svc_recovered_records_total").inc(
+                replayed
+            )
+
+    # ------------------------------------------------------------------
+    # State views
+    # ------------------------------------------------------------------
+    def counter_state(self) -> CounterState:
+        """The merged §3.1 state (front-end quotas + all shard slices)."""
+        merged = CounterState(report_counters=dict(self.report_counters))
+        for shard in self.shards:
+            merged.alert_counters.update(shard.state.alert_counters)
+            merged.revoked.update(shard.state.revoked)
+        return merged
+
+    @property
+    def revoked(self) -> set:
+        """Identities revoked so far (union over shards)."""
+        out: set = set()
+        for shard in self.shards:
+            out.update(shard.state.revoked)
+        return out
+
+    def is_revoked(self, beacon_id: int) -> bool:
+        """True when ``beacon_id``'s shard has revoked it."""
+        return (
+            beacon_id
+            in self.shards[beacon_id % self.n_shards].state.revoked
+        )
+
+    def frontend_metric_snapshot(self) -> Dict[str, Any]:
+        """The front-end's slice of the §3.1 registry (mergeable).
+
+        ``alerts_total{accepted,reason}`` from the decision log plus
+        ``bs_report_counter{reporter=...}`` gauges — the complement of
+        the shards' :meth:`_Shard.metric_snapshot` slices.
+        """
+        registry = MetricsRegistry()
+        for record in self.decisions:
+            registry.counter(
+                "alerts_total",
+                accepted="true" if record.accepted else "false",
+                reason=record.reason,
+            ).inc()
+        for reporter_id, count in self.report_counters.items():
+            registry.gauge("bs_report_counter", reporter=reporter_id).set(count)
+        return registry.snapshot()
+
+    def registry_snapshot(self) -> Dict[str, Any]:
+        """The service's §3.1 registry: shard snapshots merged in one pass.
+
+        Uses :func:`repro.obs.merge_snapshots` — the same
+        order-insensitive reduction the parallel experiment runner uses —
+        over the front-end snapshot plus every shard's snapshot. Equals
+        :meth:`repro.core.revocation.BaseStation.record_metrics` output
+        for the same alert stream, bit for bit (asserted in tests).
+        """
+        return merge_snapshots(
+            [self.frontend_metric_snapshot()]
+            + [shard.metric_snapshot() for shard in self.shards]
+        )
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Operational telemetry (empty when ``observe`` is None).
+
+        Shape mirrors the pipeline's: ``{"registry": <snapshot>,
+        "spans": [...]}`` with ``svc_*`` counters for batches, waves,
+        ingested alerts, snapshots, and recovered records.
+        """
+        if self.obs is None:
+            return {}
+        return {
+            "registry": self.obs.registry.snapshot(),
+            "spans": list(self.obs.spans),
+        }

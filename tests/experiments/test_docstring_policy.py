@@ -2,15 +2,17 @@
 
 Mirrors the ruff pydocstyle configuration in ``pyproject.toml`` (rules
 D100/D101/D103 scoped to ``src/repro/core``, ``src/repro/experiments``,
-``src/repro/faults``, ``src/repro/obs``, ``src/repro/verify``, and
-``src/repro/vec``) so the policy is enforced in plain pytest runs even
-where ruff is not installed. Additionally, every ``repro.core``,
-``repro.faults``, ``repro.obs``, ``repro.verify``, and ``repro.vec``
-module must carry a ``Paper section:`` reference line tying it back to
-the source paper — the fault models exist to stress specific paper
-assumptions, the observability layer to measure them, the conformance
-harness to check them, the vectorized kernels to reproduce them
-bit-for-bit at speed, and the citation is the map. The ARQ module
+``src/repro/faults``, ``src/repro/obs``, ``src/repro/revocation``,
+``src/repro/verify``, and ``src/repro/vec``) so the policy is enforced
+in plain pytest runs even where ruff is not installed. Additionally,
+every ``repro.core``, ``repro.faults``, ``repro.obs``,
+``repro.revocation``, ``repro.verify``, and ``repro.vec`` module must
+carry a ``Paper section:`` reference line tying it back to the source
+paper — the fault models exist to stress specific paper assumptions,
+the observability layer to measure them, the conformance harness to
+check them, the vectorized kernels to reproduce them bit-for-bit at
+speed, the revocation service to scale them, and the citation is the
+map. The ARQ module
 ``sim/reliable.py`` (the §3.2 retransmission machinery) is covered
 explicitly alongside the packages.
 """
@@ -23,7 +25,15 @@ import pytest
 import repro
 
 SRC = pathlib.Path(repro.__file__).resolve().parent
-SCOPED_PACKAGES = ("core", "experiments", "faults", "obs", "verify", "vec")
+SCOPED_PACKAGES = (
+    "core",
+    "experiments",
+    "faults",
+    "obs",
+    "revocation",
+    "verify",
+    "vec",
+)
 #: Individually covered modules outside the scoped packages: package-level
 #: rules applied, keyed by the package whose extra rules apply.
 EXTRA_MODULES = (("core", SRC / "sim" / "reliable.py"),)
@@ -57,10 +67,11 @@ def test_module_docstring_policy(package, path):
                 f"{path}: public {node.name!r} has no docstring"
             )
 
-    # Core, faults, obs, verify, and vec modules (and sim/reliable.py,
-    # which implements the §3.2 retransmission assumption) additionally
-    # cite the paper section they implement, stress, measure, or check.
-    if package in ("core", "faults", "obs", "verify", "vec"):
+    # Core, faults, obs, revocation, verify, and vec modules (and
+    # sim/reliable.py, which implements the §3.2 retransmission
+    # assumption) additionally cite the paper section they implement,
+    # stress, measure, scale, or check.
+    if package in ("core", "faults", "obs", "revocation", "verify", "vec"):
         assert "Paper section:" in docstring, (
             f"{path}: module docstring lacks a 'Paper section:' line"
         )

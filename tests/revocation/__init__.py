@@ -1,0 +1,1 @@
+"""Tests for the sharded, persistent revocation service (repro.revocation)."""

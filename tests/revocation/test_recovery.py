@@ -1,0 +1,254 @@
+"""Crash-recovery tests: ledger + snapshot replay reconverges exactly."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.errors import ConfigurationError, RevocationError
+from repro.revocation import BACKEND_KINDS, MemoryBackend, RevocationService, make_backend
+
+
+def random_alerts(seed, n, n_nodes=10):
+    """A deterministic random (detector, target, time) stream."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_nodes), rng.randrange(n_nodes), float(i))
+        for i in range(n)
+    ]
+
+
+def ground_truth(key_manager, alerts, config):
+    """The uninterrupted in-process run the recovered service must match."""
+    ids = {a[0] for a in alerts} | {a[1] for a in alerts}
+    for i in ids:
+        key_manager.enroll(i, is_beacon=True)
+    station = BaseStation(key_manager, config)
+    for detector, target, time in alerts:
+        station.submit_alert(detector, target, verify=False, time=time)
+    return station
+
+
+def run_with_crash(
+    alerts,
+    config,
+    backend,
+    *,
+    crash_after,
+    n_shards=4,
+    recover_shards=None,
+    batch_size=16,
+    snapshot_every=None,
+):
+    """Ingest with a hard crash after ``crash_after`` submissions.
+
+    Returns the recovered service after it has reingested the lost
+    suffix and the rest of the stream.
+    """
+
+    async def _run():
+        service = RevocationService(
+            config,
+            n_shards=n_shards,
+            backend=backend,
+            batch_size=batch_size,
+            snapshot_every=snapshot_every,
+        )
+        await service.start()
+        for detector, target, time in alerts[:crash_after]:
+            await service.submit(detector, target, time=time)
+        service.crash()
+        # Only auto-flushed batches survived; a buffered partial batch
+        # died with the process.
+        service = RevocationService(
+            config,
+            n_shards=recover_shards if recover_shards is not None else n_shards,
+            backend=backend,
+            batch_size=batch_size,
+            snapshot_every=snapshot_every,
+        )
+        await service.start()
+        for detector, target, time in alerts[service.last_seq :]:
+            await service.submit(detector, target, time=time)
+        await service.stop()
+        return service
+
+    return asyncio.run(_run())
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    @pytest.mark.parametrize("snapshot_every", [None, 20])
+    def test_bit_identical_after_crash(
+        self, key_manager, tmp_path, kind, snapshot_every
+    ):
+        config = RevocationConfig(tau_report=2, tau_alert=2)
+        alerts = random_alerts(31, 200)
+        station = ground_truth(key_manager, alerts, config)
+        backend = make_backend(kind, tmp_path / kind)
+        try:
+            service = run_with_crash(
+                alerts,
+                config,
+                backend,
+                crash_after=len(alerts) // 2,
+                snapshot_every=snapshot_every,
+            )
+            assert [(r.accepted, r.reason) for r in service.decisions] == [
+                (r.accepted, r.reason) for r in station.log
+            ]
+            assert (
+                service.counter_state().to_dict() == station.state.to_dict()
+            )
+            assert service.revoked == station.revoked
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("crash_after", [0, 1, 37, 199, 200])
+    def test_any_crash_point(self, key_manager, crash_after):
+        config = RevocationConfig()
+        alerts = random_alerts(41, 200)
+        station = ground_truth(key_manager, alerts, config)
+        service = run_with_crash(
+            alerts,
+            config,
+            MemoryBackend(),
+            crash_after=crash_after,
+        )
+        assert service.counter_state().to_dict() == station.state.to_dict()
+
+    def test_recovery_under_different_shard_count(self, key_manager):
+        # Shard placement is derived from the target id, never stored,
+        # so a recovered service may use any shard count.
+        config = RevocationConfig()
+        alerts = random_alerts(43, 150)
+        station = ground_truth(key_manager, alerts, config)
+        service = run_with_crash(
+            alerts,
+            config,
+            MemoryBackend(),
+            crash_after=75,
+            n_shards=3,
+            recover_shards=7,
+        )
+        assert service.counter_state().to_dict() == station.state.to_dict()
+
+    def test_double_crash(self, key_manager):
+        config = RevocationConfig()
+        alerts = random_alerts(47, 180)
+        station = ground_truth(key_manager, alerts, config)
+        backend = MemoryBackend()
+
+        async def _run():
+            service = RevocationService(
+                config, backend=backend, batch_size=8
+            )
+            await service.start()
+            for detector, target, time in alerts[:60]:
+                await service.submit(detector, target, time=time)
+            service.crash()
+            service = RevocationService(
+                config, backend=backend, batch_size=8
+            )
+            await service.start()
+            for detector, target, time in alerts[service.last_seq : 130]:
+                await service.submit(detector, target, time=time)
+            await service.snapshot()
+            service.crash()
+            service = RevocationService(
+                config, backend=backend, batch_size=8
+            )
+            await service.start()
+            for detector, target, time in alerts[service.last_seq :]:
+                await service.submit(detector, target, time=time)
+            await service.stop()
+            return service
+
+        service = asyncio.run(_run())
+        assert service.counter_state().to_dict() == station.state.to_dict()
+        assert [(r.accepted, r.reason) for r in service.decisions] == [
+            (r.accepted, r.reason) for r in station.log
+        ]
+
+
+class TestRecoveryValidation:
+    def _committed_backend(self, alerts):
+        backend = MemoryBackend()
+
+        async def _run():
+            service = RevocationService(
+                RevocationConfig(), backend=backend, batch_size=16
+            )
+            await service.start()
+            await service.ingest(alerts)
+            await service.stop()
+
+        asyncio.run(_run())
+        return backend
+
+    def test_tampered_ledger_fails_self_check(self):
+        backend = self._committed_backend(random_alerts(53, 80))
+        victim = next(r for r in backend.records if r["accepted"])
+        victim["accepted"] = False
+        victim["reason"] = "quota-exceeded"
+
+        async def _recover():
+            service = RevocationService(RevocationConfig(), backend=backend)
+            await service.start()
+
+        with pytest.raises(RevocationError, match="disagrees"):
+            asyncio.run(_recover())
+
+    def test_ledger_gap_detected(self):
+        backend = self._committed_backend(random_alerts(59, 80))
+        del backend.records[10]
+
+        async def _recover():
+            service = RevocationService(RevocationConfig(), backend=backend)
+            await service.start()
+
+        with pytest.raises(RevocationError, match="gap"):
+            asyncio.run(_recover())
+
+    def test_threshold_mismatch_rejected(self):
+        backend = MemoryBackend()
+
+        async def _seed():
+            service = RevocationService(
+                RevocationConfig(tau_report=2, tau_alert=2), backend=backend
+            )
+            await service.start()
+            await service.ingest(random_alerts(61, 40))
+            await service.snapshot()
+            await service.stop()
+
+        asyncio.run(_seed())
+
+        async def _recover():
+            service = RevocationService(
+                RevocationConfig(tau_report=1, tau_alert=2), backend=backend
+            )
+            await service.start()
+
+        with pytest.raises(ConfigurationError, match="thresholds"):
+            asyncio.run(_recover())
+
+    def test_recovery_preserves_decision_log(self, key_manager):
+        config = RevocationConfig()
+        alerts = random_alerts(67, 90)
+        station = ground_truth(key_manager, alerts, config)
+        backend = self._committed_backend(alerts)
+
+        async def _recover():
+            service = RevocationService(config, backend=backend)
+            await service.start()
+            await service.stop()
+            return service
+
+        service = asyncio.run(_recover())
+        assert [(r.detector_id, r.target_id, r.accepted, r.reason, r.time) for r in service.decisions] == [
+            (r.detector_id, r.target_id, r.accepted, r.reason, r.time)
+            for r in station.log
+        ]
+        assert service.last_seq == len(alerts)

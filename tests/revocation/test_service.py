@@ -1,0 +1,293 @@
+"""Service/BaseStation bit-identity and wave-scheduling tests (§3.1)."""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.core.revocation import BaseStation, RevocationConfig
+from repro.errors import ConfigurationError, RevocationError
+from repro.obs import MetricsRegistry, ObserveConfig
+from repro.revocation import MemoryBackend, RevocationService, partition_waves
+
+
+def random_alerts(seed, n, n_nodes=12):
+    """A deterministic random (detector, target, time) stream."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_nodes), rng.randrange(n_nodes), float(i))
+        for i in range(n)
+    ]
+
+
+def station_for(key_manager, alerts, config):
+    """An in-process BaseStation fed the same stream (ground truth)."""
+    ids = {a[0] for a in alerts} | {a[1] for a in alerts}
+    for i in ids:
+        key_manager.enroll(i, is_beacon=True)
+    station = BaseStation(key_manager, config)
+    for detector, target, time in alerts:
+        station.submit_alert(detector, target, verify=False, time=time)
+    return station
+
+
+def run_service(alerts, config, **kwargs):
+    """Ingest the stream through a fresh service; (service, records)."""
+
+    async def _run():
+        service = RevocationService(config, **kwargs)
+        await service.start()
+        records = await service.ingest(alerts)
+        await service.stop()
+        return service, records
+
+    return asyncio.run(_run())
+
+
+class TestPartitionWaves:
+    def test_empty(self):
+        assert partition_waves([]) == []
+
+    def test_independent_alerts_share_a_wave(self):
+        waves = partition_waves([(1, 2), (3, 4), (5, 6)])
+        assert waves == [[0, 1, 2]]
+
+    def test_shared_detector_forces_sequencing(self):
+        waves = partition_waves([(1, 2), (1, 3)])
+        assert waves == [[0], [1]]
+
+    def test_shared_target_forces_sequencing(self):
+        waves = partition_waves([(1, 9), (2, 9)])
+        assert waves == [[0], [1]]
+
+    def test_waves_have_distinct_detectors_and_targets(self):
+        items = [(d, t) for d, t, _ in random_alerts(5, 300, n_nodes=9)]
+        waves = partition_waves(items)
+        assert sorted(i for wave in waves for i in wave) == list(
+            range(len(items))
+        )
+        for wave in waves:
+            detectors = [items[i][0] for i in wave]
+            targets = [items[i][1] for i in wave]
+            assert len(set(detectors)) == len(detectors)
+            assert len(set(targets)) == len(targets)
+
+    def test_wave_order_respects_submission_order(self):
+        # Within and across waves, indices only ever increase per
+        # conflict chain: an item lands strictly after everything it
+        # conflicts with.
+        items = [(d, t) for d, t, _ in random_alerts(6, 200, n_nodes=7)]
+        level_of = {}
+        for level, wave in enumerate(partition_waves(items)):
+            for i in wave:
+                level_of[i] = level
+        for j, (dj, tj) in enumerate(items):
+            for i in range(j):
+                di, ti = items[i]
+                if di == dj or ti == tj:
+                    assert level_of[i] < level_of[j]
+
+
+class TestServiceEquivalence:
+    @pytest.mark.parametrize("n_shards", [1, 3, 8])
+    @pytest.mark.parametrize("batch_size", [1, 64, 1000])
+    def test_bit_identical_to_base_station(
+        self, key_manager, n_shards, batch_size
+    ):
+        config = RevocationConfig(tau_report=2, tau_alert=2)
+        alerts = random_alerts(11, 400)
+        station = station_for(key_manager, alerts, config)
+        service, records = run_service(
+            alerts, config, n_shards=n_shards, batch_size=batch_size
+        )
+        assert [(r.accepted, r.reason) for r in records] == [
+            (r.accepted, r.reason) for r in station.log
+        ]
+        assert service.counter_state().to_dict() == station.state.to_dict()
+        assert service.revoked == station.revoked
+        for beacon in service.revoked:
+            assert service.is_revoked(beacon)
+
+    def test_zero_thresholds(self, key_manager):
+        config = RevocationConfig(tau_report=0, tau_alert=0)
+        alerts = random_alerts(2, 150, n_nodes=6)
+        station = station_for(key_manager, alerts, config)
+        service, records = run_service(alerts, config, n_shards=3)
+        assert [(r.accepted, r.reason) for r in records] == [
+            (r.accepted, r.reason) for r in station.log
+        ]
+        assert service.counter_state().to_dict() == station.state.to_dict()
+
+    def test_registry_snapshot_matches_record_metrics(self, key_manager):
+        config = RevocationConfig()
+        alerts = random_alerts(13, 300)
+        station = station_for(key_manager, alerts, config)
+        registry = MetricsRegistry()
+        station.record_metrics(registry)
+        service, _ = run_service(alerts, config, n_shards=5)
+        assert service.registry_snapshot() == registry.snapshot()
+
+    def test_on_revoke_fires_in_station_order(self, key_manager):
+        config = RevocationConfig(tau_report=10, tau_alert=1)
+        alerts = random_alerts(17, 250, n_nodes=8)
+        station_events = []
+        ids = {a[0] for a in alerts} | {a[1] for a in alerts}
+        for i in ids:
+            key_manager.enroll(i, is_beacon=True)
+        station = BaseStation(
+            key_manager, config, on_revoke=station_events.append
+        )
+        for detector, target, time in alerts:
+            station.submit_alert(detector, target, verify=False, time=time)
+        service_events = []
+        run_service(
+            alerts, config, n_shards=4, on_revoke=service_events.append
+        )
+        assert service_events == station_events
+
+
+class TestServiceAuth:
+    def test_bad_auth_rejected_without_counting(self, key_manager):
+        key_manager.enroll(1, is_beacon=True)
+        key_manager.enroll(2, is_beacon=True)
+        payload = BaseStation.alert_payload(1, 2)
+        good_tag = key_manager.sign_alert_payload(1, payload)
+
+        async def _run():
+            service = RevocationService(
+                RevocationConfig(), key_manager=key_manager, n_shards=2
+            )
+            await service.start()
+            bad = await service.submit(1, 2, tag=b"forged", verify=True)
+            good = await service.submit(1, 2, tag=good_tag, verify=True)
+            missing = await service.submit(1, 2, verify=True)
+            await service.stop()
+            return service, bad.result(), good.result(), missing.result()
+
+        service, bad, good, missing = asyncio.run(_run())
+        assert (bad.accepted, bad.reason) == (False, "bad-auth")
+        assert (good.accepted, good.reason) == (True, "accepted")
+        assert (missing.accepted, missing.reason) == (False, "bad-auth")
+        state = service.counter_state()
+        assert state.alert_counters == {2: 1}
+        assert state.report_counters == {1: 1}
+
+    def test_verify_without_key_manager_is_bad_auth(self):
+        async def _run():
+            service = RevocationService(RevocationConfig())
+            await service.start()
+            record = await service.submit(1, 2, tag=b"x", verify=True)
+            await service.stop()
+            return record.result()
+
+        record = asyncio.run(_run())
+        assert (record.accepted, record.reason) == (False, "bad-auth")
+
+
+class TestServiceLifecycle:
+    def test_submit_before_start_raises(self):
+        async def _run():
+            service = RevocationService(RevocationConfig())
+            with pytest.raises(RevocationError):
+                await service.submit(1, 2)
+
+        asyncio.run(_run())
+
+    def test_crashed_service_rejects_use(self):
+        async def _run():
+            service = RevocationService(RevocationConfig())
+            await service.start()
+            await service.ingest([(1, 2, 0.0)])
+            service.crash()
+            with pytest.raises(RevocationError):
+                await service.submit(3, 4)
+            with pytest.raises(RevocationError):
+                await service.flush()
+
+        asyncio.run(_run())
+
+    def test_crash_cancels_pending_futures(self):
+        async def _run():
+            service = RevocationService(
+                RevocationConfig(), batch_size=1000
+            )
+            await service.start()
+            future = await service.submit(1, 2)
+            service.crash()
+            return future
+
+        future = asyncio.run(_run())
+        assert future.cancelled()
+
+    def test_start_is_idempotent(self):
+        async def _run():
+            service = RevocationService(RevocationConfig(), n_shards=2)
+            await service.start()
+            await service.start()
+            records = await service.ingest([(1, 2, 0.0)])
+            await service.stop()
+            return records
+
+        records = asyncio.run(_run())
+        assert records[0].accepted
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RevocationService(RevocationConfig(), n_shards=0)
+        with pytest.raises(ConfigurationError):
+            RevocationService(RevocationConfig(), batch_size=0)
+        with pytest.raises(ConfigurationError):
+            RevocationService(RevocationConfig(), snapshot_every=0)
+
+
+class TestServiceObservability:
+    def test_operational_counters(self):
+        alerts = random_alerts(3, 100, n_nodes=6)
+
+        async def _run():
+            service = RevocationService(
+                RevocationConfig(),
+                n_shards=2,
+                batch_size=32,
+                observe=ObserveConfig(),
+            )
+            await service.start()
+            await service.ingest(alerts)
+            await service.snapshot()
+            await service.stop()
+            return service.telemetry()
+
+        telemetry = asyncio.run(_run())
+        counters = telemetry["registry"]["counters"]
+        assert counters["svc_alerts_ingested_total"] == len(alerts)
+        assert counters["svc_batches_total"] >= 1
+        assert counters["svc_waves_total"] >= 1
+        assert counters["svc_snapshots_total"] == 1
+        dispatched = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("svc_shard_dispatch_total")
+        )
+        assert dispatched <= len(alerts)
+        assert any(span["name"] == "svc:flush" for span in telemetry["spans"])
+
+    def test_observe_none_has_no_telemetry(self):
+        service, _ = run_service(
+            random_alerts(4, 50), RevocationConfig(), n_shards=2
+        )
+        assert service.telemetry() == {}
+
+    def test_observability_never_changes_decisions(self):
+        config = RevocationConfig()
+        alerts = random_alerts(21, 200)
+        plain, plain_records = run_service(alerts, config, n_shards=3)
+        observed, observed_records = run_service(
+            alerts, config, n_shards=3, observe=ObserveConfig()
+        )
+        assert [(r.accepted, r.reason) for r in plain_records] == [
+            (r.accepted, r.reason) for r in observed_records
+        ]
+        assert (
+            plain.counter_state().to_dict()
+            == observed.counter_state().to_dict()
+        )

@@ -52,6 +52,15 @@ MODULES = [
         SRC / "repro" / "experiments" / "distributed.py",
     ),
     ("repro.sim.reliable", SRC / "repro" / "sim" / "reliable.py"),
+    (
+        "repro.revocation.service",
+        SRC / "repro" / "revocation" / "service.py",
+    ),
+    (
+        "repro.revocation.persistence",
+        SRC / "repro" / "revocation" / "persistence.py",
+    ),
+    ("repro.revocation.replay", SRC / "repro" / "revocation" / "replay.py"),
     ("repro.verify.oracles", SRC / "repro" / "verify" / "oracles.py"),
     ("repro.verify.differential", SRC / "repro" / "verify" / "differential.py"),
     ("repro.verify.invariants", SRC / "repro" / "verify" / "invariants.py"),
@@ -73,7 +82,8 @@ Public classes and functions of the fault-injection layer
 (`repro.faults`), the observability layer (`repro.obs`), the experiment
 runner (`repro.experiments.runner`) and its distributed file-queue
 backend (`repro.experiments.distributed`), the ARQ reliable-delivery
-channel (`repro.sim.reliable`), the paper-fidelity conformance harness
+channel (`repro.sim.reliable`), the sharded persistent revocation
+service (`repro.revocation`), the paper-fidelity conformance harness
 (`repro.verify`), and the vectorized batch simulation core
 (`repro.vec`).
 
@@ -83,8 +93,8 @@ channel (`repro.sim.reliable`), the paper-fidelity conformance harness
 
 CI runs ``python tools/gen_api_docs.py --check`` and fails when this
 file is stale. Background reading: [`FAULTS.md`](FAULTS.md),
-[`OBSERVABILITY.md`](OBSERVABILITY.md), [`VERIFY.md`](VERIFY.md),
-[`PERFORMANCE.md`](PERFORMANCE.md).
+[`OBSERVABILITY.md`](OBSERVABILITY.md), [`REVOCATION.md`](REVOCATION.md),
+[`VERIFY.md`](VERIFY.md), [`PERFORMANCE.md`](PERFORMANCE.md).
 """
 
 
