@@ -1,19 +1,26 @@
 """Observability overhead: observe=off must cost nothing, observe=on little.
 
-Two comparisons on the paper's Section 4 deployment, results asserted
+Three comparisons on the paper's Section 4 deployment, results asserted
 bit-identical first — instrumentation that changed a number would be a
 bug, not an overhead:
 
 - **observe=off** (``observe=None``, the default): the only cost is a
   handful of ``is None`` checks, so the trial must stay within 2% of
-  the ``full_trial.fast_s`` baseline in ``BENCH_pipeline.json``
-  (re-run ``bench_perf_pipeline.py`` first on a new machine).
+  the ``full_trial.naive_s`` baseline in ``BENCH_pipeline.json`` — the
+  scalar end-to-end reference, the same code path this bench runs
+  (``fast_s`` now times the ``repro.vec`` batch core, a different
+  engine; re-run ``bench_perf_pipeline.py`` first on a new machine);
+- **observe=off, idle TelemetryServer attached**: a live
+  :class:`repro.obs.TelemetryServer` bound on an ephemeral port but
+  never scraped must leave the same 2% gate intact — serving telemetry
+  is daemon-thread territory, not hot-path work;
 - **observe=on** (``ObserveConfig()``): spans, RTT histograms, and the
   finalize-time metric fold. Recorded, not asserted — the on-path is
   opt-in and its cost is the price of the telemetry.
 
 Every measurement lands in ``BENCH_obs.json`` at the repo root so
-future PRs have an overhead trajectory to compare against.
+future PRs have an overhead trajectory to compare against
+(``tools/bench_report.py`` tracks the headline seconds over time).
 """
 
 from __future__ import annotations
@@ -55,11 +62,13 @@ def _run(observe):
 
 
 def _baseline_seconds():
+    # naive_s is the scalar end-to-end trial — the path this bench runs;
+    # fast_s times the vectorized batch core, a different engine.
     data = json.loads(BASELINE_PATH.read_text())
-    return data["benchmarks"]["full_trial"]["fast_s"]
+    return data["benchmarks"]["full_trial"]["naive_s"]
 
 
-def _record(off_s, on_s, baseline_s):
+def _record(off_s, idle_server_s, on_s, baseline_s):
     data = {
         "schema": 1,
         "environment": {
@@ -70,6 +79,12 @@ def _record(off_s, on_s, baseline_s):
             "full_trial_observe_off": {
                 "seconds": round(off_s, 6),
                 "vs_baseline_pct": round(100 * (off_s / baseline_s - 1), 2),
+            },
+            "full_trial_observe_off_idle_server": {
+                "seconds": round(idle_server_s, 6),
+                "vs_baseline_pct": round(
+                    100 * (idle_server_s / baseline_s - 1), 2
+                ),
             },
             "full_trial_observe_on": {
                 "seconds": round(on_s, 6),
@@ -84,22 +99,32 @@ def _record(off_s, on_s, baseline_s):
 
 def test_observe_overhead():
     """observe=off within 2% of the recorded baseline; on-path recorded."""
+    from repro.obs import TelemetryServer
+
     baseline_s = _baseline_seconds()
 
     off_s, off_result = _best_of(lambda: _run(None))
+    with TelemetryServer(port=0):
+        idle_server_s, idle_result = _best_of(lambda: _run(None))
     on_s, on_result = _best_of(lambda: _run(ObserveConfig()))
 
     # Correctness before speed: observation never changes a result.
     assert on_result == off_result
+    assert idle_result == off_result
 
-    data = _record(off_s, on_s, baseline_s)
+    data = _record(off_s, idle_server_s, on_s, baseline_s)
     print(json.dumps(data["benchmarks"], indent=2, sort_keys=True))
 
-    assert off_s <= baseline_s * (1 + MAX_OFF_OVERHEAD), (
-        f"observe=off trial took {off_s:.3f}s vs baseline {baseline_s:.3f}s "
-        f"(> {MAX_OFF_OVERHEAD:.0%} overhead); if the machine changed, "
-        f"re-run bench_perf_pipeline.py to refresh BENCH_pipeline.json"
-    )
+    for label, seconds in (
+        ("observe=off", off_s),
+        ("observe=off + idle telemetry server", idle_server_s),
+    ):
+        assert seconds <= baseline_s * (1 + MAX_OFF_OVERHEAD), (
+            f"{label} trial took {seconds:.3f}s vs baseline "
+            f"{baseline_s:.3f}s (> {MAX_OFF_OVERHEAD:.0%} overhead); if the "
+            f"machine changed, re-run bench_perf_pipeline.py to refresh "
+            f"BENCH_pipeline.json"
+        )
 
 
 if __name__ == "__main__":

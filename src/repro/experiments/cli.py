@@ -310,6 +310,18 @@ def build_parser() -> argparse.ArgumentParser:
         default="both",
         help="which trace exports --trace-out writes (default: both)",
     )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve live /metrics, /healthz, and /spans on this port "
+            "(0 = ephemeral) while the run is in flight; applies to the "
+            "coordinating runner, to --worker mode, and to the "
+            "revocation service (see docs/OBSERVABILITY.md)"
+        ),
+    )
     return parser
 
 
@@ -352,6 +364,7 @@ def make_runner(args) -> ExperimentRunner:
         keep_going=args.keep_going,
         task_retries=args.task_retries,
         observe=observe,
+        telemetry_port=args.telemetry_port,
     )
 
 
@@ -392,7 +405,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.distributed import run_worker
 
         worker_id = args.worker_id or f"w{os.getpid()}"
-        return run_worker(args.worker, worker_id, once=args.once)
+        return run_worker(
+            args.worker,
+            worker_id,
+            once=args.once,
+            telemetry_port=args.telemetry_port,
+        )
 
     if args.target is None:
         parser.error("a target is required unless --worker is given")
@@ -420,17 +438,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "trial":
         from repro.core.pipeline import PipelineConfig
 
-        runner = make_runner(args)
-        results = runner.run_pipeline_configs(
-            [PipelineConfig(seed=0)], keys=["trial:seed0"]
-        )
-        if not args.quiet:
-            print(json.dumps(results[0], indent=2, sort_keys=True))
-        _export_telemetry(runner, args)
-        if runner.stats.errors:
-            _report_errors(runner.stats.errors, args)
-            return 3
-        return 0
+        with make_runner(args) as runner:
+            results = runner.run_pipeline_configs(
+                [PipelineConfig(seed=0)], keys=["trial:seed0"]
+            )
+            if not args.quiet:
+                print(json.dumps(results[0], indent=2, sort_keys=True))
+            _export_telemetry(runner, args)
+            if runner.stats.errors:
+                _report_errors(runner.stats.errors, args)
+                return 3
+            return 0
 
     if args.target == "revocation":
         return _run_revocation(args)
@@ -445,11 +463,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 2
 
-    runner = make_runner(args)
-    for name in names:
-        fig = _generate(name, runner)
-        _emit(fig, args)
-    _export_telemetry(runner, args)
+    with make_runner(args) as runner:
+        for name in names:
+            fig = _generate(name, runner)
+            _emit(fig, args)
+        _export_telemetry(runner, args)
     if args.profile:
         summary = runner.stats.profile_summary()
         payload = json.dumps(summary, indent=2, sort_keys=True)
@@ -498,28 +516,46 @@ def _run_revocation(args) -> int:
         )
         for seed in range(args.trials)
     ]
-    runner = make_runner(args)
-    streams = capture_streams(
-        configs, runner, keys=[f"revocation:seed{c.seed}" for c in configs]
-    )
-    state_dir = args.state_dir
-    if state_dir is None and args.persistence != "memory":
-        state_dir = pathlib.Path(tempfile.mkdtemp(prefix="repro-revocation-"))
-    backend_counter = iter(range(len(streams)))
+    with make_runner(args) as runner:
+        streams = capture_streams(
+            configs, runner, keys=[f"revocation:seed{c.seed}" for c in configs]
+        )
+        state_dir = args.state_dir
+        if state_dir is None and args.persistence != "memory":
+            state_dir = pathlib.Path(
+                tempfile.mkdtemp(prefix="repro-revocation-")
+            )
+        backend_counter = iter(range(len(streams)))
 
-    def _next_backend():
-        index = next(backend_counter)
-        if args.persistence == "memory":
-            return make_backend("memory")
-        return make_backend(args.persistence, state_dir / f"stream-{index}")
+        def _next_backend():
+            index = next(backend_counter)
+            if args.persistence == "memory":
+                return make_backend("memory")
+            return make_backend(args.persistence, state_dir / f"stream-{index}")
 
-    reports = replay_sweep(
-        streams,
-        n_shards=args.shards,
-        restart_fraction=args.restart_fraction,
-        snapshot_every=args.snapshot_every,
-        make_backend=_next_backend,
-    )
+        events_log = None
+        trace_context = None
+        if runner.observe is not None and args.out is not None:
+            # Observed replays join the run's trace: svc:flush spans land
+            # in an events log tools/stitch_trace.py can merge with the
+            # queue backend's coordinator/worker logs.
+            from repro.obs import TraceContext, new_trace_id
+
+            args.out.mkdir(parents=True, exist_ok=True)
+            events_log = args.out / "revocation.events.jsonl"
+            trace_context = TraceContext(
+                trace_id=runner.stats.trace_id or new_trace_id()
+            )
+        reports = replay_sweep(
+            streams,
+            n_shards=args.shards,
+            restart_fraction=args.restart_fraction,
+            snapshot_every=args.snapshot_every,
+            make_backend=_next_backend,
+            observe=runner.observe,
+            events_log=events_log,
+            trace_context=trace_context,
+        )
     if not args.quiet:
         for report in reports:
             print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

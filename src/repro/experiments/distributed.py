@@ -60,6 +60,20 @@ exactly as in the pool backend; each worker additionally keeps a small
 snapshot the coordinator collects into ``RunStats.worker_snapshots``
 and merges order-insensitively via
 :func:`~repro.obs.merge_snapshots` (``RunStats.worker_registry``).
+
+**Live telemetry (observed runs).** The coordinator mints one trace id
+per run and embeds a :class:`~repro.obs.TraceContext` in every task
+manifest (``"trace"``: trace id + the coordinator's ``task:*`` span id),
+workers adopt their worker id as the process span namespace (span ids
+``"w0:1"`` — globally unique across the fleet) and append their executed
+trials' completed spans to ``workers/<id>.events.jsonl``; the
+coordinator writes its own ``task:*`` spans to
+``coordinator.events.jsonl``. ``tools/stitch_trace.py`` merges those
+JSONL logs into one Perfetto trace with cross-process parent edges.
+Workers and the coordinator can additionally serve live ``/metrics`` /
+``/healthz`` / ``/spans`` scrapes (``--telemetry-port``; see
+:class:`repro.obs.TelemetryServer`). None of this draws randomness —
+queue results stay bit-identical to serial.
 """
 
 from __future__ import annotations
@@ -318,16 +332,31 @@ def _serve_run(
     shard: Optional[int],
     crash_after_claims: Optional[int],
     poll_s: float,
+    status: Optional[Dict[str, Any]] = None,
 ) -> None:
     """One worker's main loop over one run: claim, execute, publish.
 
     Exits when the run's STOP sentinel is present and nothing is left to
     claim. On exit, writes the worker summary (claims/completions/steals
     plus the worker's metrics-registry snapshot) for the coordinator to
-    merge.
+    merge. Observed trials additionally log their completed spans to
+    ``workers/<id>.events.jsonl`` for cross-process stitching.
+
+    ``status`` (the live-telemetry hook from :func:`run_worker`) is
+    updated in place with this run's registry/run dir/span ring so a
+    concurrently scraping :class:`~repro.obs.TelemetryServer` sees
+    current state.
     """
     from repro.experiments.runner import _timed_call
-    from repro.obs import MetricsRegistry
+    from repro.obs import (
+        MetricsRegistry,
+        TraceContext,
+        process_span_namespace,
+        set_process_span_namespace,
+        set_process_trace_context,
+        span_event_lines,
+    )
+    from repro.obs.live import append_event_lines
 
     meta = None
     while meta is None or "fn_pickle" not in meta:
@@ -338,6 +367,16 @@ def _serve_run(
     retries = int(meta.get("task_retries", 0))
     lease_timeout_s = float(meta.get("lease_timeout_s", 30.0))
     registry = MetricsRegistry()
+    # Span ids minted in this process are namespaced by the worker id so
+    # they are globally unique across the fleet (stitched traces never
+    # collide); deterministic per process — same claims, same ids. The
+    # previous namespace is restored on exit (in-process test workers).
+    previous_namespace = process_span_namespace()
+    set_process_span_namespace(worker_id)
+    events_log = layout.workers / f"{worker_id}.events.jsonl"
+    if status is not None:
+        status["registry"] = registry
+        status["run_dir"] = layout.run_dir
     claims = completed = steals = 0
     try:
         while True:
@@ -368,6 +407,12 @@ def _serve_run(
                 lease, interval_s=max(0.05, lease_timeout_s / 4.0)
             )
             heartbeat.start()
+            trace_info = manifest.get("trace")
+            if trace_info:
+                # Adopt the coordinator's trace context for this task:
+                # the trial's root span will carry trace_id plus the
+                # coordinator task:* span as its remote parent.
+                set_process_trace_context(TraceContext.from_dict(trace_info))
             try:
                 payload = _b64_unpickle(manifest["payload_pickle"])
                 cache_info = manifest.get("cache")
@@ -385,7 +430,25 @@ def _serve_run(
                     outcome = _timed_call(fn, payload, retries)
             finally:
                 heartbeat.stop()
+                set_process_trace_context(None)
             ok, value, seconds, attempts = outcome
+            telemetry = (
+                value.get("telemetry")
+                if ok and isinstance(value, dict)
+                else None
+            )
+            if telemetry is not None and telemetry.get("spans"):
+                append_event_lines(
+                    events_log,
+                    span_event_lines(
+                        telemetry,
+                        trial=str(manifest.get("key", task_id)),
+                        process=worker_id,
+                    ),
+                )
+                ring = status.get("ring") if status is not None else None
+                if ring is not None:
+                    ring.extend(telemetry["spans"])
             _atomic_write_json(
                 layout.result_path(task_id),
                 {
@@ -405,6 +468,7 @@ def _serve_run(
                 "queue_worker_completed_total", worker=worker_id
             ).inc()
     finally:
+        set_process_span_namespace(previous_namespace)
         _atomic_write_json(
             layout.worker_path(worker_id),
             {
@@ -445,33 +509,77 @@ def run_worker(
     crash_after_claims: Optional[int] = None,
     once: bool = False,
     poll_s: float = 0.02,
+    telemetry_port: Optional[int] = None,
 ) -> int:
     """A standalone queue worker: serve runs appearing under ``queue_dir``.
 
     With ``once=True`` the worker exits after its first run completes
     (how the coordinator spawns its own workers); otherwise it keeps
     watching for new runs until killed — the long-running multi-host
-    deployment mode. Returns a process exit code.
+    deployment mode. ``telemetry_port`` (0 = ephemeral) attaches a
+    :class:`~repro.obs.TelemetryServer` exposing this worker's registry,
+    the served run's queue-liveness gauges, and a recent-span ring.
+    Returns a process exit code.
     """
     queue_dir = pathlib.Path(queue_dir)
     served: set = set()
-    while True:
-        run_dir = _find_run(queue_dir, served)
-        if run_dir is None:
-            if once and served:
-                return 0
-            time.sleep(poll_s)
-            continue
-        _serve_run(
-            _QueueLayout(run_dir),
-            worker_id,
-            shard=shard,
-            crash_after_claims=crash_after_claims,
-            poll_s=poll_s,
+    status: Dict[str, Any] = {
+        "registry": None,
+        "run_dir": None,
+        "ring": None,
+    }
+    server = None
+    if telemetry_port is not None:
+        from repro.obs import (
+            SpanRing,
+            TelemetryServer,
+            merge_snapshots,
+            queue_liveness_snapshot,
         )
-        served.add(run_dir)
-        if once:
-            return 0
+
+        status["ring"] = SpanRing()
+
+        def _snapshot() -> Dict[str, Any]:
+            parts = []
+            if status["registry"] is not None:
+                parts.append(status["registry"].snapshot())
+            if status["run_dir"] is not None:
+                parts.append(queue_liveness_snapshot(status["run_dir"]))
+            return merge_snapshots(parts)
+
+        server = TelemetryServer(
+            _snapshot,
+            health_fn=lambda: {
+                "status": "ok",
+                "worker": worker_id,
+                "run": str(status["run_dir"] or ""),
+            },
+            spans_fn=status["ring"].recent,
+            port=telemetry_port,
+        ).start()
+        print(f"telemetry: {server.url}", flush=True)
+    try:
+        while True:
+            run_dir = _find_run(queue_dir, served)
+            if run_dir is None:
+                if once and served:
+                    return 0
+                time.sleep(poll_s)
+                continue
+            _serve_run(
+                _QueueLayout(run_dir),
+                worker_id,
+                shard=shard,
+                crash_after_claims=crash_after_claims,
+                poll_s=poll_s,
+                status=status,
+            )
+            served.add(run_dir)
+            if once:
+                return 0
+    finally:
+        if server is not None:
+            server.stop()
 
 
 # ----------------------------------------------------------------------
@@ -614,6 +722,17 @@ def execute_queue(
 
     n_workers = min(runner.n_workers, len(pending))
     cacheable = runner.cache is not None and fn is execute_pipeline
+    trace_id: Optional[str] = None
+    span_mark = len(runner.stats.run_spans)
+    if runner.observe is not None:
+        # One trace per coordinator call; each manifest names the
+        # coordinator's task:* span (id == index + 1, namespaced
+        # "coord:") as the remote parent of the worker's trial span.
+        from repro.obs import new_trace_id
+
+        trace_id = new_trace_id()
+        runner.stats.trace_id = trace_id
+    runner._active_queue_run = run_dir
     task_ids: Dict[int, str] = {}
     for position, index in enumerate(pending):
         task_id = f"{index:06d}"
@@ -625,6 +744,11 @@ def execute_queue(
             "shard": position % n_workers,
             "payload_pickle": _b64_pickle(payloads[index]),
         }
+        if trace_id is not None:
+            manifest["trace"] = {
+                "trace_id": trace_id,
+                "parent_span_id": f"coord:{index + 1}",
+            }
         if cacheable:
             manifest["cache"] = {
                 "root": str(runner.cache.root),
@@ -783,6 +907,42 @@ def execute_queue(
                 continue
             runner.stats.worker_snapshots.append(summary)
             runner.stats.steals += int(summary.get("steals", 0))
+        runner._active_queue_run = None
+        if trace_id is not None:
+            _write_coordinator_events(
+                layout, runner, trace_id, span_mark
+            )
+
+
+def _write_coordinator_events(
+    layout: _QueueLayout, runner, trace_id: str, span_mark: int
+) -> None:
+    """Log this call's coordinator ``task:*`` spans for trace stitching.
+
+    Run spans are kept on the runner's relative wall clock with plain
+    integer ids; here they are namespaced ``coord:<id>`` and anchored to
+    the epoch so ``tools/stitch_trace.py`` can line them up with worker
+    and service span logs (ids match the ``parent_span_id`` each task
+    manifest carried).
+    """
+    from repro.obs import span_event_lines
+    from repro.obs.live import append_event_lines
+
+    spans = []
+    for span in runner.stats.run_spans[span_mark:]:
+        entry = dict(span)
+        entry["id"] = f"coord:{span['id']}"
+        entry["attrs"] = {**span.get("attrs", {}), "trace_id": trace_id}
+        spans.append(entry)
+    if not spans:
+        return
+    anchor = time.time() - (time.perf_counter() - runner._wall0)
+    lines = span_event_lines(
+        {"spans": spans, "wall0_epoch": anchor, "process": "coord"},
+        trial="coordinator",
+        process="coord",
+    )
+    append_event_lines(layout.run_dir / "coordinator.events.jsonl", lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -828,6 +988,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=0.02,
         help="idle polling interval in seconds",
     )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        help="serve live /metrics,/healthz,/spans on this port (0 = ephemeral)",
+    )
     args = parser.parse_args(argv)
     worker_id = args.worker_id or f"w{os.getpid()}"
     return run_worker(
@@ -837,6 +1003,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         crash_after_claims=args.crash_after_claims,
         once=args.once,
         poll_s=args.poll_s,
+        telemetry_port=args.telemetry_port,
     )
 
 

@@ -386,6 +386,10 @@ class RunStats:
     #: sorted by worker id. Merge the registries with
     #: :meth:`worker_registry`.
     worker_snapshots: List[Dict[str, Any]] = field(default_factory=list)
+    #: Queue backend + observe only: the trace id the coordinator minted
+    #: for the latest run (propagated to workers via task manifests; see
+    #: :class:`repro.obs.TraceContext` and ``tools/stitch_trace.py``).
+    trace_id: Optional[str] = None
 
     def worker_registry(self) -> Dict[str, Any]:
         """The workers' own metrics registries reduced into one.
@@ -512,6 +516,15 @@ class ExperimentRunner:
             runner-level task spans in ``stats.run_spans``. Metrics and
             cache addresses are unchanged — observation never alters
             results.
+        telemetry_port: serve live ``/metrics`` / ``/healthz`` /
+            ``/spans`` scrapes from this (coordinator) process on the
+            given port (0 = ephemeral; read the bound port from
+            :attr:`telemetry_server`). ``/metrics`` is the union of the
+            merged per-trial registries, the queue workers' registries,
+            and — while a queue run is in flight — its liveness gauges
+            (depth, in-flight leases, heartbeat staleness). Call
+            :meth:`close` (or use the runner as a context manager) to
+            stop the server.
 
     The runner is deterministic: results come back in input order and are
     bit-identical for any worker count, because every task is a pure
@@ -532,6 +545,7 @@ class ExperimentRunner:
         keep_going: bool = False,
         task_retries: int = 0,
         observe: Union[ObserveConfig, bool, None] = None,
+        telemetry_port: Optional[int] = None,
     ) -> None:
         if not isinstance(n_workers, int) or n_workers < 1:
             raise ConfigurationError(
@@ -570,6 +584,52 @@ class ExperimentRunner:
         self.observe = observe
         self.stats = RunStats()
         self._wall0 = time.perf_counter()
+        #: Queue run directory currently being coordinated (liveness hook).
+        self._active_queue_run: Optional[pathlib.Path] = None
+        self.telemetry_server = None
+        if telemetry_port is not None:
+            from repro.obs import TelemetryServer
+
+            self.telemetry_server = TelemetryServer(
+                self._live_snapshot,
+                health_fn=lambda: {
+                    "status": "ok",
+                    "backend": self.backend,
+                    "executed": self.stats.executed,
+                },
+                spans_fn=lambda: self.stats.run_spans[-256:],
+                port=telemetry_port,
+            ).start()
+
+    def _live_snapshot(self) -> Dict[str, Any]:
+        """The /metrics view: merged trial + worker + liveness state."""
+        from repro.obs import queue_liveness_snapshot
+
+        parts = [self.stats.merged_registry(), self.stats.worker_registry()]
+        active = self._active_queue_run
+        if active is not None:
+            parts.append(
+                queue_liveness_snapshot(
+                    active,
+                    requeues=self.stats.requeues,
+                    steals=self.stats.steals,
+                )
+            )
+        return merge_snapshots(parts)
+
+    def close(self) -> None:
+        """Stop the telemetry server, if one is attached (idempotent)."""
+        if self.telemetry_server is not None:
+            self.telemetry_server.stop()
+            self.telemetry_server = None
+
+    def __enter__(self) -> "ExperimentRunner":
+        """Context-manager form: ensures :meth:`close` on exit."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Stop the attached telemetry server on exit."""
+        self.close()
 
     def reset_stats(self) -> None:
         """Zero the timing/caching counters (runners are reusable)."""

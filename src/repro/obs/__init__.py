@@ -17,6 +17,18 @@ Paper section: §3.1, §2.2.2, §4 (the quantities the evaluation counts)
 """
 
 from repro.obs.config import ObserveConfig, observe_config_from_dict
+from repro.obs.live import (
+    SpanRing,
+    TelemetryServer,
+    TraceContext,
+    new_trace_id,
+    process_span_namespace,
+    process_trace_context,
+    queue_liveness_snapshot,
+    set_process_span_namespace,
+    set_process_trace_context,
+    span_event_lines,
+)
 from repro.obs.export import (
     chrome_trace,
     events_jsonl_lines,
@@ -54,6 +66,9 @@ __all__ = [
     "ObserveConfig",
     "SPAN_BEGIN",
     "SPAN_END",
+    "SpanRing",
+    "TelemetryServer",
+    "TraceContext",
     "active_span_of",
     "chrome_trace",
     "events_jsonl_lines",
@@ -61,8 +76,15 @@ __all__ = [
     "format_series_key",
     "linear_buckets",
     "merge_snapshots",
+    "new_trace_id",
     "observe_config_from_dict",
+    "process_span_namespace",
+    "process_trace_context",
     "prometheus_text",
+    "queue_liveness_snapshot",
+    "set_process_span_namespace",
+    "set_process_trace_context",
+    "span_event_lines",
     "tag_active_span",
     "write_chrome_trace",
     "write_events_jsonl",

@@ -109,9 +109,21 @@ def chrome_trace(trials: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     Each span's thread lane is its *root* span's id, so concurrent
     top-level spans (the runner's per-task spans under ``--workers``)
     get their own rows instead of illegally overlapping in one lane.
+    Namespaced string span ids (from worker processes; see
+    :mod:`repro.obs.live`) map to integer lanes in deterministic
+    first-seen order.
     """
     events: List[Dict[str, Any]] = []
     for trial in trials:
+        lanes: Dict[Any, int] = {}
+
+        def lane_of(root: Any) -> int:
+            if isinstance(root, int):
+                return root
+            if root not in lanes:
+                lanes[root] = 10_000 + len(lanes)
+            return lanes[root]
+
         pid = int(trial.get("index", 0)) + 1
         events.append(
             {
@@ -151,7 +163,7 @@ def chrome_trace(trials: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
                     "ts": round(float(span["t0_wall_s"]) * 1e6, 3),
                     "dur": round(float(span["dur_wall_s"]) * 1e6, 3),
                     "pid": pid,
-                    "tid": int(root_of(span["id"])),
+                    "tid": lane_of(root_of(span["id"])),
                     "args": args,
                 }
             )

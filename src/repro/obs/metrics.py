@@ -17,8 +17,9 @@ Determinism contract (what makes worker registries reducible):
   snapshots;
 - :func:`merge_snapshots` reduces any number of snapshots
   order-insensitively: integer series sum exactly, float series sum via
-  :func:`math.fsum` (exactly rounded, hence permutation-invariant), and
-  histogram bucket vectors add element-wise. Merging the per-trial
+  :func:`math.fsum` (exactly rounded, hence permutation-invariant),
+  histogram bucket vectors add element-wise, and gauges whose name ends
+  in ``_max`` (live-plane staleness gauges) reduce by max. Merging the per-trial
   snapshots of a parallel run therefore equals the serial run's merge
   bit for bit (property-tested in
   ``tests/experiments/test_runner_observe.py``).
@@ -297,14 +298,26 @@ def _sum_values(values: Iterable[Number]) -> Number:
     return math.fsum(values)
 
 
+def _merge_gauge(key: str, values: List[Number]) -> Number:
+    """Merge one gauge series: ``_max`` metrics take max, others sum."""
+    name = key.partition("{")[0]
+    if name.endswith("_max"):
+        return max(values)
+    return _sum_values(values)
+
+
 def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
     """Reduce snapshots into one; the result is itself a snapshot.
 
-    Counters and gauges sum per series; histogram bucket counts add
-    element-wise (bucket layouts must match). The reduction is
-    order-insensitive — any permutation of ``snapshots`` yields an
-    identical result — which is what lets worker-process registries
-    merge bit-identically to the serial run.
+    Counters sum per series; histogram bucket counts add element-wise
+    (bucket layouts must match). Gauges sum, with one set-semantics
+    exception: a gauge whose metric *name* ends in ``_max`` (e.g. the
+    live plane's ``queue_heartbeat_age_seconds_max``) merges by
+    :func:`max` — the only last-writer-style reduction that stays
+    order-insensitive. The whole reduction is order-insensitive — any
+    permutation of ``snapshots`` yields an identical result — which is
+    what lets worker-process registries merge bit-identically to the
+    serial run.
 
     Raises:
         ConfigurationError: two snapshots disagree on a histogram's
@@ -339,7 +352,7 @@ def merge_snapshots(snapshots: Iterable[Mapping[str, Any]]) -> Dict[str, Any]:
             merged["count"] += int(hist["count"])
     return {
         "counters": {k: _sum_values(v) for k, v in sorted(counters.items())},
-        "gauges": {k: _sum_values(v) for k, v in sorted(gauges.items())},
+        "gauges": {k: _merge_gauge(k, v) for k, v in sorted(gauges.items())},
         "histograms": {
             k: {
                 "buckets": h["buckets"],

@@ -14,6 +14,15 @@ kinds ``span.begin`` / ``span.end`` with ``span``/``id``/``parent``/
 ``depth`` fields — so protocol events (deliveries, alerts, revocations)
 and timing structure interleave in one exportable event log.
 
+Span ids are plain integers (``1, 2, ...``) in a standalone process.
+When a process-level namespace is set
+(:func:`repro.obs.live.set_process_span_namespace`, as queue workers do
+with their worker id) they become strings ``"w0:1", "w0:2", ...`` —
+still deterministic per process, but globally unique across a fleet, so
+stitched multi-process traces never collide. An ambient
+:class:`repro.obs.live.TraceContext` additionally stamps root spans
+with ``trace_id``/``remote_parent`` attrs for cross-process stitching.
+
 Nothing here draws randomness; an :class:`Observability` attached to a
 pipeline leaves every simulated result bit-identical (asserted in
 ``tests/core/test_pipeline_observe.py``).
@@ -27,11 +36,14 @@ import itertools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.obs.config import ObserveConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.trace import TraceRecorder
+
+#: A span id: a plain int, or ``"{namespace}:{n}"`` under a namespace.
+SpanId = Union[int, str]
 
 #: Attribute set on an exception by the innermost failing span/phase, so
 #: worker-side error capture can report where a trial died. First tagger
@@ -59,8 +71,8 @@ class _OpenSpan:
     """Book-keeping for a span that has begun but not ended."""
 
     name: str
-    span_id: int
-    parent_id: int
+    span_id: SpanId
+    parent_id: SpanId
     depth: int
     t0_wall: float
     t0_sim: float
@@ -78,10 +90,19 @@ class Observability:
             exportable — only the event stream is suppressed).
         sim_clock: zero-argument callable returning current simulation
             time; the pipeline passes ``engine.now``.
+        namespace: span-id prefix; defaults to the process-level
+            namespace (:func:`repro.obs.live.process_span_namespace`).
+            When set, span ids are strings ``"{namespace}:{n}"`` —
+            globally unique across a worker fleet.
+        trace_context: ambient cross-process trace reference; defaults
+            to :func:`repro.obs.live.process_trace_context`. When set,
+            root spans carry ``trace_id`` (and ``remote_parent`` when
+            the context has a parent) in their attrs.
 
     Completed spans accumulate in :attr:`spans` as plain dicts (wall
-    offsets relative to this object's creation), ready for the Chrome
-    trace exporter.
+    offsets relative to this object's creation; the absolute anchor is
+    exported as ``wall0_epoch`` by :meth:`telemetry`), ready for the
+    Chrome trace exporter and ``tools/stitch_trace.py``.
     """
 
     def __init__(
@@ -91,15 +112,39 @@ class Observability:
         registry: Optional[MetricsRegistry] = None,
         trace: Optional[TraceRecorder] = None,
         sim_clock: Optional[Callable[[], float]] = None,
+        namespace: Optional[str] = None,
+        trace_context: Optional[Any] = None,
     ) -> None:
+        from repro.obs import live  # local import: live builds on spans
+
         self.config = config if config is not None else ObserveConfig()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.sim_clock = sim_clock if sim_clock is not None else (lambda: 0.0)
+        self.namespace = (
+            namespace if namespace is not None else live.process_span_namespace()
+        )
+        self.trace_context = (
+            trace_context
+            if trace_context is not None
+            else live.process_trace_context()
+        )
         self.spans: List[Dict[str, Any]] = []
         self._wall0 = time.perf_counter()
+        self._wall0_epoch = time.time()
         self._stack: List[_OpenSpan] = []
-        self._ids = itertools.count(1)
+        # Namespaced serials are shared process-wide so a worker running
+        # many trials never reuses an id; plain ints restart per trial.
+        self._ids = (
+            live.namespace_counter(self.namespace)
+            if self.namespace
+            else itertools.count(1)
+        )
+
+    def _next_id(self) -> SpanId:
+        """The next span id: plain int, or namespaced string."""
+        n = next(self._ids)
+        return f"{self.namespace}:{n}" if self.namespace else n
 
     @property
     def current_span(self) -> Optional[str]:
@@ -120,14 +165,21 @@ class Observability:
         the block raises — tags the exception with this span's name
         unless an inner span already claimed it.
         """
+        span_attrs = dict(attrs)
+        if not self._stack and self.trace_context is not None:
+            span_attrs.setdefault("trace_id", self.trace_context.trace_id)
+            if self.trace_context.parent_span_id:
+                span_attrs.setdefault(
+                    "remote_parent", self.trace_context.parent_span_id
+                )
         open_span = _OpenSpan(
             name=name,
-            span_id=next(self._ids),
+            span_id=self._next_id(),
             parent_id=self._stack[-1].span_id if self._stack else 0,
             depth=len(self._stack),
             t0_wall=time.perf_counter(),
             t0_sim=self.sim_clock(),
-            attrs=dict(attrs),
+            attrs=span_attrs,
         )
         self.trace.record(
             open_span.t0_sim,
@@ -172,8 +224,23 @@ class Observability:
             )
 
     def telemetry(self) -> Dict[str, Any]:
-        """Registry snapshot plus completed spans, as one JSON-ready dict."""
-        return {
+        """Registry snapshot plus completed spans, as one JSON-ready dict.
+
+        Under a namespace or trace context the dict additionally carries
+        ``process`` (the namespace), ``trace`` (the serialized
+        :class:`~repro.obs.live.TraceContext`), and ``wall0_epoch`` (the
+        absolute wall-clock anchor of the spans' relative offsets) — the
+        fields cross-process stitching needs. Standalone telemetry keeps
+        the original two-key shape.
+        """
+        out: Dict[str, Any] = {
             "registry": self.registry.snapshot(),
             "spans": [dict(span) for span in self.spans],
         }
+        if self.namespace is not None:
+            out["process"] = self.namespace
+            out["wall0_epoch"] = self._wall0_epoch
+        if self.trace_context is not None:
+            out["trace"] = self.trace_context.to_dict()
+            out.setdefault("wall0_epoch", self._wall0_epoch)
+        return out

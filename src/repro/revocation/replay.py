@@ -159,11 +159,19 @@ async def _replay_async(
     batch_size: int,
     restart_after: Optional[int],
     snapshot_every: Optional[int],
-) -> ReplayReport:
-    """The asyncio body of :func:`replay_stream`."""
+    observe=None,
+    telemetry_port: Optional[int] = None,
+) -> Tuple[ReplayReport, List[Dict[str, Any]]]:
+    """The asyncio body of :func:`replay_stream`.
+
+    Returns the report plus the telemetry dict of every service instance
+    the replay created (two under crash/recovery, else one; empty
+    without ``observe``) — the raw material for stitched event logs.
+    """
     config = RevocationConfig(
         tau_report=stream.tau_report, tau_alert=stream.tau_alert
     )
+    telemetries: List[Dict[str, Any]] = []
 
     def new_service() -> RevocationService:
         return RevocationService(
@@ -172,7 +180,14 @@ async def _replay_async(
             backend=backend,
             batch_size=batch_size,
             snapshot_every=snapshot_every,
+            observe=observe,
+            telemetry_port=telemetry_port,
         )
+
+    def harvest(svc: RevocationService) -> None:
+        telemetry = svc.telemetry()
+        if telemetry.get("spans"):
+            telemetries.append(telemetry)
 
     service = new_service()
     await service.start()
@@ -183,6 +198,7 @@ async def _replay_async(
         # No flush: the crash lands mid-stream with a partial batch still
         # buffered, so only auto-flushed (committed) alerts survive.
         service.crash()
+        harvest(service)
         # Recovery: a brand-new service on the same backend. Exactly the
         # ledger-committed prefix survives; last_seq says where the
         # stream resumes, and the lost buffered suffix is resubmitted.
@@ -192,6 +208,7 @@ async def _replay_async(
     for detector_id, target_id, time in tail:
         await service.submit(detector_id, target_id, time=time)
     await service.stop()
+    harvest(service)
 
     report = ReplayReport(
         key=stream.key,
@@ -227,7 +244,7 @@ async def _replay_async(
             report.mismatches.append(
                 "final counter state differs from captured state"
             )
-    return report
+    return report, telemetries
 
 
 def replay_stream(
@@ -238,6 +255,11 @@ def replay_stream(
     batch_size: int = 128,
     restart_after: Optional[int] = None,
     snapshot_every: Optional[int] = None,
+    observe=None,
+    telemetry_port: Optional[int] = None,
+    events_log=None,
+    trace_context=None,
+    process: str = "svc",
 ) -> ReplayReport:
     """Replay one captured stream through the service and diff the result.
 
@@ -254,6 +276,19 @@ def replay_stream(
             number — the crash-consistency path the tests pin down.
         snapshot_every: service snapshot cadence (exercises
             snapshot-plus-tail recovery rather than full-ledger replay).
+        observe: optional :class:`repro.obs.ObserveConfig` for the
+            service's ``svc_*`` metrics and ``svc:flush`` spans.
+        telemetry_port: serve live ``/metrics`` scrapes from the service
+            while the replay runs (see
+            :class:`repro.revocation.service.RevocationService`).
+        events_log: when set (a path) and ``observe`` enables spans,
+            append the replay's completed spans as stitchable JSONL
+            lines (:func:`repro.obs.live.span_event_lines`) — the
+            revocation side of a cross-process stitched trace.
+        trace_context: optional :class:`repro.obs.live.TraceContext`
+            linking the replay's ``svc:flush`` root spans to a span in
+            another process (e.g. the coordinator's run span).
+        process: span-id namespace / process name for the event log.
 
     Runs its own event loop; call from sync code (tests, CLI, benches).
     """
@@ -266,16 +301,40 @@ def replay_stream(
         )
     if backend is None:
         backend = MemoryBackend()
-    return asyncio.run(
-        _replay_async(
-            stream,
-            n_shards=n_shards,
-            backend=backend,
-            batch_size=batch_size,
-            restart_after=restart_after,
-            snapshot_every=snapshot_every,
+    from repro.obs import live
+
+    previous_namespace = live.process_span_namespace()
+    previous_context = live.process_trace_context()
+    if observe is not None:
+        live.set_process_span_namespace(process)
+        live.set_process_trace_context(trace_context)
+    try:
+        report, telemetries = asyncio.run(
+            _replay_async(
+                stream,
+                n_shards=n_shards,
+                backend=backend,
+                batch_size=batch_size,
+                restart_after=restart_after,
+                snapshot_every=snapshot_every,
+                observe=observe,
+                telemetry_port=telemetry_port,
+            )
         )
-    )
+    finally:
+        if observe is not None:
+            live.set_process_span_namespace(previous_namespace)
+            live.set_process_trace_context(previous_context)
+    if events_log is not None:
+        lines: List[str] = []
+        for telemetry in telemetries:
+            lines.extend(
+                live.span_event_lines(
+                    telemetry, trial=stream.key, process=process
+                )
+            )
+        live.append_event_lines(events_log, lines)
+    return report
 
 
 def replay_sweep(
@@ -286,6 +345,9 @@ def replay_sweep(
     restart_fraction: Optional[float] = None,
     snapshot_every: Optional[int] = None,
     make_backend=None,
+    observe=None,
+    events_log=None,
+    trace_context=None,
 ) -> List[ReplayReport]:
     """Replay every captured stream of a sweep; one report per stream.
 
@@ -298,6 +360,12 @@ def replay_sweep(
         snapshot_every: service snapshot cadence.
         make_backend: zero-argument callable producing a fresh backend
             per stream (default: in-memory).
+        observe: optional :class:`repro.obs.ObserveConfig` enabling
+            service spans/metrics on every replay.
+        events_log: path collecting every replay's spans as stitchable
+            JSONL lines (requires ``observe``).
+        trace_context: one :class:`repro.obs.live.TraceContext` shared by
+            all replays, linking their root spans into a wider trace.
 
     Replays run serially in the calling process — each one finishes in
     milliseconds, and the expensive part (capture) is what parallelizes.
@@ -323,6 +391,9 @@ def replay_sweep(
                     batch_size=batch_size,
                     restart_after=restart_after,
                     snapshot_every=snapshot_every,
+                    observe=observe,
+                    events_log=events_log,
+                    trace_context=trace_context,
                 )
             )
         finally:

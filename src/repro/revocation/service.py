@@ -34,6 +34,7 @@ Paper section: §3.1 (alert quotas, suspiciousness counters, revocation)
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -59,6 +60,7 @@ from repro.obs import (
     MetricsRegistry,
     Observability,
     ObserveConfig,
+    exponential_buckets,
     merge_snapshots,
 )
 from repro.revocation.persistence import (
@@ -170,6 +172,16 @@ class RevocationService:
         observe: optional :class:`repro.obs.ObserveConfig` for service
             operational metrics and flush spans; None (default) builds
             no observability object at all.
+        telemetry_port: serve live ``/metrics`` / ``/healthz`` /
+            ``/spans`` scrapes on this port (0 = ephemeral; read the
+            bound port from ``telemetry_server.port`` after
+            :meth:`start`). ``/metrics`` is the union of the §3.1
+            registry (:meth:`registry_snapshot`), the ``svc_*``
+            operational counters, a wall-clock
+            ``svc_flush_latency_seconds`` histogram, and liveness
+            gauges (``svc_ledger_seq_lag``, ``svc_pending_alerts``,
+            per-shard ``svc_shard_pending_alerts``). The live plane
+            never feeds back into the deterministic registries.
 
     Lifecycle: ``await start()`` (recovers from the backend's snapshot +
     ledger tail, then spawns shard workers), ``await submit(...)`` /
@@ -188,6 +200,7 @@ class RevocationService:
         key_manager=None,
         on_revoke: Optional[Callable[[int], None]] = None,
         observe: Optional[ObserveConfig] = None,
+        telemetry_port: Optional[int] = None,
     ) -> None:
         if not isinstance(n_shards, int) or n_shards < 1:
             raise ConfigurationError(
@@ -226,6 +239,14 @@ class RevocationService:
         self.obs: Optional[Observability] = None
         if observe is not None:
             self.obs = Observability(observe, sim_clock=lambda: 0.0)
+        self._telemetry_port = telemetry_port
+        self.telemetry_server = None
+        #: Wall-clock live-plane registry (flush latency); only exists
+        #: when a telemetry server is requested, and never merges into
+        #: the deterministic §3.1 / svc_* registries.
+        self._live_registry: Optional[MetricsRegistry] = (
+            MetricsRegistry() if telemetry_port is not None else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -239,6 +260,15 @@ class RevocationService:
         for shard in self.shards:
             shard.task = asyncio.create_task(self._shard_worker(shard))
         self._started = True
+        if self._telemetry_port is not None and self.telemetry_server is None:
+            from repro.obs import TelemetryServer
+
+            self.telemetry_server = TelemetryServer(
+                self.live_snapshot,
+                health_fn=self._health,
+                spans_fn=self._recent_spans,
+                port=self._telemetry_port,
+            ).start()
         return self
 
     async def stop(self) -> None:
@@ -257,6 +287,9 @@ class RevocationService:
                 await shard.task
                 shard.task = None
         self._started = False
+        if self.telemetry_server is not None:
+            self.telemetry_server.stop()
+            self.telemetry_server = None
 
     def crash(self) -> None:
         """Simulate a hard crash: drop every in-memory structure.
@@ -280,6 +313,9 @@ class RevocationService:
         self.decisions = []
         self._crashed = True
         self._started = False
+        if self.telemetry_server is not None:
+            self.telemetry_server.stop()
+            self.telemetry_server = None
 
     def _check_alive(self) -> None:
         if self._crashed:
@@ -348,11 +384,17 @@ class RevocationService:
             batch, self._pending = self._pending, []
             if not batch:
                 return
+            t0 = time.perf_counter() if self._live_registry is not None else 0.0
             if self.obs is not None and self.obs.config.spans:
                 with self.obs.span("svc:flush", batch=len(batch)):
                     await self._process_batch(batch)
             else:
                 await self._process_batch(batch)
+            if self._live_registry is not None:
+                self._live_registry.histogram(
+                    "svc_flush_latency_seconds",
+                    buckets=exponential_buckets(0.0001, 4.0, 8),
+                ).observe(time.perf_counter() - t0)
 
     async def _process_batch(self, batch: List[_PendingAlert]) -> None:
         """Decide one batch and commit it to the ledger in seq order."""
@@ -678,11 +720,59 @@ class RevocationService:
 
         Shape mirrors the pipeline's: ``{"registry": <snapshot>,
         "spans": [...]}`` with ``svc_*`` counters for batches, waves,
-        ingested alerts, snapshots, and recovered records.
+        ingested alerts, snapshots, and recovered records. Under a
+        process span namespace / trace context (see
+        :mod:`repro.obs.live`) the dict also carries the ``process`` /
+        ``trace`` / ``wall0_epoch`` stitching fields, exactly like a
+        worker trial's telemetry.
         """
         if self.obs is None:
             return {}
+        return self.obs.telemetry()
+
+    # ------------------------------------------------------------------
+    # Live telemetry plane (wall-clock; never feeds the §3.1 registries)
+    # ------------------------------------------------------------------
+    def live_snapshot(self) -> Dict[str, Any]:
+        """One scrapeable snapshot: §3.1 + ``svc_*`` + liveness gauges.
+
+        Merges :meth:`registry_snapshot`, the operational ``svc_*``
+        registry (when ``observe`` is set), and the wall-clock live
+        registry, then overlays point-in-time liveness gauges:
+        ``svc_ledger_seq_lag`` (committed seqs since the last snapshot),
+        ``svc_pending_alerts`` (buffered, unflushed submissions), and
+        per-shard ``svc_shard_pending_alerts{shard=...}`` queue depths.
+        Served by the telemetry server's ``/metrics`` endpoint.
+        """
+        liveness = MetricsRegistry()
+        liveness.gauge("svc_ledger_seq_lag").set(
+            self.last_seq - self._snapshot_seq
+        )
+        liveness.gauge("svc_pending_alerts").set(len(self._pending))
+        for shard in self.shards:
+            liveness.gauge(
+                "svc_shard_pending_alerts", shard=shard.shard_id
+            ).set(shard.queue.qsize())
+        parts = [self.registry_snapshot()]
+        if self.obs is not None:
+            parts.append(self.obs.registry.snapshot())
+        if self._live_registry is not None:
+            parts.append(self._live_registry.snapshot())
+        parts.append(liveness.snapshot())
+        return merge_snapshots(parts)
+
+    def _health(self) -> Dict[str, Any]:
+        """``/healthz`` payload: ok only while started and not crashed."""
         return {
-            "registry": self.obs.registry.snapshot(),
-            "spans": list(self.obs.spans),
+            "status": "ok" if self._started and not self._crashed else "down",
+            "started": self._started,
+            "crashed": self._crashed,
+            "n_shards": self.n_shards,
+            "last_seq": self.last_seq,
         }
+
+    def _recent_spans(self) -> List[Dict[str, Any]]:
+        """``/spans`` payload: recent completed spans (empty w/o obs)."""
+        if self.obs is None:
+            return []
+        return list(self.obs.spans)[-256:]

@@ -196,6 +196,51 @@ class TestMergeProperties:
         assert merged["counters"]["x"] == 9
         assert isinstance(merged["counters"]["x"], int)
 
+    def test_max_suffix_gauges_merge_by_max(self):
+        # Liveness gauges like queue_heartbeat_age_seconds_max answer
+        # "how bad is the worst one" — summing scrapes would fabricate a
+        # staleness no process observed.
+        snapshots = []
+        for age in (1.5, 9.0, 4.0):
+            registry = MetricsRegistry()
+            registry.gauge("queue_heartbeat_age_seconds_max").set(age)
+            registry.gauge("pending").set(age)
+            snapshots.append(registry.snapshot())
+        merged = merge_snapshots(snapshots)
+        assert merged["gauges"]["queue_heartbeat_age_seconds_max"] == 9.0
+        assert merged["gauges"]["pending"] == 14.5  # plain gauges still sum
+
+    def test_max_suffix_applies_to_base_name_not_labels(self):
+        a = MetricsRegistry()
+        a.gauge("lag_max", node="n1").set(3.0)
+        b = MetricsRegistry()
+        b.gauge("lag_max", node="n1").set(8.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["gauges"]['lag_max{node="n1"}'] == 8.0
+
+    @pytest.mark.parametrize("seed", [30, 31, 32])
+    def test_max_gauges_keep_merge_order_insensitive(self, seed):
+        rng = random.Random(seed)
+        snapshots = []
+        for _ in range(4):
+            registry = MetricsRegistry()
+            registry.gauge(
+                "queue_heartbeat_age_seconds_max",
+                node=f"n{rng.randrange(2)}",
+            ).set(rng.randrange(0, 40) * 0.25)
+            registry.gauge("pending").inc(rng.randrange(-8, 9) * 0.25)
+            snapshots.append(registry.snapshot())
+        expected = merge_snapshots(snapshots)
+        for trial in range(6):
+            shuffled = list(snapshots)
+            random.Random(200 + trial).shuffle(shuffled)
+            assert merge_snapshots(shuffled) == expected
+        # max is also idempotent: re-merging a merge changes no _max gauge.
+        remerged = merge_snapshots([expected, expected])["gauges"]
+        for key, value in expected["gauges"].items():
+            if key.split("{", 1)[0].endswith("_max"):
+                assert remerged[key] == value
+
     def test_merge_rejects_bucket_layout_mismatch(self):
         a = MetricsRegistry()
         a.histogram("rtt", buckets=(1.0,)).observe(0.5)

@@ -7,7 +7,9 @@ check the artifacts a ``--trace-out``/``--metrics-out`` run produced:
 - **Chrome trace** (``--chrome``): a JSON object with a ``traceEvents``
   list; every ``"X"`` event has non-negative ``ts``/``dur`` and numeric
   ``pid``/``tid``; within each ``(pid, tid)`` lane, spans nest properly
-  (a span begun inside another ends inside it).
+  (a span begun inside another ends inside it). Metadata (``M``) and
+  flow (``s``/``t``/``f``) events — as ``tools/stitch_trace.py`` emits —
+  are accepted and checked for numeric timestamps.
 - **JSONL event log** (``--jsonl``): every line is a JSON object with
   ``trial``/``time``/``kind``; per trial, ``span.begin``/``span.end``
   markers balance like parentheses with matching ids and depths, and
@@ -17,6 +19,12 @@ check the artifacts a ``--trace-out``/``--metrics-out`` run produced:
   histogram samples are >= 0; per histogram series, ``_bucket``
   cumulative counts are monotone in ``le`` and the ``+Inf`` bucket
   equals ``_count``.
+- **Live scrape** (``--scrape [URL]``): with a URL, scrape a running
+  ``repro.obs.TelemetryServer``'s ``/metrics``, ``/healthz``, and
+  ``/spans`` endpoints and validate each payload. Without a URL,
+  self-test end to end: import ``repro.obs`` (needs ``PYTHONPATH=src``),
+  start a server on an ephemeral port with a representative registry,
+  scrape it over real HTTP, and validate — including the 404 path.
 
 Exit code 0 when every provided artifact validates; 1 with a message per
 defect otherwise.
@@ -25,6 +33,7 @@ Usage::
 
     python tools/check_telemetry.py --chrome out/trace.json \
         --jsonl out/trace.jsonl --prom out/metrics.prom
+    PYTHONPATH=src python tools/check_telemetry.py --scrape
 """
 
 from __future__ import annotations
@@ -62,6 +71,15 @@ def check_chrome(path: pathlib.Path, problems: List[str]) -> None:
             continue
         phase = event.get("ph")
         if phase == "M":
+            continue
+        if phase in ("s", "t", "f"):
+            # Flow events (cross-process edges from stitched traces):
+            # just need a timestamp and a lane to bind to.
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(
+                    f"{path}: traceEvents[{i}] flow event bad ts {ts!r}"
+                )
             continue
         if phase != "X":
             problems.append(f"{path}: traceEvents[{i}] has unknown ph {phase!r}")
@@ -161,12 +179,20 @@ def check_jsonl(path: pathlib.Path, problems: List[str]) -> None:
 
 
 def check_prom(path: pathlib.Path, problems: List[str]) -> None:
-    """Validate a Prometheus text-format metrics dump."""
+    """Validate a Prometheus text-format metrics dump file."""
     try:
         lines = path.read_text().splitlines()
     except OSError as exc:
         problems.append(f"{path}: unreadable: {exc}")
         return
+    check_prom_lines(lines, str(path), problems)
+
+
+def check_prom_lines(
+    lines: List[str], source: str, problems: List[str]
+) -> None:
+    """Validate Prometheus text-format lines from any source."""
+    path = source
     types: Dict[str, str] = {}
     buckets: Dict[str, List[Tuple[float, float]]] = {}
     counts: Dict[str, float] = {}
@@ -237,15 +263,118 @@ def check_prom(path: pathlib.Path, problems: List[str]) -> None:
         problems.append(f"{path}: no samples found")
 
 
+def _scrape(base_url: str, endpoint: str, problems: List[str]):
+    """GET one endpoint; returns (status, body) or None on failure."""
+    import urllib.error
+    import urllib.request
+
+    url = base_url.rstrip("/") + endpoint
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8", "replace")
+    except (OSError, ValueError) as exc:
+        problems.append(f"{url}: scrape failed: {exc}")
+        return None
+
+
+def check_scrape(base_url: str, problems: List[str]) -> None:
+    """Scrape a live TelemetryServer and validate every endpoint."""
+    metrics = _scrape(base_url, "/metrics", problems)
+    if metrics is not None:
+        status, body = metrics
+        if status != 200:
+            problems.append(f"{base_url}/metrics: HTTP {status}")
+        else:
+            check_prom_lines(
+                body.splitlines(), f"{base_url}/metrics", problems
+            )
+    health = _scrape(base_url, "/healthz", problems)
+    if health is not None:
+        status, body = health
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            payload = None
+        if not isinstance(payload, dict) or "status" not in payload:
+            problems.append(f"{base_url}/healthz: not a status JSON object")
+        elif (payload.get("status") == "ok") != (status == 200):
+            problems.append(
+                f"{base_url}/healthz: HTTP {status} disagrees with "
+                f"status {payload.get('status')!r}"
+            )
+    spans = _scrape(base_url, "/spans", problems)
+    if spans is not None:
+        status, body = spans
+        try:
+            payload = json.loads(body)
+        except ValueError:
+            payload = None
+        if status != 200 or not isinstance(payload, list):
+            problems.append(f"{base_url}/spans: expected a JSON list (HTTP 200)")
+    missing = _scrape(base_url, "/nope", problems)
+    if missing is not None and missing[0] != 404:
+        problems.append(f"{base_url}/nope: expected 404, got {missing[0]}")
+
+
+def check_scrape_selftest(problems: List[str]) -> None:
+    """Start an ephemeral TelemetryServer and scrape it over real HTTP.
+
+    Needs ``repro`` importable (run with ``PYTHONPATH=src``). The served
+    registry exercises all three metric kinds plus a ``_max`` liveness
+    gauge, and the span feed returns one completed span.
+    """
+    try:
+        from repro.obs import MetricsRegistry, TelemetryServer, linear_buckets
+    except ImportError as exc:
+        problems.append(f"--scrape self-test needs repro importable: {exc}")
+        return
+    registry = MetricsRegistry()
+    registry.counter("queue_tasks_total").inc(3)
+    registry.gauge("queue_depth").set(2)
+    registry.gauge("queue_heartbeat_age_seconds_max").set(0.25)
+    registry.histogram(
+        "svc_flush_latency_seconds", buckets=linear_buckets(0.01, 0.01, 4)
+    ).observe(0.02)
+    spans = [{"name": "trial", "id": "w0:1", "parent": 0, "depth": 0}]
+    server = TelemetryServer(
+        registry.snapshot,
+        health_fn=lambda: {"status": "ok", "selftest": True},
+        spans_fn=lambda: spans,
+        port=0,
+    )
+    with server:
+        check_scrape(server.url, problems)
+
+
 def main(argv=None) -> int:
     """Entry point; returns 0 when all provided artifacts validate."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--chrome", type=pathlib.Path, default=None)
     parser.add_argument("--jsonl", type=pathlib.Path, default=None)
     parser.add_argument("--prom", type=pathlib.Path, default=None)
+    parser.add_argument(
+        "--scrape",
+        nargs="?",
+        const="self",
+        default=None,
+        metavar="URL",
+        help=(
+            "scrape a live TelemetryServer's endpoints (base URL); "
+            "without a URL, self-test an ephemeral in-process server"
+        ),
+    )
     args = parser.parse_args(argv)
-    if args.chrome is None and args.jsonl is None and args.prom is None:
-        parser.error("nothing to check: pass --chrome, --jsonl, and/or --prom")
+    if (
+        args.chrome is None
+        and args.jsonl is None
+        and args.prom is None
+        and args.scrape is None
+    ):
+        parser.error(
+            "nothing to check: pass --chrome, --jsonl, --prom, and/or --scrape"
+        )
     problems: List[str] = []
     if args.chrome is not None:
         check_chrome(args.chrome, problems)
@@ -253,6 +382,10 @@ def main(argv=None) -> int:
         check_jsonl(args.jsonl, problems)
     if args.prom is not None:
         check_prom(args.prom, problems)
+    if args.scrape == "self":
+        check_scrape_selftest(problems)
+    elif args.scrape is not None:
+        check_scrape(args.scrape, problems)
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:

@@ -46,6 +46,7 @@ MODULES = [
     ("repro.obs.metrics", SRC / "repro" / "obs" / "metrics.py"),
     ("repro.obs.spans", SRC / "repro" / "obs" / "spans.py"),
     ("repro.obs.export", SRC / "repro" / "obs" / "export.py"),
+    ("repro.obs.live", SRC / "repro" / "obs" / "live.py"),
     ("repro.experiments.runner", SRC / "repro" / "experiments" / "runner.py"),
     (
         "repro.experiments.distributed",

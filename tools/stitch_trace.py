@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Stitch per-process span event logs into one Perfetto trace.
+
+Stdlib-only. Inputs are the JSONL event logs the live telemetry plane
+writes — ``kind: "span"`` lines produced by
+``repro.obs.live.span_event_lines`` — one file per process:
+
+- ``<run>/coordinator.events.jsonl`` — the coordinator's ``task:*``
+  spans (ids ``coord:<n>``);
+- ``<run>/workers/<id>.events.jsonl`` — each queue worker's executed
+  trial spans (ids ``<worker>:<n>``);
+- a revocation replay's events log (ids ``svc:<n>``), when one joined
+  the trace.
+
+The output is Chrome/Perfetto JSON: one ``X`` (complete) event per span
+on a per-process track (``pid`` per input process, metadata
+``process_name`` events name the tracks), all on a shared absolute
+timeline (microseconds since the earliest span). Cross-process causality
+is drawn with flow events: every root span carrying a ``remote_parent``
+gets an ``s`` (flow start) event on its parent's track and a binding
+``f`` (flow finish) event at its own start, so Perfetto renders an arrow
+from the coordinator's ``task:*`` span to the worker's ``trial`` span
+(and to the service's ``svc:flush`` spans).
+
+A ``remote_parent`` that names a span absent from the loaded logs is an
+error (exit 1) unless ``--allow-dangling`` is given — a stitched trace
+with silently missing edges would look complete when it is not.
+
+Usage::
+
+    python tools/stitch_trace.py --run-dir out/queue/run-0000 \
+        out/revocation.events.jsonl --out out/stitched.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def load_span_lines(
+    paths: List[pathlib.Path], problems: List[str]
+) -> List[Dict[str, Any]]:
+    """Parse ``kind == "span"`` records out of the given JSONL files."""
+    spans: List[Dict[str, Any]] = []
+    for path in paths:
+        try:
+            lines = path.read_text().splitlines()
+        except OSError as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"{path}:{lineno}: invalid JSON: {exc}")
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "span":
+                continue
+            for field in ("process", "span", "id", "t0_epoch_s", "dur_s"):
+                if field not in record:
+                    problems.append(f"{path}:{lineno}: missing {field!r}")
+                    break
+            else:
+                spans.append(record)
+    return spans
+
+
+def collect_run_dir(run_dir: pathlib.Path) -> List[pathlib.Path]:
+    """The event logs a queue run directory holds (coordinator + workers)."""
+    paths = []
+    coordinator = run_dir / "coordinator.events.jsonl"
+    if coordinator.exists():
+        paths.append(coordinator)
+    paths.extend(sorted((run_dir / "workers").glob("*.events.jsonl")))
+    return paths
+
+
+def stitch(
+    spans: List[Dict[str, Any]],
+    problems: List[str],
+    *,
+    allow_dangling: bool = False,
+) -> Dict[str, Any]:
+    """Build the Perfetto trace document from parsed span records.
+
+    Returns ``{"traceEvents": [...], "stitchSummary": {...}}``; appends
+    a message to ``problems`` per unresolved ``remote_parent`` unless
+    ``allow_dangling``.
+    """
+    if not spans:
+        problems.append("no span records found in the given files")
+        return {"traceEvents": []}
+    processes = sorted({str(s["process"]) for s in spans})
+    pid_of = {name: i + 1 for i, name in enumerate(processes)}
+    t_min = min(float(s["t0_epoch_s"]) for s in spans)
+
+    # Lanes (tids): every root span and its descendants share one lane;
+    # concurrent roots (a coordinator's in-flight task:* spans overlap
+    # in wall time) get distinct lanes, reused greedily once free —
+    # the same scheme repro.obs.export.chrome_trace uses.
+    parent_of = {str(s["id"]): s.get("parent", 0) for s in spans}
+
+    def root_of(span_id: str) -> str:
+        seen = set()
+        current = span_id
+        while True:
+            parent = parent_of.get(current, 0)
+            if parent in (0, None, "") or current in seen:
+                return current
+            seen.add(current)
+            current = str(parent)
+
+    lane_of: Dict[str, int] = {}
+    lane_free_at: Dict[str, List[float]] = {}
+    for span in sorted(spans, key=lambda s: float(s["t0_epoch_s"])):
+        span_id = str(span["id"])
+        root = root_of(span_id)
+        if root in lane_of:
+            continue
+        if root != span_id:
+            continue  # root not seen yet (child sorted first); wait for it
+        process = str(span["process"])
+        start = float(span["t0_epoch_s"])
+        end = start + max(0.0, float(span["dur_s"]))
+        lanes = lane_free_at.setdefault(process, [])
+        for index, free_at in enumerate(lanes):
+            if free_at <= start + 1e-9:
+                lane_of[root] = index + 1
+                lanes[index] = end
+                break
+        else:
+            lanes.append(end)
+            lane_of[root] = len(lanes)
+
+    def tid_of(span_id: str) -> int:
+        return lane_of.get(root_of(span_id), 1)
+
+    events: List[Dict[str, Any]] = []
+    for name in processes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid_of[name],
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+
+    # Index every span by id for edge resolution. Namespaced ids are
+    # globally unique; a duplicate means two logs disagree — report it.
+    by_id: Dict[str, Dict[str, Any]] = {}
+    placed: Dict[str, Tuple[int, int, float]] = {}
+    for span in spans:
+        span_id = str(span["id"])
+        if span_id in by_id:
+            problems.append(f"duplicate span id {span_id!r} across logs")
+        by_id[span_id] = span
+
+    for span in spans:
+        process = str(span["process"])
+        trial = str(span.get("trial", ""))
+        ts = (float(span["t0_epoch_s"]) - t_min) * 1e6
+        pid, tid = pid_of[process], tid_of(str(span["id"]))
+        placed[str(span["id"])] = (pid, tid, ts)
+        args = {
+            "id": span["id"],
+            "parent": span.get("parent", 0),
+            "trial": trial,
+            **{
+                k: v
+                for k, v in (span.get("attrs") or {}).items()
+                if isinstance(v, (str, int, float, bool))
+            },
+        }
+        events.append(
+            {
+                "ph": "X",
+                "name": str(span["span"]),
+                "cat": trial or "span",
+                "ts": ts,
+                "dur": max(0.0, float(span["dur_s"]) * 1e6),
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    edge_count = 0
+    for span in spans:
+        remote_parent = span.get("remote_parent")
+        if not remote_parent:
+            continue
+        parent = placed.get(str(remote_parent))
+        if parent is None:
+            if not allow_dangling:
+                problems.append(
+                    f"span {span['id']!r} names remote parent "
+                    f"{remote_parent!r}, which is in none of the given logs"
+                )
+            continue
+        edge_count += 1
+        parent_pid, parent_tid, parent_ts = parent
+        child_pid, child_tid, child_ts = placed[str(span["id"])]
+        flow = {"cat": "trace", "name": "trace", "id": edge_count}
+        events.append(
+            {
+                "ph": "s",
+                "ts": parent_ts,
+                "pid": parent_pid,
+                "tid": parent_tid,
+                **flow,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "ts": child_ts,
+                "pid": child_pid,
+                "tid": child_tid,
+                **flow,
+            }
+        )
+
+    events.sort(key=lambda e: (e.get("ts", -1), e["pid"], e["tid"]))
+    trace_ids = sorted(
+        {str(s["trace_id"]) for s in spans if s.get("trace_id")}
+    )
+    return {
+        "traceEvents": events,
+        "stitchSummary": {
+            "processes": processes,
+            "spans": len(spans),
+            "edges": edge_count,
+            "trace_ids": trace_ids,
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns 0 when the stitched trace is complete."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "logs",
+        nargs="*",
+        type=pathlib.Path,
+        help="span event logs (JSONL) to merge",
+    )
+    parser.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        default=None,
+        help="queue run directory; adds its coordinator and worker logs",
+    )
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        required=True,
+        help="output Perfetto trace JSON path",
+    )
+    parser.add_argument(
+        "--allow-dangling",
+        action="store_true",
+        help="tolerate remote parents missing from the given logs",
+    )
+    args = parser.parse_args(argv)
+    paths = list(args.logs)
+    if args.run_dir is not None:
+        paths = collect_run_dir(args.run_dir) + paths
+    if not paths:
+        parser.error("no event logs: pass files and/or --run-dir")
+    problems: List[str] = []
+    spans = load_span_lines(paths, problems)
+    document = stitch(spans, problems, allow_dangling=args.allow_dangling)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(document, sort_keys=True) + "\n")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    summary = document.get("stitchSummary", {})
+    print(
+        f"stitched {summary.get('spans', 0)} span(s) from "
+        f"{len(summary.get('processes', []))} process(es), "
+        f"{summary.get('edges', 0)} cross-process edge(s) -> {args.out}"
+    )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
