@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
+from repro.core.replay_filter import ReplayFilterCascade
 from repro.core.revocation import BaseStation
+from repro.detectors.base import Detector, Exchange
+from repro.detectors.paper import PaperDetector
 from repro.errors import DeliveryError
 from repro.core.signal_detector import MaliciousSignalDetector
 from repro.crypto.manager import KeyManager
@@ -61,6 +63,12 @@ class DetectingBeacon(BeaconService):
             request* hop, retrying a request the lossy link swallowed; a
             request whose retry budget is exhausted degrades to a lost
             probe (counted in :attr:`probes_lost`), never an exception.
+        detector: optional :class:`repro.detectors.base.Detector` that
+            judges probe replies instead of the paper suite. ``None``
+            (the default) wraps this beacon's own ``signal_detector`` +
+            ``filter_cascade`` in a
+            :class:`~repro.detectors.paper.PaperDetector`, which is
+            bit-identical to the pre-arena reply handler.
     """
 
     def __init__(
@@ -76,10 +84,16 @@ class DetectingBeacon(BeaconService):
         alert_channel: Optional[ReliableChannel] = None,
         request_channel: Optional[ReliableChannel] = None,
         probe_power_randomization_ft: float = 0.0,
+        detector: Optional[Detector] = None,
     ) -> None:
         super().__init__(node_id, position, key_manager)
         self.signal_detector = signal_detector
         self.filter_cascade = filter_cascade
+        self.detector: Detector = (
+            detector
+            if detector is not None
+            else PaperDetector(signal_detector, filter_cascade)
+        )
         self.base_station = base_station
         self.alert_channel = alert_channel
         self.request_channel = request_channel
@@ -143,39 +157,25 @@ class DetectingBeacon(BeaconService):
         if not self.key_manager.verify(packet):
             return
 
-        check = self.signal_detector.check(
-            self.position, packet.claimed_point, reception.measured_distance_ft
+        exchange = Exchange(
+            detector_id=self.node_id,
+            detecting_id=packet.dst_id,
+            target_id=packet.src_id,
+            detector_position=self.position,
+            declared_position=packet.claimed_point,
+            measured_distance_ft=reception.measured_distance_ft,
+            reception=reception,
+            rtt_provider=lambda: self._observe_rtt(reception),
         )
-        consistent = not check.is_malicious
-        if consistent:
-            self._record(
-                packet.dst_id, packet.src_id, "consistent",
-                signal_consistent=consistent,
-            )
-            return
-
-        # Malicious signal: make sure it is not a replay before indicting.
-        rtt = self._observe_rtt(reception)
-        decision = self.filter_cascade.evaluate(
-            reception, self.position, rtt, receiver_knows_location=True
-        )
-        if decision is FilterDecision.REPLAYED_WORMHOLE:
-            self._record(
-                packet.dst_id, packet.src_id, "replayed_wormhole",
-                signal_consistent=consistent,
-            )
-            return
-        if decision is FilterDecision.REPLAYED_LOCAL:
-            self._record(
-                packet.dst_id, packet.src_id, "replayed_local",
-                signal_consistent=consistent,
-            )
-            return
-
+        verdict = self.detector.evaluate(exchange)
         self._record(
-            packet.dst_id, packet.src_id, "alert", signal_consistent=consistent
+            packet.dst_id,
+            packet.src_id,
+            verdict.decision,
+            signal_consistent=verdict.signal_consistent,
         )
-        self.report_alert(packet.src_id, time=reception.arrival_time)
+        if verdict.indict:
+            self.report_alert(packet.src_id, time=reception.arrival_time)
 
     def _observe_rtt(self, reception: Reception) -> float:
         """Measure the register-level RTT of this exchange."""

@@ -110,6 +110,15 @@ class PipelineConfig:
     wormhole_false_alarm_rate: float = 0.0
     p_prime: float = 0.2
     location_lie_ft: float = 100.0
+    #: Which registered :mod:`repro.detectors` implementation judges
+    #: probe replies. ``"paper"`` (default) is the §2.1+§2.2 reference
+    #: suite, bit-identical to the pre-arena pipeline; rivals
+    #: (``"mahalanobis"``, ``"noisy"``, ``"consistency"``) calibrate on
+    #: the dedicated ``detector-calibration`` stream and share one
+    #: instance across all detecting beacons. Non-paper detectors run on
+    #: the scalar path only (see
+    #: :func:`repro.vec.vectorized_core_supported`).
+    detector: str = "paper"
     wormhole_endpoints: Optional[Tuple[Tuple[float, float], Tuple[float, float]]] = (
         (100.0, 100.0),
         (800.0, 700.0),
@@ -202,6 +211,13 @@ class PipelineConfig:
             self.wormhole_false_alarm_rate, "wormhole_false_alarm_rate"
         )
         check_probability(self.p_prime, "p_prime")
+        from repro.detectors import available_detectors
+
+        if self.detector not in available_detectors():
+            raise ConfigurationError(
+                f"detector must be one of {available_detectors()}, "
+                f"got {self.detector!r}"
+            )
         if self.comm_range_ft <= 0:
             raise ConfigurationError(
                 f"comm_range_ft must be > 0, got {self.comm_range_ft}"
@@ -292,6 +308,9 @@ class SecureLocalizationPipeline:
         self.benign_beacons: List[DetectingBeacon] = []
         self.malicious_beacons: List[MaliciousBeacon] = []
         self.agents: List[SecureNonBeaconAgent] = []
+        #: The shared rival detector instance, or None on the paper path
+        #: (where each beacon owns a PaperDetector); set by :meth:`build`.
+        self.detector = None
         self.notice_distributor = None
         self._built = False
         self._probes_sent = 0
@@ -408,6 +427,27 @@ class SecureLocalizationPipeline:
         signal_detector = MaliciousSignalDetector(
             max_error_ft=cfg.max_ranging_error_ft
         )
+        # Rival detectors: one calibrated instance shared by every
+        # detecting beacon (exchanges carry the beacon identity, so
+        # per-pair state lives inside the detector). The paper path
+        # passes None — each beacon wraps its own cascade objects in a
+        # PaperDetector — and, since calibration draws only from the
+        # dedicated "detector-calibration" stream, stays bit-identical.
+        shared_detector = None
+        if cfg.detector != "paper":
+            from repro.detectors import DetectorContext, make_detector
+
+            shared_detector = make_detector(cfg.detector)
+            shared_detector.calibrate(
+                DetectorContext(
+                    max_ranging_error_ft=cfg.max_ranging_error_ft,
+                    comm_range_ft=cfg.comm_range_ft,
+                    rtt_model=self.network.rtt_model,
+                    rtt_calibration=calibration,
+                    rng=self.rngs.stream("detector-calibration"),
+                )
+            )
+        self.detector = shared_detector
         self.base_station = BaseStation(
             self.key_manager,
             RevocationConfig(tau_report=cfg.tau_report, tau_alert=cfg.tau_alert),
@@ -466,6 +506,7 @@ class SecureLocalizationPipeline:
                 ),
                 alert_channel=alert_channel,
                 request_channel=request_channel,
+                detector=shared_detector,
             )
             self.network.add_node(beacon)
             for did in beacon.detecting_ids:

@@ -1,0 +1,55 @@
+"""Pluggable malicious-beacon detectors and the head-to-head arena.
+
+The package defines the :class:`~repro.detectors.base.Detector`
+protocol (calibrate -> per-exchange verdict -> diagnostics), the
+registry that :attr:`PipelineConfig.detector
+<repro.core.pipeline.PipelineConfig>` resolves through, and four
+implementations:
+
+- ``paper`` — the reference: §2.1 consistency check + §2.2 replay
+  cascade (:mod:`repro.detectors.paper`); bit-identical to the
+  pre-arena pipeline.
+- ``mahalanobis`` — multivariate outlier test over (residual, RTT)
+  features (:mod:`repro.detectors.mahalanobis`).
+- ``noisy`` — per-pair sequential probability ratio test over binary
+  residual exceedances (:mod:`repro.detectors.noisy`).
+- ``consistency`` — the cascade's deterministic filters only
+  (:mod:`repro.detectors.consistency`).
+
+See ``docs/ARENA.md`` for the protocol contract, the rivals' math, and
+how to reproduce the committed comparison report.
+
+Paper section: §2.1-§2.2 (the detection suite, generalised to rivals)
+"""
+
+from repro.detectors.base import (
+    DECISION_ALERT,
+    DECISION_CONSISTENT,
+    Detector,
+    DetectorContext,
+    Exchange,
+    Verdict,
+    available_detectors,
+    make_detector,
+    register,
+)
+from repro.detectors.consistency import ConsistencyDetector
+from repro.detectors.mahalanobis import MahalanobisDetector
+from repro.detectors.noisy import NoisySequentialDetector
+from repro.detectors.paper import PaperDetector
+
+__all__ = [
+    "DECISION_ALERT",
+    "DECISION_CONSISTENT",
+    "Detector",
+    "DetectorContext",
+    "Exchange",
+    "Verdict",
+    "available_detectors",
+    "make_detector",
+    "register",
+    "PaperDetector",
+    "MahalanobisDetector",
+    "NoisySequentialDetector",
+    "ConsistencyDetector",
+]

@@ -1,0 +1,92 @@
+"""Deterministic in-range consistency detector (Delaët-style rival).
+
+A fully deterministic variant of the paper's cascade: every filter is a
+geometric or calibrated-bound test, with the probabilistic (rate
+``p_d``) wormhole detector removed. An inconsistent signal is
+
+1. **discarded** when the declared location is farther than the radio
+   range (it cannot have arrived directly — the §2.2.1 distance
+   condition, here the *only* wormhole defence);
+2. **discarded** when the measured RTT exceeds the calibrated §2.2.2
+   ``x_max`` (a local replay);
+3. **indicted** otherwise.
+
+Determinism is the selling point — verdicts are a pure function of the
+exchange, no coins anywhere — and the arena quantifies its price:
+wormhole replays whose declared location happens to land inside the
+receiver's range pass filter 1 with probability 1 (the paper's detector
+catches them at rate ``p_d``), and each such survivor indicts a benign
+victim. The RTT is only measured for inconsistent, in-range signals,
+mirroring the paper detector's lazy-measurement economy.
+
+Paper section: §2.2 (the cascade restricted to its deterministic
+filters; cf. Delaët et al., PAPERS.md)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.detectors.base import (
+    DECISION_ALERT,
+    DECISION_CONSISTENT,
+    Detector,
+    DetectorContext,
+    Exchange,
+    Verdict,
+    register,
+)
+from repro.utils.geometry import distance
+
+
+@register
+class ConsistencyDetector(Detector):
+    """The paper's deterministic filters, without the ``p_d`` coin."""
+
+    name = "consistency"
+
+    def __init__(self) -> None:
+        self._max_error_ft = 0.0
+        self._comm_range_ft = 0.0
+        self._x_max = float("inf")
+        self.evaluated = 0
+        self.discarded_out_of_range = 0
+        self.discarded_rtt = 0
+
+    def calibrate(self, context: DetectorContext) -> None:
+        """Take the error bound, radio range, and honest-RTT ceiling."""
+        self._max_error_ft = context.max_ranging_error_ft
+        self._comm_range_ft = context.comm_range_ft
+        self._x_max = context.rtt_calibration.x_max
+
+    def evaluate(self, exchange: Exchange) -> Verdict:
+        """Consistency, range, and RTT bounds — in that order."""
+        self.evaluated += 1
+        calculated = distance(
+            exchange.detector_position, exchange.declared_position
+        )
+        residual = abs(calculated - exchange.measured_distance_ft)
+        if residual <= self._max_error_ft:
+            return Verdict(
+                DECISION_CONSISTENT, indict=False, signal_consistent=True
+            )
+        if calculated > self._comm_range_ft:
+            self.discarded_out_of_range += 1
+            return Verdict(
+                "replayed_wormhole", indict=False, signal_consistent=False
+            )
+        if exchange.rtt_cycles() > self._x_max:
+            self.discarded_rtt += 1
+            return Verdict(
+                "replayed_local", indict=False, signal_consistent=False
+            )
+        return Verdict(DECISION_ALERT, indict=True, signal_consistent=False)
+
+    def diagnostics(self) -> Dict[str, object]:
+        """Calibrated bounds plus discard counters."""
+        return {
+            "x_max": self._x_max,
+            "evaluated": self.evaluated,
+            "discarded_out_of_range": self.discarded_out_of_range,
+            "discarded_rtt": self.discarded_rtt,
+        }

@@ -1,0 +1,162 @@
+"""Mahalanobis-distance residual detector (Kuriakose-style rival).
+
+Models an honest exchange as a two-dimensional feature vector — the
+signed localization residual ``calculated - measured`` and the
+register-level RTT — and calibrates its mean and covariance from
+simulated attack-free exchanges. At run time each exchange's squared
+Mahalanobis distance
+
+    d^2 = (x - mu)^T  Sigma^{-1}  (x - mu)
+
+is compared against a threshold set to the largest calibration ``d^2``
+times a safety margin (the same empirical-support convention the paper
+uses for ``x_max`` in §2.2.2): anything inside the honest ellipse is
+accepted, anything outside indicts the sender immediately.
+
+The contrast with the paper's suite is deliberate: there is **no replay
+filtering**. A wormhole-replayed benign signal has a huge residual and
+RTT, lands far outside the honest ellipse, and indicts the *benign*
+victim — the arena report shows this as a high false-positive rate in
+wormhole scenarios, which is exactly the failure mode the paper's §2.2
+cascade exists to prevent.
+
+Calibration draws only from the dedicated ``detector-calibration``
+stream, so enabling this detector never perturbs the protocol RNG.
+
+Paper section: §2.1 (the residual test generalised to a multivariate
+outlier test; cf. Kuriakose et al., PAPERS.md)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.detectors.base import (
+    DECISION_ALERT,
+    DECISION_CONSISTENT,
+    Detector,
+    DetectorContext,
+    Exchange,
+    Verdict,
+    register,
+)
+from repro.errors import CalibrationError
+from repro.utils.geometry import distance
+
+
+def _mean_and_covariance(
+    samples: List[Tuple[float, float]],
+) -> Tuple[Tuple[float, float], Tuple[float, float, float]]:
+    """Sample mean and (regularised) covariance of 2-d feature vectors."""
+    n = len(samples)
+    mean_r = sum(s[0] for s in samples) / n
+    mean_t = sum(s[1] for s in samples) / n
+    var_r = var_t = cov_rt = 0.0
+    for r, t in samples:
+        dr = r - mean_r
+        dt = t - mean_t
+        var_r += dr * dr
+        var_t += dt * dt
+        cov_rt += dr * dt
+    denom = max(1, n - 1)
+    var_r /= denom
+    var_t /= denom
+    cov_rt /= denom
+    # Regularise: a degenerate axis (e.g. zero ranging noise) must not
+    # make the ellipse infinitely thin.
+    eps = 1e-9 * max(var_r, var_t, 1.0)
+    return (mean_r, mean_t), (var_r + eps, var_t + eps, cov_rt)
+
+
+@register
+class MahalanobisDetector(Detector):
+    """Multivariate outlier test over (residual, RTT) features.
+
+    Args:
+        calibration_samples: attack-free exchanges simulated during
+            :meth:`calibrate`.
+        threshold_margin: multiplier on the largest calibration ``d^2``;
+            > 1 keeps bounded honest noise strictly inside the ellipse.
+    """
+
+    name = "mahalanobis"
+
+    def __init__(
+        self,
+        calibration_samples: int = 512,
+        threshold_margin: float = 1.5,
+    ) -> None:
+        self.calibration_samples = calibration_samples
+        self.threshold_margin = threshold_margin
+        self._mean: Optional[Tuple[float, float]] = None
+        self._inv_cov: Optional[Tuple[float, float, float]] = None
+        self.threshold_d2: Optional[float] = None
+        self._max_error_ft = 0.0
+        self.evaluated = 0
+        self.outliers = 0
+
+    def calibrate(self, context: DetectorContext) -> None:
+        """Fit the honest (residual, RTT) ellipse from simulated exchanges."""
+        rng = context.rng
+        e = context.max_ranging_error_ft
+        self._max_error_ft = e
+        samples: List[Tuple[float, float]] = []
+        for _ in range(self.calibration_samples):
+            residual = rng.uniform(-e, e)
+            d = rng.uniform(0.0, context.comm_range_ft)
+            rtt = context.rtt_model.sample(rng, distance_ft=d).rtt
+            samples.append((residual, rtt))
+        mean, (var_r, var_t, cov_rt) = _mean_and_covariance(samples)
+        det = var_r * var_t - cov_rt * cov_rt
+        if det <= 0.0:
+            raise CalibrationError(
+                f"degenerate calibration covariance (det={det})"
+            )
+        self._mean = mean
+        self._inv_cov = (var_t / det, var_r / det, -cov_rt / det)
+        worst = max(self._d2(r, t) for r, t in samples)
+        self.threshold_d2 = worst * self.threshold_margin
+
+    def _d2(self, residual: float, rtt: float) -> float:
+        dr = residual - self._mean[0]
+        dt = rtt - self._mean[1]
+        a, b, c = self._inv_cov  # inv = [[a, c], [c, b]]
+        return a * dr * dr + 2.0 * c * dr * dt + b * dt * dt
+
+    def evaluate(self, exchange: Exchange) -> Verdict:
+        """Accept inside the honest ellipse, indict outside it."""
+        if self.threshold_d2 is None:
+            raise CalibrationError("MahalanobisDetector used before calibrate()")
+        calculated = distance(
+            exchange.detector_position, exchange.declared_position
+        )
+        residual = calculated - exchange.measured_distance_ft
+        consistent = abs(residual) <= self._max_error_ft
+        d2 = self._d2(residual, exchange.rtt_cycles())
+        self.evaluated += 1
+        if d2 <= self.threshold_d2:
+            if consistent:
+                return Verdict(
+                    DECISION_CONSISTENT, indict=False, signal_consistent=True
+                )
+            return Verdict(
+                "mahalanobis_accept",
+                indict=False,
+                signal_consistent=False,
+                detail=f"d2={d2:.3f}",
+            )
+        self.outliers += 1
+        return Verdict(
+            DECISION_ALERT,
+            indict=True,
+            signal_consistent=consistent,
+            detail=f"d2={d2:.3f}>{self.threshold_d2:.3f}",
+        )
+
+    def diagnostics(self) -> Dict[str, object]:
+        """Calibrated ellipse parameters plus evaluation counters."""
+        return {
+            "threshold_d2": self.threshold_d2,
+            "evaluated": self.evaluated,
+            "outliers": self.outliers,
+        }

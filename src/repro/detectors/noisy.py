@@ -1,0 +1,135 @@
+"""Noisy-channel sequential threshold detector (Mandal-Ghosh-style rival).
+
+Treats each probe exchange as one Bernoulli observation of the
+hypothesis "this beacon lies about its position": the observation is
+*suspicious* when the §2.1 residual exceeds the maximum measurement
+error. Instead of indicting on a single suspicious observation, a
+Wald sequential probability ratio test (SPRT) accumulates evidence per
+(detecting beacon, target) pair:
+
+    H0 (honest):    P(suspicious) = p0   (channel noise only)
+    H1 (malicious): P(suspicious) = p1
+
+    llr += log(p1/p0)             on a suspicious observation
+    llr += log((1-p1)/(1-p0))     on a clean observation
+
+    indict when llr >= log((1-beta)/alpha)
+
+The accept boundary ``log(beta/(1-alpha))`` clamps the ratio from
+below rather than terminating, so a beacon that turns malicious late is
+still caught. The design goal is robustness to *channel noise*: a few
+noise-induced residual excursions are absorbed instead of indicted,
+at the cost of needing ~2 consistent lies before an indictment — with
+``m`` detecting identities per beacon the paper's probing schedule
+supplies them in one round.
+
+Like the Mahalanobis rival — and unlike the paper's suite — there is no
+replay filtering, so wormhole-replayed benign signals accumulate
+evidence against their benign victims. The detector never consults the
+RTT and draws no randomness at all (calibration is closed-form), which
+makes it the cheapest per decision in the arena.
+
+Paper section: §2.1 (the residual test hardened into a sequential test;
+cf. Mandal-Ghosh, PAPERS.md)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.detectors.base import (
+    DECISION_ALERT,
+    DECISION_CONSISTENT,
+    Detector,
+    DetectorContext,
+    Exchange,
+    Verdict,
+    register,
+)
+from repro.errors import ConfigurationError
+from repro.utils.geometry import distance
+
+
+@register
+class NoisySequentialDetector(Detector):
+    """Per-pair SPRT over binary residual-exceedance observations.
+
+    Args:
+        p_noise: assumed probability an *honest* exchange trips the
+            residual test (channel noise); must be in (0, 1).
+        p_malicious: assumed probability a *lying* beacon trips it.
+        alpha: tolerated false-indictment rate (sets the upper boundary).
+        beta: tolerated missed-detection rate (sets the lower clamp).
+    """
+
+    name = "noisy"
+
+    def __init__(
+        self,
+        p_noise: float = 0.05,
+        p_malicious: float = 0.9,
+        alpha: float = 0.01,
+        beta: float = 0.01,
+    ) -> None:
+        if not 0.0 < p_noise < p_malicious < 1.0:
+            raise ConfigurationError(
+                f"need 0 < p_noise < p_malicious < 1, got {p_noise}, {p_malicious}"
+            )
+        if not (0.0 < alpha < 1.0 and 0.0 < beta < 1.0):
+            raise ConfigurationError(
+                f"alpha/beta must be in (0, 1), got {alpha}, {beta}"
+            )
+        self._step_up = math.log(p_malicious / p_noise)
+        self._step_down = math.log((1.0 - p_malicious) / (1.0 - p_noise))
+        self._upper = math.log((1.0 - beta) / alpha)
+        self._lower = math.log(beta / (1.0 - alpha))
+        self._llr: Dict[Tuple[int, int], float] = {}
+        self._max_error_ft = 0.0
+        self.evaluated = 0
+        self.indicted_pairs = 0
+
+    def calibrate(self, context: DetectorContext) -> None:
+        """Closed-form: only the residual threshold is taken from context."""
+        self._max_error_ft = context.max_ranging_error_ft
+
+    def evaluate(self, exchange: Exchange) -> Verdict:
+        """Advance the pair's likelihood ratio and test the boundary."""
+        self.evaluated += 1
+        calculated = distance(
+            exchange.detector_position, exchange.declared_position
+        )
+        residual = abs(calculated - exchange.measured_distance_ft)
+        suspicious = residual > self._max_error_ft
+        key = (exchange.detector_id, exchange.target_id)
+        llr = self._llr.get(key, 0.0)
+        llr += self._step_up if suspicious else self._step_down
+        llr = max(llr, self._lower)
+        self._llr[key] = llr
+        if llr >= self._upper:
+            self.indicted_pairs += 1
+            return Verdict(
+                DECISION_ALERT,
+                indict=True,
+                signal_consistent=not suspicious,
+                detail=f"llr={llr:.2f}>={self._upper:.2f}",
+            )
+        if not suspicious:
+            return Verdict(
+                DECISION_CONSISTENT, indict=False, signal_consistent=True
+            )
+        return Verdict(
+            "sequential_pending",
+            indict=False,
+            signal_consistent=False,
+            detail=f"llr={llr:.2f}",
+        )
+
+    def diagnostics(self) -> Dict[str, object]:
+        """Boundary parameters plus evaluation counters."""
+        return {
+            "pairs_tracked": len(self._llr),
+            "evaluated": self.evaluated,
+            "indicted_pairs": self.indicted_pairs,
+            "upper_boundary": self._upper,
+        }

@@ -1,0 +1,97 @@
+"""The paper's detection suite behind the :class:`Detector` protocol.
+
+:class:`PaperDetector` is a thin adapter over the components every
+:class:`~repro.core.detecting.DetectingBeacon` already owns — the §2.1
+:class:`~repro.core.signal_detector.MaliciousSignalDetector` and the
+§2.2 :class:`~repro.core.replay_filter.ReplayFilterCascade` — preserving
+the exact evaluation order of the pre-arena reply handler:
+
+1. distance-consistency check (no RNG);
+2. only on inconsistency: measure the RTT (consumes measurement-stream
+   draws) and run the wormhole + local-replay cascade;
+3. indict only a malicious signal that survives both filters.
+
+Because the adapter holds each beacon's *own* cascade objects (the
+shared wormhole detector's coin stream included), a pipeline configured
+with ``detector="paper"`` is bit-identical to the pre-arena pipeline —
+the seam tests pin this against captured golden metrics.
+
+Unlike the rival detectors, one instance serves one beacon (the cascade
+counters are per-beacon state the vectorized kernels also mutate), so
+the pipeline leaves construction to the beacon itself.
+
+Paper section: §2.1-§2.2 (the reference detection suite)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.replay_filter import FilterDecision, ReplayFilterCascade
+from repro.core.signal_detector import MaliciousSignalDetector
+from repro.detectors.base import (
+    DECISION_ALERT,
+    DECISION_CONSISTENT,
+    Detector,
+    Exchange,
+    Verdict,
+    register,
+)
+
+
+@register
+class PaperDetector(Detector):
+    """The §2.1 consistency check plus the §2.2 replay-filter cascade.
+
+    Args:
+        signal_detector: the beacon's distance-consistency check. The
+            registry factory leaves both components ``None`` (the
+            pipeline builds bound instances per beacon); an unbound
+            instance cannot evaluate.
+        filter_cascade: the beacon's wormhole + RTT replay filters.
+    """
+
+    name = "paper"
+
+    def __init__(
+        self,
+        signal_detector: Optional[MaliciousSignalDetector] = None,
+        filter_cascade: Optional[ReplayFilterCascade] = None,
+    ) -> None:
+        self.signal_detector = signal_detector
+        self.filter_cascade = filter_cascade
+
+    def evaluate(self, exchange: Exchange) -> Verdict:
+        """Replicate ``DetectingBeacon._handle_probe_reply`` exactly."""
+        check = self.signal_detector.check(
+            exchange.detector_position,
+            exchange.declared_position,
+            exchange.measured_distance_ft,
+        )
+        consistent = not check.is_malicious
+        if consistent:
+            return Verdict(
+                DECISION_CONSISTENT, indict=False, signal_consistent=True
+            )
+        # Malicious signal: make sure it is not a replay before indicting.
+        rtt = exchange.rtt_cycles()
+        decision = self.filter_cascade.evaluate(
+            exchange.reception,
+            exchange.detector_position,
+            rtt,
+            receiver_knows_location=True,
+        )
+        if decision is FilterDecision.REPLAYED_WORMHOLE:
+            return Verdict(
+                "replayed_wormhole", indict=False, signal_consistent=False
+            )
+        if decision is FilterDecision.REPLAYED_LOCAL:
+            return Verdict(
+                "replayed_local", indict=False, signal_consistent=False
+            )
+        return Verdict(DECISION_ALERT, indict=True, signal_consistent=False)
+
+    def diagnostics(self) -> Dict[str, object]:
+        """The local-replay filter's check/flag counters."""
+        local = self.filter_cascade.local_replay_detector
+        return {"rtt_checks": local.checks, "rtt_flagged": local.flagged}

@@ -13,6 +13,15 @@ Usage::
     python -m repro.experiments revocation --trials 3 --shards 4
     python -m repro.experiments revocation --persistence sqlite \
         --state-dir /tmp/revocation --restart-fraction 0.5
+    python -m repro.experiments trial --detector mahalanobis
+    python -m repro.experiments arena --trials 3 --out results/
+
+The ``arena`` target runs every registered detector (or just
+``--detector``) head-to-head on identical seeded scenarios across the
+Figure-12 grid (``repro.experiments.arena``, see docs/ARENA.md) and
+prints the markdown comparison report; ``--out`` also writes
+``ARENA_REPORT.md`` + ``BENCH_arena.json``. ``--detector`` likewise
+selects the detection strategy for the ``trial`` target's pipeline.
 
 The ``revocation`` target captures each trial's §3.1 alert stream,
 replays it through the sharded, persistent revocation service
@@ -66,6 +75,7 @@ import inspect
 import json
 import os
 import pathlib
+import platform
 import sys
 from typing import List, Optional, Sequence
 
@@ -111,10 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help=(
             "figure name (e.g. figure05), 'all', 'list', 'report', "
-            "'trial' (one fully observed paper-default pipeline run), or "
-            "'revocation' (replay captured alert streams through the "
-            "sharded revocation service and verify bit-identity); "
-            "optional with --worker"
+            "'trial' (one fully observed paper-default pipeline run), "
+            "'arena' (every registered detector head-to-head on identical "
+            "scenarios), or 'revocation' (replay captured alert streams "
+            "through the sharded revocation service and verify "
+            "bit-identity); optional with --worker"
         ),
     )
     parser.add_argument(
@@ -239,6 +250,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="extra executions of a failing task before giving up",
     )
+    parser.add_argument(
+        "--detector",
+        default=None,
+        metavar="NAME",
+        help=(
+            "detection strategy from repro.detectors (see "
+            "available_detectors()): selects the 'trial' pipeline's "
+            "detector and restricts the 'arena' to one entrant "
+            "(default: 'paper' for trial, all detectors for arena)"
+        ),
+    )
     revocation = parser.add_argument_group(
         "revocation", "options for the 'revocation' service-replay target"
     )
@@ -246,7 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials",
         type=_retries_type,
         default=3,
-        help="revocation: captured pipeline trials to replay (default: 3)",
+        help=(
+            "revocation: captured pipeline trials to replay; "
+            "arena: seeded trials per grid point (default: 3)"
+        ),
     )
     revocation.add_argument(
         "--shards",
@@ -438,9 +463,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.target == "trial":
         from repro.core.pipeline import PipelineConfig
 
+        detector = args.detector or "paper"
+        config = PipelineConfig(seed=0, detector=detector)
         with make_runner(args) as runner:
             results = runner.run_pipeline_configs(
-                [PipelineConfig(seed=0)], keys=["trial:seed0"]
+                [config], keys=[f"trial:seed0:{detector}"]
             )
             if not args.quiet:
                 print(json.dumps(results[0], indent=2, sort_keys=True))
@@ -449,6 +476,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 _report_errors(runner.stats.errors, args)
                 return 3
             return 0
+
+    if args.target == "arena":
+        return _run_arena(args)
 
     if args.target == "revocation":
         return _run_revocation(args)
@@ -484,6 +514,63 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"({stats.total_seconds:.2f}s task time)",
             file=sys.stderr,
         )
+    if runner.stats.errors:
+        _report_errors(runner.stats.errors, args)
+        return 3
+    return 0
+
+
+def _run_arena(args) -> int:
+    """The ``arena`` target: every detector head-to-head, one report.
+
+    Sweeps each registered detector (or just ``--detector``) across the
+    Figure-12 grid on identical seeded scenarios, prints the markdown
+    comparison report, and — with ``--out`` — writes ``ARENA_REPORT.md``
+    plus the ``BENCH_arena.json`` headline snapshot (the same artifacts
+    ``benchmarks/bench_arena.py`` commits at the repo root).
+    """
+    from repro.detectors import available_detectors
+    from repro.experiments.arena import (
+        arena_headlines,
+        render_arena_markdown,
+        run_arena,
+    )
+
+    detectors = None
+    if args.detector is not None:
+        if args.detector not in available_detectors():
+            print(
+                f"unknown detector {args.detector!r}; available: "
+                f"{', '.join(available_detectors())}",
+                file=sys.stderr,
+            )
+            return 2
+        detectors = [args.detector]
+    with make_runner(args) as runner:
+        arena = run_arena(detectors, trials=args.trials, runner=runner)
+    report = render_arena_markdown(arena)
+    if not args.quiet:
+        print(report, end="")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "ARENA_REPORT.md").write_text(report)
+        bench = {
+            "schema": 1,
+            "environment": {
+                "python": platform.python_version(),
+                "cpu_count": os.cpu_count(),
+            },
+            "benchmarks": arena_headlines(arena),
+        }
+        (args.out / "BENCH_arena.json").write_text(
+            json.dumps(bench, indent=2, sort_keys=True) + "\n"
+        )
+        if not args.quiet:
+            print(
+                f"wrote {args.out / 'ARENA_REPORT.md'} and "
+                f"{args.out / 'BENCH_arena.json'}",
+                file=sys.stderr,
+            )
     if runner.stats.errors:
         _report_errors(runner.stats.errors, args)
         return 3

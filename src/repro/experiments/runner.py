@@ -80,7 +80,9 @@ PIPELINE_METRICS: Tuple[str, ...] = (
 #: Cache entry layout version; bump on incompatible changes.
 #: v2: §2.2.1 wormhole-filter fix changed seeded pipeline outputs, and
 #: undefined rates are now omitted from metric dicts instead of 0.0.
-CACHE_SCHEMA_VERSION = 2
+#: v3: configs gained the ``detector`` field (part of the key material),
+#: so pre-arena entries address differently and must not be served.
+CACHE_SCHEMA_VERSION = 3
 
 
 def collect_metrics(result: PipelineResult) -> Dict[str, float]:

@@ -42,7 +42,10 @@ def vectorized_core_supported(config) -> bool:
       schedule timer events between deliveries;
     - flooded revocation dissemination relays notices during phases;
     - an ``max_events`` budget needs per-event accounting to stop
-      mid-phase.
+      mid-phase;
+    - rival detectors (``config.detector != "paper"``) make per-exchange
+      decisions the batch kernels do not model — they replay only the
+      paper's §2.1+§2.2 suite.
 
     Those run on the scalar oracle path unchanged. The predicate is
     duck-typed on the config attributes so it never imports the
@@ -54,4 +57,5 @@ def vectorized_core_supported(config) -> bool:
         and config.request_loss_rate == 0.0
         and config.revocation_dissemination == "oracle"
         and config.max_events is None
+        and getattr(config, "detector", "paper") == "paper"
     )

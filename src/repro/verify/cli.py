@@ -1,9 +1,13 @@
 """The ``repro-verify`` command-line conformance gate.
 
 Runs, in order: the differential oracle suite, the trace-invariant pass
-over a freshly-run pipeline, the zero-jitter honest-RTT check, and the
-Figure 12-14 statistical gate. Exit status 0 means full conformance;
-1 means at least one divergence/violation (each printed on stderr).
+over a freshly-run pipeline, the zero-jitter honest-RTT check, the
+detector-arena conformance checks (every registered rival detector:
+clean anchors never indicted at zero noise, byte-identical under
+re-runs and worker sharding — see :mod:`repro.verify.detectors`), and
+the Figure 12-14 statistical gate. Exit status 0 means full
+conformance; 1 means at least one divergence/violation (each printed
+on stderr).
 
 Typical invocations::
 
@@ -32,7 +36,7 @@ from repro.verify.invariants import (
 )
 from repro.verify.statgate import run_statgate
 
-STAGES = ("differential", "invariants", "statgate")
+STAGES = ("differential", "invariants", "detectors", "statgate")
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -148,6 +152,23 @@ def _run_invariants(args: argparse.Namespace) -> int:
     return len(violations)
 
 
+def _run_detectors(args: argparse.Namespace) -> int:
+    # Deferred import: pulls in the pipeline and the runner.
+    from repro.verify.detectors import run_detector_checks
+
+    report = run_detector_checks(seed=args.seed)
+    failures = 0
+    for name, violations in report.items():
+        print(
+            f"detectors[{name}]: "
+            + ("OK" if not violations else f"{len(violations)} VIOLATIONS")
+        )
+        for violation in violations:
+            failures += 1
+            print(f"  {violation}", file=sys.stderr)
+    return failures
+
+
 def _run_statgate(args: argparse.Namespace) -> int:
     observed, violations = run_statgate(
         trials=args.trials, update_golden=args.update_golden
@@ -174,6 +195,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         failures += _run_differential(args)
     if "invariants" in stages:
         failures += _run_invariants(args)
+    if "detectors" in stages:
+        failures += _run_detectors(args)
     if "statgate" in stages:
         failures += _run_statgate(args)
     if failures:

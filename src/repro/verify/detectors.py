@@ -1,0 +1,141 @@
+"""Conformance checks for the pluggable detector arena.
+
+The differential/invariant stages pin the **paper** detector to the
+paper's behaviour; this stage pins the *rival* detectors from
+:mod:`repro.detectors` to the two properties every arena entrant must
+satisfy regardless of its decision rule:
+
+1. **Clean anchors are never indicted at zero noise.** In a deployment
+   with no malicious beacons, no wormhole, and zero ranging error, every
+   residual is exactly 0 and every RTT is an honest in-range sample —
+   a detector that indicts anything in that world is broken, not
+   strict. Asserted per detector on a seeded pipeline: no alerts
+   reach the base station, no benign beacon is revoked, and the
+   undefined ``detection_rate`` stays ``None`` (never coerced to 0).
+
+2. **Determinism and worker-count insensitivity.** The same seeded
+   adversarial scenario must produce byte-identical metric dicts when
+   run twice serially and when sharded across worker processes — a
+   detector that hides order-dependent or unseeded state would diverge
+   here.
+
+Paper section: §4 (conformance gate extended to the detector arena)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.detectors import available_detectors
+
+#: Reduced deployment the checks run on (seconds, not minutes).
+_CLEAN_KWARGS = dict(
+    n_total=140,
+    n_beacons=20,
+    n_malicious=0,
+    field_width_ft=500.0,
+    field_height_ft=500.0,
+    max_ranging_error_ft=0.0,
+    rtt_calibration_samples=200,
+    wormhole_endpoints=None,
+    use_vectorized_core=False,
+)
+
+_ADVERSARIAL_KWARGS = dict(
+    n_total=140,
+    n_beacons=20,
+    n_malicious=4,
+    field_width_ft=500.0,
+    field_height_ft=500.0,
+    p_prime=0.5,
+    rtt_calibration_samples=200,
+    use_vectorized_core=False,
+)
+
+
+def check_clean_anchor(
+    detector: str, seed: int
+) -> List[str]:
+    """Property 1: a noise-free clean deployment produces zero alerts."""
+    from repro.core.pipeline import PipelineConfig, SecureLocalizationPipeline
+
+    violations: List[str] = []
+    pipeline = SecureLocalizationPipeline(
+        PipelineConfig(detector=detector, seed=seed, **_CLEAN_KWARGS)
+    )
+    result = pipeline.run()
+    alerts = len(pipeline.base_station.log)
+    indicted = sorted(
+        target
+        for beacon in pipeline.benign_beacons
+        for target in beacon.alerted_targets
+    )
+    if indicted or alerts:
+        violations.append(
+            f"detector {detector!r}: indicted clean anchors {indicted} "
+            f"({alerts} alert(s)) in a zero-noise attack-free deployment"
+        )
+    if result.revoked_benign:
+        violations.append(
+            f"detector {detector!r}: revoked {result.revoked_benign} "
+            "benign beacon(s) in a zero-noise attack-free deployment"
+        )
+    if result.false_positive_rate != 0.0:
+        violations.append(
+            f"detector {detector!r}: false_positive_rate "
+            f"{result.false_positive_rate!r} != 0.0 with benign beacons present"
+        )
+    if result.detection_rate is not None:
+        violations.append(
+            f"detector {detector!r}: detection_rate "
+            f"{result.detection_rate!r} with no malicious beacons — an "
+            "undefined rate must stay None, never 0"
+        )
+    return violations
+
+
+def check_worker_invariance(
+    detector: str, seed: int, worker_counts=(2,)
+) -> List[str]:
+    """Property 2: serial re-runs and sharded runs are byte-identical."""
+    from repro.core.pipeline import PipelineConfig
+    from repro.experiments.runner import ExperimentRunner
+
+    violations: List[str] = []
+    configs = [
+        PipelineConfig(detector=detector, seed=seed + i, **_ADVERSARIAL_KWARGS)
+        for i in range(4)
+    ]
+    keys = [f"verify:{detector}:seed{c.seed}" for c in configs]
+
+    def _run(workers: int) -> List[Optional[Dict[str, float]]]:
+        with ExperimentRunner(n_workers=workers) as runner:
+            return runner.run_pipeline_configs(configs, keys=keys)
+
+    serial = _run(1)
+    if serial != _run(1):
+        violations.append(
+            f"detector {detector!r}: two serial runs of the same seeded "
+            "scenario diverged (unseeded or global state)"
+        )
+    for workers in worker_counts:
+        if serial != _run(workers):
+            violations.append(
+                f"detector {detector!r}: {workers}-worker run diverged "
+                "from serial (order-sensitive state)"
+            )
+    return violations
+
+
+def run_detector_checks(seed: int = 0) -> Dict[str, List[str]]:
+    """Run both properties for every registered detector.
+
+    Returns ``{detector_name: [violation, ...]}`` with empty lists for
+    conforming detectors, so the CLI can print a per-detector verdict.
+    """
+    report: Dict[str, List[str]] = {}
+    for name in available_detectors():
+        violations = check_clean_anchor(name, seed + 211)
+        violations += check_worker_invariance(name, seed + 301)
+        report[name] = violations
+    return report

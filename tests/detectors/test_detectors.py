@@ -1,0 +1,262 @@
+"""Unit tests for the detector protocol, registry, and rival detectors."""
+
+import random
+
+import pytest
+
+from repro.core.rtt import calibrate_rtt
+from repro.detectors import (
+    ConsistencyDetector,
+    DetectorContext,
+    Exchange,
+    MahalanobisDetector,
+    NoisySequentialDetector,
+    Verdict,
+    available_detectors,
+    make_detector,
+)
+from repro.detectors.base import register
+from repro.errors import CalibrationError, ConfigurationError
+from repro.sim.timing import RttModel
+from repro.utils.geometry import Point
+
+
+def make_context(
+    max_error_ft=10.0, comm_range_ft=300.0, seed=0, jitter=432.0
+):
+    model = RttModel(jitter_cycles=jitter)
+    calibration = calibrate_rtt(
+        model, random.Random(seed), samples=128, distance_ft=comm_range_ft
+    )
+    return DetectorContext(
+        max_ranging_error_ft=max_error_ft,
+        comm_range_ft=comm_range_ft,
+        rtt_model=model,
+        rtt_calibration=calibration,
+        rng=random.Random(seed + 1),
+    )
+
+
+def make_exchange(
+    declared=Point(100.0, 0.0),
+    measured_ft=100.0,
+    rtt=16_000.0,
+    detector_position=Point(0.0, 0.0),
+):
+    calls = []
+
+    def rtt_provider():
+        calls.append(1)
+        return rtt
+
+    exchange = Exchange(
+        detector_id=1,
+        detecting_id=2,
+        target_id=3,
+        detector_position=detector_position,
+        declared_position=declared,
+        measured_distance_ft=measured_ft,
+        reception=None,
+        rtt_provider=rtt_provider,
+    )
+    return exchange, calls
+
+
+class TestRegistry:
+    def test_all_detectors_registered_paper_first(self):
+        names = available_detectors()
+        assert names[0] == "paper"
+        assert set(names) == {"paper", "consistency", "mahalanobis", "noisy"}
+        assert names[1:] == sorted(names[1:])
+
+    def test_make_detector_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown detector"):
+            make_detector("oracle-of-delphi")
+
+    def test_duplicate_registration_rejected(self):
+        class Impostor(ConsistencyDetector):
+            name = "consistency"
+
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register(Impostor)
+
+    def test_unnamed_registration_rejected(self):
+        class Nameless(ConsistencyDetector):
+            name = ""
+
+        with pytest.raises(ConfigurationError, match="no registry name"):
+            register(Nameless)
+
+
+class TestVerdictContract:
+    def test_indict_requires_alert_decision(self):
+        with pytest.raises(ConfigurationError, match="indicting verdicts"):
+            Verdict("replayed_local", indict=True, signal_consistent=False)
+
+    def test_consistent_requires_consistent_signal(self):
+        with pytest.raises(ConfigurationError, match="signal_consistent"):
+            Verdict("consistent", indict=False, signal_consistent=False)
+
+    def test_valid_verdicts_construct(self):
+        Verdict("alert", indict=True, signal_consistent=False)
+        Verdict("consistent", indict=False, signal_consistent=True)
+        Verdict("sequential_pending", indict=False, signal_consistent=False)
+
+
+class TestExchange:
+    def test_rtt_measured_lazily_and_memoized(self):
+        exchange, calls = make_exchange(rtt=17_000.0)
+        assert calls == []
+        assert exchange.rtt_cycles() == 17_000.0
+        assert exchange.rtt_cycles() == 17_000.0
+        assert len(calls) == 1
+
+
+class TestConsistencyDetector:
+    def test_consistent_signal_accepted_without_rtt(self):
+        detector = ConsistencyDetector()
+        detector.calibrate(make_context())
+        exchange, calls = make_exchange(measured_ft=95.0)  # residual 5 <= 10
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "consistent"
+        assert not verdict.indict
+        assert calls == []  # the RTT is never measured
+
+    def test_out_of_range_claim_discarded_as_wormhole(self):
+        detector = ConsistencyDetector()
+        detector.calibrate(make_context(comm_range_ft=300.0))
+        exchange, calls = make_exchange(
+            declared=Point(400.0, 0.0), measured_ft=100.0
+        )
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "replayed_wormhole"
+        assert not verdict.indict
+        assert calls == []
+        assert detector.discarded_out_of_range == 1
+
+    def test_slow_rtt_discarded_as_local_replay(self):
+        detector = ConsistencyDetector()
+        context = make_context()
+        detector.calibrate(context)
+        exchange, _ = make_exchange(
+            measured_ft=150.0, rtt=context.rtt_calibration.x_max + 1.0
+        )
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "replayed_local"
+        assert detector.discarded_rtt == 1
+
+    def test_in_range_lie_with_honest_rtt_indicts(self):
+        detector = ConsistencyDetector()
+        context = make_context()
+        detector.calibrate(context)
+        exchange, _ = make_exchange(
+            measured_ft=150.0, rtt=context.rtt_calibration.x_max - 1.0
+        )
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "alert"
+        assert verdict.indict
+
+
+class TestNoisySequentialDetector:
+    def test_single_lie_is_pending_not_indicted(self):
+        detector = NoisySequentialDetector()
+        detector.calibrate(make_context())
+        exchange, _ = make_exchange(measured_ft=150.0)
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "sequential_pending"
+        assert not verdict.indict
+
+    def test_repeated_lies_cross_the_boundary(self):
+        detector = NoisySequentialDetector()
+        detector.calibrate(make_context())
+        decisions = []
+        for _ in range(2):
+            exchange, _ = make_exchange(measured_ft=150.0)
+            decisions.append(detector.evaluate(exchange).decision)
+        # log(0.9/0.05) ~= 2.89 per lie; two lies cross log(99) ~= 4.60.
+        assert decisions == ["sequential_pending", "alert"]
+        assert detector.indicted_pairs == 1
+
+    def test_clean_observations_clamp_not_drift(self):
+        # Many clean observations then lies: the lower clamp means the
+        # late-turning malicious beacon still needs only ~2 extra lies.
+        detector = NoisySequentialDetector()
+        detector.calibrate(make_context())
+        for _ in range(50):
+            exchange, _ = make_exchange(measured_ft=100.0)
+            assert detector.evaluate(exchange).decision == "consistent"
+        lies = 0
+        while True:
+            exchange, _ = make_exchange(measured_ft=150.0)
+            lies += 1
+            if detector.evaluate(exchange).indict:
+                break
+        assert lies <= 4
+
+    def test_state_is_per_pair(self):
+        detector = NoisySequentialDetector()
+        detector.calibrate(make_context())
+        for _ in range(2):
+            exchange, _ = make_exchange(measured_ft=150.0)
+            detector.evaluate(exchange)
+        # A different target starts from zero evidence.
+        fresh, _ = make_exchange(measured_ft=150.0)
+        fresh.target_id = 99
+        assert not detector.evaluate(fresh).indict
+        assert detector.diagnostics()["pairs_tracked"] == 2
+
+    def test_never_touches_rtt(self):
+        detector = NoisySequentialDetector()
+        detector.calibrate(make_context())
+        exchange, calls = make_exchange(measured_ft=150.0)
+        detector.evaluate(exchange)
+        assert calls == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoisySequentialDetector(p_noise=0.9, p_malicious=0.1)
+        with pytest.raises(ConfigurationError):
+            NoisySequentialDetector(alpha=0.0)
+
+
+class TestMahalanobisDetector:
+    def test_evaluate_before_calibrate_rejected(self):
+        detector = MahalanobisDetector()
+        exchange, _ = make_exchange()
+        with pytest.raises(CalibrationError):
+            detector.evaluate(exchange)
+
+    def test_honest_exchange_inside_the_ellipse(self):
+        detector = MahalanobisDetector()
+        context = make_context(seed=3)
+        detector.calibrate(context)
+        rtt = context.rtt_model.sample(
+            random.Random(9), distance_ft=100.0
+        ).rtt
+        exchange, _ = make_exchange(measured_ft=96.0, rtt=rtt)
+        verdict = detector.evaluate(exchange)
+        assert not verdict.indict
+
+    def test_gross_outlier_indicted(self):
+        detector = MahalanobisDetector()
+        detector.calibrate(make_context(seed=3))
+        # A wormhole-sized residual with a tunnel-sized RTT.
+        exchange, _ = make_exchange(measured_ft=100.0, rtt=10_000_000.0)
+        exchange.declared_position = Point(5_000.0, 0.0)
+        verdict = detector.evaluate(exchange)
+        assert verdict.decision == "alert"
+        assert verdict.indict
+        assert detector.outliers == 1
+
+    def test_zero_noise_calibration_is_regularised(self):
+        # max_ranging_error_ft=0 collapses the residual axis; the
+        # regularised covariance must stay invertible.
+        detector = MahalanobisDetector()
+        detector.calibrate(make_context(max_error_ft=0.0, seed=4))
+        assert detector.threshold_d2 is not None
+
+    def test_calibration_deterministic_in_the_stream(self):
+        a, b = MahalanobisDetector(), MahalanobisDetector()
+        a.calibrate(make_context(seed=5))
+        b.calibrate(make_context(seed=5))
+        assert a.threshold_d2 == b.threshold_d2

@@ -1,17 +1,19 @@
 """Docstring policy for the paper-core, experiments, and faults packages.
 
 Mirrors the ruff pydocstyle configuration in ``pyproject.toml`` (rules
-D100/D101/D103 scoped to ``src/repro/core``, ``src/repro/experiments``,
-``src/repro/faults``, ``src/repro/obs``, ``src/repro/revocation``,
-``src/repro/verify``, and ``src/repro/vec``) so the policy is enforced
-in plain pytest runs even where ruff is not installed. Additionally,
-every ``repro.core``, ``repro.faults``, ``repro.obs``,
-``repro.revocation``, ``repro.verify``, and ``repro.vec`` module must
+D100/D101/D103 scoped to ``src/repro/core``, ``src/repro/detectors``,
+``src/repro/experiments``, ``src/repro/faults``, ``src/repro/obs``,
+``src/repro/revocation``, ``src/repro/verify``, and ``src/repro/vec``)
+so the policy is enforced in plain pytest runs even where ruff is not
+installed. Additionally, every ``repro.core``, ``repro.detectors``,
+``repro.faults``, ``repro.obs``, ``repro.revocation``, ``repro.verify``,
+and ``repro.vec`` module must
 carry a ``Paper section:`` reference line tying it back to the source
 paper — the fault models exist to stress specific paper assumptions,
 the observability layer to measure them, the conformance harness to
 check them, the vectorized kernels to reproduce them bit-for-bit at
-speed, the revocation service to scale them, and the citation is the
+speed, the revocation service to scale them, the detector arena to
+benchmark successors against them, and the citation is the
 map. The ARQ module
 ``sim/reliable.py`` (the §3.2 retransmission machinery) is covered
 explicitly alongside the packages.
@@ -27,6 +29,7 @@ import repro
 SRC = pathlib.Path(repro.__file__).resolve().parent
 SCOPED_PACKAGES = (
     "core",
+    "detectors",
     "experiments",
     "faults",
     "obs",
@@ -71,7 +74,15 @@ def test_module_docstring_policy(package, path):
     # sim/reliable.py, which implements the §3.2 retransmission
     # assumption) additionally cite the paper section they implement,
     # stress, measure, scale, or check.
-    if package in ("core", "faults", "obs", "revocation", "verify", "vec"):
+    if package in (
+        "core",
+        "detectors",
+        "faults",
+        "obs",
+        "revocation",
+        "verify",
+        "vec",
+    ):
         assert "Paper section:" in docstring, (
             f"{path}: module docstring lacks a 'Paper section:' line"
         )

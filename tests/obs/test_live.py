@@ -213,14 +213,17 @@ class TestTelemetryServer:
         with server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _scrape(server.url + "/healthz")
-            assert excinfo.value.code == 503
-            assert json.loads(excinfo.value.read()) == {"status": "down"}
+            # The HTTPError wraps the live response socket; close it.
+            with excinfo.value as error:
+                assert error.code == 503
+                assert json.loads(error.read()) == {"status": "down"}
 
     def test_unknown_path_is_404(self):
         with TelemetryServer() as server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 _scrape(server.url + "/nope")
-            assert excinfo.value.code == 404
+            with excinfo.value as error:
+                assert error.code == 404
 
     def test_stop_idempotent_and_restartable(self):
         server = TelemetryServer().start()

@@ -137,8 +137,10 @@ class TestSqliteBackend:
 class TestMakeBackend:
     def test_kinds(self, tmp_path):
         assert make_backend("memory").kind == "memory"
-        assert make_backend("jsonl", tmp_path / "j").kind == "jsonl"
-        assert make_backend("sqlite", tmp_path / "s").kind == "sqlite"
+        with make_backend("jsonl", tmp_path / "j") as jsonl:
+            assert jsonl.kind == "jsonl"
+        with make_backend("sqlite", tmp_path / "s") as sqlite:
+            assert sqlite.kind == "sqlite"
 
     def test_sqlite_path_inside_directory(self, tmp_path):
         backend = make_backend("sqlite", tmp_path)

@@ -77,7 +77,9 @@ class TestLiveScrape:
             try:
                 with pytest.raises(urllib.error.HTTPError) as excinfo:
                     _get(server.url + "/healthz")
-                before = excinfo.value.code
+                # Close the HTTPError: it wraps the response socket.
+                with excinfo.value as error:
+                    before = error.code
             finally:
                 server.stop()
 

@@ -58,6 +58,12 @@ BASELINE_BENCHES = {
         "detection_vs_loss": {"0.0": {"detection_rate": 0.9}},
         "detection_vs_rtt_jitter": {"0.0": {"detection_rate": 0.85}},
     },
+    "BENCH_arena": {
+        "arena": {
+            name: {"detection_rate": 0.5, "false_positive_rate": 0.1}
+            for name in ("paper", "consistency", "mahalanobis", "noisy")
+        }
+    },
 }
 
 
@@ -163,6 +169,71 @@ class TestStaleCpu:
         _write_benches(repo, benches, cpu_count=1)
         assert bench_report.main(["--repo-root", str(repo), "--check"]) == 1
 
+    def test_scaling_improvement_on_small_cpu_is_never_improved(self, repo):
+        # The inverse direction of the annotation: a stale current value
+        # must not *pass* as an improvement either — both directions of a
+        # meaningless comparison are "stale".
+        benches = copy.deepcopy(BASELINE_BENCHES)
+        workers = benches["BENCH_scaling"]["queue_scaling"]["workers"]
+        workers["8"]["throughput_trials_per_s"] = 99.0  # "12x" on 2 CPUs
+        _write_benches(repo, benches, cpu_count=2)
+        assert bench_report.main(["--repo-root", str(repo), "--check"]) == 0
+        rows = bench_report.build_rows(
+            bench_report.load_current(repo, []),
+            bench_report.load_history(repo / "benchmarks" / "history.jsonl", []),
+            0.15,
+        )
+        by_metric = {row["metric"]: row for row in rows}
+        eight = by_metric["queue_scaling.workers.8.throughput_trials_per_s"]
+        assert eight["status"] == "stale"
+        # The unchanged stale row stays plain "ok" (annotated, no verdict).
+        four = by_metric["queue_scaling.workers.4.throughput_trials_per_s"]
+        assert four["status"] == "ok"
+        assert any("stale-cpu" in note for note in four["notes"])
+
+    def test_stale_baseline_is_treated_as_no_baseline(self, repo, capsys):
+        # Record a baseline from a 2-CPU machine: its 4- and 8-worker
+        # numbers are meaningless, so later healthy runs must compare
+        # against *nothing* — neither failing (regressed direction) nor
+        # passing-as-improved (improved direction) against them.
+        stale = copy.deepcopy(BASELINE_BENCHES)
+        workers = stale["BENCH_scaling"]["queue_scaling"]["workers"]
+        workers["4"]["throughput_trials_per_s"] = 0.1
+        workers["8"]["throughput_trials_per_s"] = 99.0
+        _write_benches(repo, stale, cpu_count=2)
+        assert (
+            bench_report.main(
+                ["--repo-root", str(repo), "--record", "--recorded", "t1"]
+            )
+            == 0
+        )
+        # Healthy 16-CPU current run: +3900% vs workers.4, -92% vs
+        # workers.8 — both comparisons would trip the gate if trusted.
+        _write_benches(repo, BASELINE_BENCHES, cpu_count=16)
+        capsys.readouterr()
+        assert bench_report.main(["--repo-root", str(repo), "--check"]) == 0
+        assert "bench check OK" in capsys.readouterr().out
+        rows = bench_report.build_rows(
+            bench_report.load_current(repo, []),
+            bench_report.load_history(repo / "benchmarks" / "history.jsonl", []),
+            0.15,
+        )
+        by_metric = {row["metric"]: row for row in rows}
+        for w in (4, 8):
+            row = by_metric[
+                f"queue_scaling.workers.{w}.throughput_trials_per_s"
+            ]
+            assert row["status"] == "no-baseline"
+            assert row["baseline"] is None
+            assert any("stale-cpu baseline" in note for note in row["notes"])
+        # The 1- and 2-worker entries are valid on 2 CPUs: still compared.
+        assert (
+            by_metric[
+                "queue_scaling.workers.1.throughput_trials_per_s"
+            ]["status"]
+            == "ok"
+        )
+
 
 class TestHistory:
     def test_last_history_line_wins(self, repo):
@@ -214,7 +285,7 @@ class TestReportOutputs:
         assert "| BENCH_pipeline | `full_trial.fast_s` |" in markdown
         payload = json.loads(out_json.read_text())
         assert payload["problems"] == []
-        assert len(payload["rows"]) == 16  # every headline metric present
+        assert len(payload["rows"]) == 24  # every headline metric present
 
     def test_committed_repo_headlines_all_resolve(self):
         # The real BENCH files must keep every headline metric live, or

@@ -17,10 +17,14 @@ of those files over time. This tool:
   new history line (do this when intentionally refreshing the BENCH
   files).
 
-Scaling entries are annotated — never failed — when the recorded
-environment's ``cpu_count`` is below the worker count the entry used:
-single-core CI cannot meaningfully regress an 8-worker speedup, so
-those rows carry a ``stale-cpu`` note and are excluded from ``--check``.
+Scaling entries are annotated — never failed *and never passed as
+improved* — when the recorded environment's ``cpu_count`` is below the
+worker count the entry used: single-core CI cannot meaningfully move an
+8-worker speedup in either direction, so those rows carry a
+``stale-cpu`` note and are excluded from ``--check``. The same logic
+applies to the *baseline*: a history entry recorded on too few CPUs is
+treated as no baseline at all, so a later healthy run is never judged
+against meaningless numbers.
 
 Usage::
 
@@ -71,6 +75,17 @@ HEADLINES: Dict[str, List[Dict[str, Any]]] = {
             "path": "detection_vs_rtt_jitter.0.0.detection_rate",
             "good": "higher",
         },
+    ],
+    # Arena headlines are fully seeded, so only deterministic metrics are
+    # tracked (cpu_us_per_decision is wall clock — machine-dependent —
+    # and deliberately excluded).
+    "BENCH_arena": [
+        spec
+        for detector in ("paper", "consistency", "mahalanobis", "noisy")
+        for spec in (
+            {"path": f"arena.{detector}.detection_rate", "good": "higher"},
+            {"path": f"arena.{detector}.false_positive_rate", "good": "lower"},
+        )
     ],
 }
 
@@ -147,6 +162,7 @@ def build_rows(
         cpu_count = environment.get("cpu_count")
         baseline_entry = baselines.get(bench, {})
         baseline_metrics = baseline_entry.get("metrics", {})
+        baseline_cpu = baseline_entry.get("environment", {}).get("cpu_count")
         for spec in specs:
             path = spec["path"]
             value = dig(benchmarks, path)
@@ -167,10 +183,27 @@ def build_rows(
                 and isinstance(cpu_count, int)
                 and cpu_count < workers
             )
+            # A baseline recorded below the entry's worker count is as
+            # meaningless as a stale current value: comparing against it
+            # can neither pass nor fail anything, so it is dropped (the
+            # row becomes no-baseline) instead of feeding the verdict.
+            baseline_stale = (
+                workers is not None
+                and isinstance(baseline_cpu, int)
+                and baseline_cpu < workers
+            )
             if stale_cpu:
                 row["notes"].append(
                     f"stale-cpu: recorded on cpu_count={cpu_count} < "
                     f"workers={workers}; informational only"
+                )
+            if baseline_stale and isinstance(baseline, (int, float)):
+                row["baseline"] = None
+                baseline = None
+                row["notes"].append(
+                    f"stale-cpu baseline: history entry recorded on "
+                    f"cpu_count={baseline_cpu} < workers={workers}; "
+                    "treated as no baseline"
                 )
             if value is None:
                 row["status"] = "missing"
@@ -178,13 +211,20 @@ def build_rows(
             elif isinstance(baseline, (int, float)) and baseline != 0:
                 change = (value - baseline) / abs(baseline)
                 row["change_pct"] = round(change * 100.0, 2)
-                worse = change > 0 if spec["good"] == "lower" else change < 0
-                if worse and abs(change) > threshold and not stale_cpu:
-                    row["status"] = "regression"
-                elif worse and abs(change) > threshold and stale_cpu:
-                    row["status"] = "stale"
-                elif not worse and abs(change) > threshold:
-                    row["status"] = "improved"
+                # A stale current value can neither regress nor improve —
+                # the comparison is annotated, never trusted, in either
+                # direction.
+                if stale_cpu:
+                    if abs(change) > threshold:
+                        row["status"] = "stale"
+                else:
+                    worse = (
+                        change > 0 if spec["good"] == "lower" else change < 0
+                    )
+                    if worse and abs(change) > threshold:
+                        row["status"] = "regression"
+                    elif not worse and abs(change) > threshold:
+                        row["status"] = "improved"
             else:
                 row["status"] = "no-baseline"
             rows.append(row)

@@ -5,11 +5,13 @@ Dependency-free (stdlib ``ast`` only — the modules are parsed, never
 imported), so it runs anywhere CI does. Covers the public surface of the
 fault-injection and experiment-execution layers:
 
+- ``repro.detectors`` (base, paper, consistency, mahalanobis, noisy)
 - ``repro.faults`` (config, models, injector)
 - ``repro.obs`` (config, metrics, spans, export)
-- ``repro.experiments.runner``
+- ``repro.experiments.runner`` and ``repro.experiments.arena``
 - ``repro.sim.reliable``
-- ``repro.verify`` (oracles, differential, invariants, statgate, cli)
+- ``repro.verify`` (oracles, differential, invariants, detectors,
+  statgate, cli)
 - ``repro.vec`` (arrays, geometry, measurement, detection,
   localization, replay, turbo)
 
@@ -39,6 +41,17 @@ OUTPUT = REPO_ROOT / "docs" / "API.md"
 
 #: (dotted module name, source path) pairs, in emission order.
 MODULES = [
+    ("repro.detectors.base", SRC / "repro" / "detectors" / "base.py"),
+    ("repro.detectors.paper", SRC / "repro" / "detectors" / "paper.py"),
+    (
+        "repro.detectors.consistency",
+        SRC / "repro" / "detectors" / "consistency.py",
+    ),
+    (
+        "repro.detectors.mahalanobis",
+        SRC / "repro" / "detectors" / "mahalanobis.py",
+    ),
+    ("repro.detectors.noisy", SRC / "repro" / "detectors" / "noisy.py"),
     ("repro.faults.config", SRC / "repro" / "faults" / "config.py"),
     ("repro.faults.models", SRC / "repro" / "faults" / "models.py"),
     ("repro.faults.injector", SRC / "repro" / "faults" / "injector.py"),
@@ -48,6 +61,7 @@ MODULES = [
     ("repro.obs.export", SRC / "repro" / "obs" / "export.py"),
     ("repro.obs.live", SRC / "repro" / "obs" / "live.py"),
     ("repro.experiments.runner", SRC / "repro" / "experiments" / "runner.py"),
+    ("repro.experiments.arena", SRC / "repro" / "experiments" / "arena.py"),
     (
         "repro.experiments.distributed",
         SRC / "repro" / "experiments" / "distributed.py",
@@ -65,6 +79,7 @@ MODULES = [
     ("repro.verify.oracles", SRC / "repro" / "verify" / "oracles.py"),
     ("repro.verify.differential", SRC / "repro" / "verify" / "differential.py"),
     ("repro.verify.invariants", SRC / "repro" / "verify" / "invariants.py"),
+    ("repro.verify.detectors", SRC / "repro" / "verify" / "detectors.py"),
     ("repro.verify.statgate", SRC / "repro" / "verify" / "statgate.py"),
     ("repro.verify.cli", SRC / "repro" / "verify" / "cli.py"),
     ("repro.vec.arrays", SRC / "repro" / "vec" / "arrays.py"),
@@ -79,9 +94,11 @@ MODULES = [
 HEADER = """\
 # API reference
 
-Public classes and functions of the fault-injection layer
+Public classes and functions of the pluggable detector suite
+(`repro.detectors`), the fault-injection layer
 (`repro.faults`), the observability layer (`repro.obs`), the experiment
-runner (`repro.experiments.runner`) and its distributed file-queue
+runner (`repro.experiments.runner`), the detector arena
+(`repro.experiments.arena`), the distributed file-queue
 backend (`repro.experiments.distributed`), the ARQ reliable-delivery
 channel (`repro.sim.reliable`), the sharded persistent revocation
 service (`repro.revocation`), the paper-fidelity conformance harness
@@ -93,7 +110,8 @@ service (`repro.revocation`), the paper-fidelity conformance harness
     python tools/gen_api_docs.py
 
 CI runs ``python tools/gen_api_docs.py --check`` and fails when this
-file is stale. Background reading: [`FAULTS.md`](FAULTS.md),
+file is stale. Background reading: [`ARENA.md`](ARENA.md),
+[`FAULTS.md`](FAULTS.md),
 [`OBSERVABILITY.md`](OBSERVABILITY.md), [`REVOCATION.md`](REVOCATION.md),
 [`VERIFY.md`](VERIFY.md), [`PERFORMANCE.md`](PERFORMANCE.md).
 """
